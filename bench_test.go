@@ -1,0 +1,192 @@
+// Package bench contains the top-level benchmark harness: one benchmark per
+// table and figure of the paper's evaluation, so that
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the quantities behind Tables 1-3 and Figures 4-8, plus the
+// ablation and baseline comparisons described in DESIGN.md. Custom metrics
+// (overhead fractions, infection ratios, virtual-time gaps) are attached to
+// the benchmark results via ReportMetric.
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"sweeper/internal/apps"
+	"sweeper/internal/epidemic"
+	"sweeper/internal/experiments"
+)
+
+// --- Table 1: the evaluated applications (program construction cost) ---
+
+func BenchmarkTable1BuildApplications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		specs := apps.All()
+		if len(specs) != 4 {
+			b.Fatalf("expected 4 applications, got %d", len(specs))
+		}
+	}
+}
+
+// --- Table 2: full defence pipeline functionality, one benchmark per app ---
+
+func benchmarkDefense(b *testing.B, app string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunDefense(app, 8, 8, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !run.Report.Recovered {
+			b.Fatalf("recovery failed for %s", app)
+		}
+	}
+}
+
+func BenchmarkTable2DefenseApache1(b *testing.B) { benchmarkDefense(b, "apache1") }
+func BenchmarkTable2DefenseApache2(b *testing.B) { benchmarkDefense(b, "apache2") }
+func BenchmarkTable2DefenseCVS(b *testing.B)     { benchmarkDefense(b, "cvs") }
+func BenchmarkTable2DefenseSquid(b *testing.B)   { benchmarkDefense(b, "squid") }
+
+// --- Table 3: analysis pipeline timings ---
+
+func benchmarkAnalysisTimes(b *testing.B, app string) {
+	b.Helper()
+	var firstVSEF, bestVSEF, total float64
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunDefense(app, 8, 8, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := run.Report
+		firstVSEF += r.TimeToFirstVSEF.Seconds()
+		bestVSEF += r.TimeToBestVSEF.Seconds()
+		total += r.TotalAnalysisTime.Seconds()
+	}
+	n := float64(b.N)
+	b.ReportMetric(firstVSEF/n*1e3, "ms-to-first-VSEF")
+	b.ReportMetric(bestVSEF/n*1e3, "ms-to-best-VSEF")
+	b.ReportMetric(total/n*1e3, "ms-total-analysis")
+}
+
+func BenchmarkTable3AnalysisApache1(b *testing.B) { benchmarkAnalysisTimes(b, "apache1") }
+func BenchmarkTable3AnalysisSquid(b *testing.B)   { benchmarkAnalysisTimes(b, "squid") }
+
+// --- Figure 4: checkpoint interval vs throughput overhead ---
+
+func benchmarkCheckpointInterval(b *testing.B, intervalMs uint64) {
+	b.Helper()
+	requests := experiments.QuickSizes().Figure4Requests
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure4([]uint64{intervalMs}, requests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead += points[0].Overhead
+	}
+	b.ReportMetric(overhead/float64(b.N)*100, "overhead-%")
+}
+
+func BenchmarkFigure4CheckpointInterval20ms(b *testing.B)  { benchmarkCheckpointInterval(b, 20) }
+func BenchmarkFigure4CheckpointInterval50ms(b *testing.B)  { benchmarkCheckpointInterval(b, 50) }
+func BenchmarkFigure4CheckpointInterval100ms(b *testing.B) { benchmarkCheckpointInterval(b, 100) }
+func BenchmarkFigure4CheckpointInterval200ms(b *testing.B) { benchmarkCheckpointInterval(b, 200) }
+
+// --- §5.3: vulnerability monitoring (VSEF) and baseline overheads ---
+
+func BenchmarkVSEFOverhead(b *testing.B) {
+	requests := experiments.QuickSizes().OverheadRequests
+	var vsefOverhead, taintOverhead float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MonitoringOverhead(requests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch {
+			case strings.HasPrefix(r.Mode, "sweeper + deployed VSEF"):
+				vsefOverhead += r.Overhead
+			case strings.HasPrefix(r.Mode, "always-on taint"):
+				taintOverhead += r.Overhead
+			}
+		}
+	}
+	b.ReportMetric(vsefOverhead/float64(b.N)*100, "vsef-overhead-%")
+	b.ReportMetric(taintOverhead/float64(b.N)*100, "taint-baseline-overhead-%")
+}
+
+// --- Figure 5: throughput during an attack, Sweeper recovery vs restart ---
+
+func BenchmarkFigure5Recovery(b *testing.B) {
+	sizes := experiments.QuickSizes()
+	var recoveryGap, restartGap float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(sizes.Figure5Requests, sizes.Figure5AttackAt, sizes.Figure5BucketMs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recoveryGap += float64(res.RecoveryGapMs)
+		restartGap += float64(res.RestartGapMs)
+	}
+	b.ReportMetric(recoveryGap/float64(b.N), "recovery-gap-virtual-ms")
+	b.ReportMetric(restartGap/float64(b.N), "restart-gap-virtual-ms")
+}
+
+// --- Figures 6-8: community defence model sweeps ---
+
+func benchmarkCommunityFigure(b *testing.B, beta, rho float64, alphas []float64, reportAlpha, reportGamma float64) {
+	b.Helper()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		for _, gamma := range epidemic.StandardGammas() {
+			for _, alpha := range alphas {
+				r := epidemic.InfectionRatio(beta, 100000, alpha, gamma, rho)
+				if alpha == reportAlpha && gamma == reportGamma {
+					ratio = r
+				}
+			}
+		}
+	}
+	b.ReportMetric(ratio*100, "infection-%-at-reference-point")
+}
+
+func BenchmarkFigure6EpidemicSlammer(b *testing.B) {
+	benchmarkCommunityFigure(b, 0.1, 1.0, epidemic.Figure6Alphas(), 0.0001, 5)
+}
+
+func BenchmarkFigure7EpidemicHitlist1000(b *testing.B) {
+	benchmarkCommunityFigure(b, 1000, epidemic.DefaultRho, epidemic.Figure78Alphas(), 0.0001, 10)
+}
+
+func BenchmarkFigure8EpidemicHitlist4000(b *testing.B) {
+	benchmarkCommunityFigure(b, 4000, epidemic.DefaultRho, epidemic.Figure78Alphas(), 0.0001, 10)
+}
+
+// --- Ablations and cross-checks ---
+
+func BenchmarkAblationProactiveProtection(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ProactiveAblation(1000)
+		for _, r := range rows {
+			if r.Alpha == 0.001 && r.Gamma == 10 {
+				with, without = r.WithProactive, r.WithoutProactive
+			}
+		}
+	}
+	b.ReportMetric(with*100, "with-proactive-infection-%")
+	b.ReportMetric(without*100, "without-proactive-infection-%")
+}
+
+func BenchmarkAgentBasedCrossCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, err := epidemic.SimulateAgentsMean(epidemic.AgentParams{
+			N: 20000, Alpha: 0.001, Beta: 1000, Gamma: 10, Rho: epidemic.DefaultRho, Seed: int64(i + 1),
+		}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation from the reproduction: Tables 1-3, Figures 4-8, the VSEF
+// overhead experiment and the ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	benchtables -all            # everything (quick sizes)
+//	benchtables -table 2        # a single table
+//	benchtables -figure 6       # a single figure
+//	benchtables -overhead       # monitoring overhead comparison
+//	benchtables -ablation       # ablation studies
+//	benchtables -paper -all     # larger, paper-scale workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sweeper/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		table    = flag.Int("table", 0, "regenerate table N (1-3)")
+		figure   = flag.Int("figure", 0, "regenerate figure N (4-8)")
+		overhead = flag.Bool("overhead", false, "monitoring overhead comparison (§5.3)")
+		ablation = flag.Bool("ablation", false, "ablation studies")
+		all      = flag.Bool("all", false, "regenerate everything")
+		paper    = flag.Bool("paper", false, "use paper-scale workload sizes (slower)")
+	)
+	flag.Parse()
+
+	sizes := experiments.QuickSizes()
+	if *paper {
+		sizes = experiments.PaperSizes()
+	}
+	if !*all && *table == 0 && *figure == 0 && !*overhead && !*ablation {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(cond bool, f func() error) {
+		if !cond {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("benchtables: %v", err)
+		}
+	}
+
+	run(*all || *table == 1, func() error {
+		fmt.Println(experiments.FormatTable1(experiments.Table1()))
+		return nil
+	})
+	run(*all || *table == 2, func() error {
+		rows, _, err := experiments.Table2([]string{"apache1", "apache2", "cvs", "squid"})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable2(rows))
+		return nil
+	})
+	run(*all || *table == 3, func() error {
+		rows, err := experiments.Table3([]string{"apache1", "squid"})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable3(rows))
+		return nil
+	})
+	run(*all || *figure == 4, func() error {
+		points, err := experiments.Figure4(nil, sizes.Figure4Requests)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFigure4(points))
+		return nil
+	})
+	run(*all || *overhead, func() error {
+		rows, err := experiments.MonitoringOverhead(sizes.OverheadRequests)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatOverhead(rows))
+		return nil
+	})
+	run(*all || *figure == 5, func() error {
+		res, err := experiments.Figure5(sizes.Figure5Requests, sizes.Figure5AttackAt, sizes.Figure5BucketMs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFigure5(res))
+		return nil
+	})
+	run(*all || *figure == 6, func() error {
+		fmt.Println(experiments.FormatCommunityFigure(
+			"Figure 6: Sweeper defense against Slammer (beta=0.1, N=100000)", experiments.Figure6()))
+		return nil
+	})
+	run(*all || *figure == 7, func() error {
+		fmt.Println(experiments.FormatCommunityFigure(
+			"Figure 7: Sweeper with proactive protection against hit-list worm (beta=1000, rho=2^-12)", experiments.Figure7()))
+		return nil
+	})
+	run(*all || *figure == 8, func() error {
+		fmt.Println(experiments.FormatCommunityFigure(
+			"Figure 8: Sweeper with proactive protection against hit-list worm (beta=4000, rho=2^-12)", experiments.Figure8()))
+		return nil
+	})
+	run(*all || *ablation, func() error {
+		fmt.Println(experiments.FormatProactiveAblation(experiments.ProactiveAblation(1000)))
+		fmt.Println(experiments.FormatResponseTimeAblation(experiments.ResponseTimeAblation(1000, 14)))
+		rows, err := experiments.AgentCrossCheck(sizes.AgentN, sizes.AgentRuns)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAgentCrossCheck(rows))
+		unimpeded, contained := experiments.AbstractContainmentClaim()
+		fmt.Printf("Abstract claim: unimpeded hit-list infection after 1 s = %.1f%%; with Sweeper (alpha=0.001, gamma=5s, rho=2^-12) = %.2f%%\n\n",
+			unimpeded*100, contained*100)
+		return nil
+	})
+}

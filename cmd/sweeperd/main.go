@@ -1,0 +1,124 @@
+// Command sweeperd runs one of the evaluation servers under Sweeper
+// protection, drives a benign workload around a live exploit, and prints the
+// complete defence timeline: detection, each analysis step and its result,
+// the antibodies generated (and when), and the recovery outcome.
+//
+// Examples:
+//
+//	sweeperd -app squid
+//	sweeperd -app apache1 -benign 50 -variants 2
+//	sweeperd -app cvs -no-aslr -shadow-stack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sweeper/internal/apps"
+	"sweeper/internal/core"
+	"sweeper/internal/exploit"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		appName     = flag.String("app", "squid", "application to protect: apache1, apache2, cvs, squid")
+		benign      = flag.Int("benign", 20, "benign requests before and after the attack")
+		variants    = flag.Int("variants", 1, "number of polymorphic exploit variants to launch")
+		interval    = flag.Uint64("checkpoint-ms", 200, "checkpoint interval in virtual milliseconds")
+		noASLR      = flag.Bool("no-aslr", false, "disable address-space randomisation")
+		shadowStack = flag.Bool("shadow-stack", false, "enable the shadow-stack lightweight monitor")
+		showAntibody = flag.Bool("show-antibody", false, "print the final antibody as JSON")
+	)
+	flag.Parse()
+
+	spec, err := apps.ByName(*appName)
+	if err != nil {
+		log.Fatalf("sweeperd: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.CheckpointIntervalMs = *interval
+	cfg.ASLR = !*noASLR
+	cfg.ShadowStack = *shadowStack
+
+	s, err := core.New(spec.Name, spec.Image, spec.Options, cfg)
+	if err != nil {
+		log.Fatalf("sweeperd: %v", err)
+	}
+	fmt.Printf("sweeperd: protecting %s (%s, %s)\n", spec.Program, spec.CVE, spec.BugType)
+	fmt.Printf("  layout: code=%#x data=%#x heap=%#x stack=%#x (ASLR %v)\n",
+		s.Layout().CodeBase, s.Layout().DataBase, s.Layout().HeapBase, s.Layout().StackBase, cfg.ASLR)
+	fmt.Printf("  checkpoints: every %d ms, keeping %d\n\n", cfg.CheckpointIntervalMs, cfg.MaxCheckpoints)
+
+	for i := 0; i < *benign; i++ {
+		s.Submit(exploit.Benign(spec.Name, i), "client", false)
+	}
+	for v := 0; v < *variants; v++ {
+		payload, err := exploit.ExploitVariant(spec, v)
+		if err != nil {
+			log.Fatalf("sweeperd: building exploit: %v", err)
+		}
+		accepted := s.Submit(payload, "worm", true)
+		fmt.Printf("worm: exploit variant %d submitted (%d bytes), accepted by proxy: %v\n", v, len(payload), accepted)
+	}
+	for i := 0; i < *benign; i++ {
+		s.Submit(exploit.Benign(spec.Name, 1000+i), "client", false)
+	}
+
+	res, err := s.ServeAll()
+	if err != nil {
+		log.Fatalf("sweeperd: %v", err)
+	}
+
+	fmt.Printf("\nserved %d requests, handled %d attack(s), server halted: %v\n",
+		res.RequestsServed, res.AttacksHandled, res.Halted)
+	stats := s.Proxy().Stats()
+	fmt.Printf("proxy: %d submitted, %d filtered by input signatures, %d delivered\n\n",
+		stats.Submitted, stats.Filtered, stats.Delivered)
+
+	for _, r := range s.Attacks() {
+		fmt.Printf("=== attack %d (virtual t=%d ms) ===\n", r.Seq, r.DetectedAtMs)
+		fmt.Printf("detected : %s\n", r.Detection.Reason)
+		fmt.Printf("#1 memory state  (%v): %s\n", r.Steps[0].Duration.Round(10_000), r.CoreDump.Summary())
+		if r.InitialAntibody != nil && len(r.InitialAntibody.VSEFs) > 0 {
+			fmt.Printf("   initial VSEF after %v: %s\n", r.TimeToFirstVSEF.Round(10_000), r.InitialAntibody.VSEFs[0])
+		}
+		if len(r.MemBugFindings) > 0 {
+			fmt.Printf("#2 memory bug    : %s\n", r.MemBugFindings[0].Summary())
+		} else {
+			fmt.Printf("#2 memory bug    : no memory bug detected\n")
+		}
+		if r.RefinedAntibody != nil {
+			fmt.Printf("   refined VSEF after %v: %s\n", r.TimeToBestVSEF.Round(10_000), r.RefinedAntibody.VSEFs[len(r.RefinedAntibody.VSEFs)-1])
+		}
+		if r.CulpritRequestID >= 0 {
+			method := "taint analysis"
+			if r.IsolationUsed {
+				method = "request isolation"
+			}
+			fmt.Printf("#3 input/taint   : exploit input = request %d (%d bytes) via %s\n",
+				r.CulpritRequestID, len(r.CulpritPayload), method)
+		} else {
+			fmt.Printf("#3 input/taint   : exploit input not identified\n")
+		}
+		fmt.Printf("#4 slicing       : %d dynamic instructions, consistent=%v\n", r.SliceNodes, r.SliceConsistent)
+		fmt.Printf("analysis times   : first VSEF %v, best VSEF %v, initial %v, total %v\n",
+			r.TimeToFirstVSEF.Round(10_000), r.TimeToBestVSEF.Round(10_000),
+			r.InitialAnalysisTime.Round(10_000), r.TotalAnalysisTime.Round(10_000))
+		fmt.Printf("recovery         : ok=%v in %v wall / %d ms virtual (diverged=%v)\n",
+			r.Recovered, r.RecoveryTime.Round(10_000), r.RecoveryVirtualMs, r.RecoveryDiverged)
+		if *showAntibody && r.FinalAntibody != nil {
+			data, err := r.FinalAntibody.Marshal()
+			if err == nil {
+				fmt.Printf("final antibody   : %s\n", data)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("antibodies generated: %d\n", len(s.Antibodies()))
+	for _, a := range s.Antibodies() {
+		fmt.Printf("  %s\n", a)
+	}
+}

@@ -1,0 +1,97 @@
+// Apache stack-smash walkthrough: shows what the CVE-2003-0542-style stack
+// smashing exploit does to an unprotected Apache guest (control-flow hijack,
+// "OWNED"), how address-space randomisation turns the hijack into a
+// detectable fault, and how Sweeper's analysis pipeline refines the initial
+// return-address VSEF into a bounds check on the overflowing store in
+// lmatcher — exactly the progression described in the paper's Table 2.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sweeper/internal/apps"
+	"sweeper/internal/core"
+	"sweeper/internal/exploit"
+	"sweeper/internal/netproxy"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+func main() {
+	log.SetFlags(0)
+	spec, err := apps.ByName("apache1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload, err := exploit.Apache1ExploitDefault(spec.Image)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: the unprotected server at the attacker-assumed layout.
+	fmt.Println("== unprotected apache-1.3.27, default address-space layout ==")
+	proxy := netproxy.New()
+	proxy.Submit([]byte("GET /index.html HTTP/1.0\r\n\r\n"), "client", false)
+	proxy.Submit(payload, "worm", true)
+	victim, err := proc.New(spec.Name, spec.Image, vm.DefaultLayout(), proxy, spec.Options)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stop := victim.Run(0)
+	owned := false
+	for _, out := range victim.Outputs() {
+		if bytes.Contains(out.Data, []byte("OWNED")) {
+			owned = true
+		}
+	}
+	fmt.Printf("   server stopped with %v; control-flow hijacked: %v\n\n", stop.Reason, owned)
+
+	// Part 2: the same exploit against a Sweeper-protected server.
+	fmt.Println("== the same exploit against a Sweeper-protected server ==")
+	sw, err := core.New(spec.Name, spec.Image, spec.Options, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sw.Submit(exploit.Benign("apache1", i), "client", false)
+	}
+	sw.Submit(payload, "worm", true)
+	for i := 10; i < 20; i++ {
+		sw.Submit(exploit.Benign("apache1", i), "client", false)
+	}
+	if _, err := sw.ServeAll(); err != nil {
+		log.Fatal(err)
+	}
+	r := sw.Attacks()[0]
+	fmt.Printf("   lightweight monitor : %s\n", r.Detection.Reason)
+	fmt.Printf("   memory-state step   : %s\n", r.CoreDump.Summary())
+	if len(r.InitialAntibody.VSEFs) > 0 {
+		fmt.Printf("   initial VSEF        : %s (after %v)\n", r.InitialAntibody.VSEFs[0], r.TimeToFirstVSEF)
+	}
+	if len(r.MemBugFindings) > 0 {
+		fmt.Printf("   memory-bug step     : %s\n", r.MemBugFindings[0].Summary())
+	}
+	if r.RefinedAntibody != nil {
+		last := r.RefinedAntibody.VSEFs[len(r.RefinedAntibody.VSEFs)-1]
+		fmt.Printf("   refined VSEF        : %s (after %v)\n", last, r.TimeToBestVSEF)
+	}
+	fmt.Printf("   exploit input       : request #%d identified\n", r.CulpritRequestID)
+	fmt.Printf("   slicing             : %d dynamic instructions, consistent=%v\n", r.SliceNodes, r.SliceConsistent)
+	fmt.Printf("   recovered           : %v; server still answering: %v\n", r.Recovered, !sw.Halted())
+
+	// Part 3: a polymorphic variant (different padding, same vulnerability)
+	// gets past the exact input signature but is stopped by the VSEF.
+	variant, err := exploit.Apache1ExploitVariant(spec.Image, vm.DefaultLayout(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== polymorphic variant against the inoculated server ==")
+	accepted := sw.Submit(variant, "worm", true)
+	fmt.Printf("   passed the input filter: %v (it is a different byte string)\n", accepted)
+	if _, err := sw.ServeAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   attacks handled so far: %d; server still up: %v\n", len(sw.Attacks()), !sw.Halted())
+}

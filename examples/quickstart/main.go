@@ -1,0 +1,74 @@
+// Quickstart: protect the Squid guest server with Sweeper, let a worm hit it
+// with the CVE-2002-0068 heap-overflow exploit, and watch Sweeper detect the
+// attack, analyse it by rollback-and-replay, generate antibodies and recover
+// without restarting the service.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sweeper/internal/apps"
+	"sweeper/internal/core"
+	"sweeper/internal/exploit"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Pick the application to protect and build a Sweeper around it.
+	spec, err := apps.ByName("squid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := core.New(spec.Name, spec.Image, spec.Options, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protecting %s (%s)\n", spec.Program, spec.CVE)
+
+	// 2. Normal traffic flows through the proxy.
+	for i := 0; i < 25; i++ {
+		sw.Submit(exploit.Benign("squid", i), "client", false)
+	}
+
+	// 3. A worm sends the exploit...
+	payload, err := exploit.Exploit(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw.Submit(payload, "worm", true)
+
+	// ...while normal traffic keeps arriving.
+	for i := 25; i < 50; i++ {
+		sw.Submit(exploit.Benign("squid", i), "client", false)
+	}
+
+	// 4. Serve everything. Sweeper detects the exploit, analyses it and
+	// recovers; the benign requests are all answered.
+	res, err := sw.ServeAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d requests, attacks handled: %d, server still up: %v\n",
+		res.RequestsServed, res.AttacksHandled, !sw.Halted())
+
+	report := sw.Attacks()[0]
+	fmt.Printf("\ndetected   : %s\n", report.Detection.Reason)
+	fmt.Printf("analysis   : %s\n", report.CoreDump.Summary())
+	fmt.Printf("exploit in : request #%d (%d bytes)\n", report.CulpritRequestID, len(report.CulpritPayload))
+	fmt.Printf("first VSEF : %v after detection\n", report.TimeToFirstVSEF)
+	fmt.Printf("recovered  : %v (%d virtual ms of service gap)\n", report.Recovered, report.RecoveryVirtualMs)
+
+	fmt.Println("\nantibodies generated:")
+	for _, ab := range sw.Antibodies() {
+		fmt.Printf("  %s\n", ab)
+	}
+
+	// 5. The same exploit arrives again: the input-signature antibody drops
+	// it at the proxy before it ever reaches the server.
+	if sw.Submit(payload, "worm", true) {
+		log.Fatal("the repeated exploit should have been filtered")
+	}
+	fmt.Println("\nrepeated exploit was filtered by the input signature — the host is immune")
+}

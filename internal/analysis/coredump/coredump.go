@@ -1,0 +1,234 @@
+// Package coredump implements Sweeper's memory-state analysis: the first,
+// fastest analysis step, which inspects the faulted process image (registers,
+// stack, heap metadata) without any re-execution. It classifies the failure
+// and yields the initial VSEF within milliseconds of detection.
+package coredump
+
+import (
+	"fmt"
+	"strings"
+
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// Class is the memory-state analyzer's classification of the failure.
+type Class uint8
+
+// Failure classes.
+const (
+	ClassUnknown Class = iota
+	ClassStackSmash
+	ClassControlHijack
+	ClassNullDeref
+	ClassHeapOverflow
+	ClassDoubleFree
+	ClassHeapCorruption
+)
+
+var classNames = [...]string{
+	ClassUnknown:        "unknown",
+	ClassStackSmash:     "stack smashing",
+	ClassControlHijack:  "control-flow hijack",
+	ClassNullDeref:      "NULL pointer dereference",
+	ClassHeapOverflow:   "heap buffer overflow",
+	ClassDoubleFree:     "double free",
+	ClassHeapCorruption: "heap corruption",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class?%d", uint8(c))
+}
+
+// Report is the result of memory-state analysis.
+type Report struct {
+	Class Class
+
+	// FaultPC/FaultSym locate the instruction at which the lightweight
+	// monitor tripped.
+	FaultPC   int
+	FaultAddr uint32
+	FaultSym  string
+	IsWrite   bool
+
+	// CallerPC/CallerSym give the calling context of the faulting function
+	// when it can be recovered from the stack (e.g. strcat's caller).
+	CallerPC  int
+	CallerSym string
+
+	StackConsistent bool
+	StackDepth      int
+	HeapConsistent  bool
+	HeapDetail      string
+	CorruptChunk    uint32
+	NullDeref       bool
+
+	Detail string
+}
+
+// Summary returns a one-line description suitable for Table 2.
+func (r *Report) Summary() string {
+	parts := []string{fmt.Sprintf("Crash at @%d (%s)", r.FaultPC, r.FaultSym)}
+	if r.NullDeref {
+		parts = append(parts, "accessing NULL pointer")
+	}
+	if !r.HeapConsistent {
+		parts = append(parts, "heap inconsistent")
+	}
+	if !r.StackConsistent {
+		parts = append(parts, "stack inconsistent")
+	}
+	if r.CallerPC >= 0 {
+		parts = append(parts, fmt.Sprintf("called by @%d (%s)", r.CallerPC, r.CallerSym))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Analyze performs memory-state analysis of a stopped (faulted) process.
+// It does not roll back or re-execute anything: it only inspects the image,
+// which is why it completes in a few milliseconds.
+func Analyze(p *proc.Process, stop *vm.StopInfo) *Report {
+	m := p.Machine
+	r := &Report{CallerPC: -1, StackConsistent: true, HeapConsistent: true}
+
+	switch {
+	case stop.Fault != nil:
+		f := stop.Fault
+		r.FaultPC = f.PC
+		r.FaultAddr = f.Addr
+		r.FaultSym = f.Sym
+		r.IsWrite = f.IsWrite
+		r.Detail = f.Detail
+	case stop.Violation != nil:
+		v := stop.Violation
+		r.FaultPC = v.PC
+		r.FaultAddr = v.Addr
+		r.FaultSym = v.Sym
+		r.Detail = v.Detail
+	default:
+		r.FaultPC = m.PC
+		r.FaultSym = m.SymbolAt(m.PC)
+		r.Detail = "no fault information"
+	}
+
+	// Recover the calling context: prefer the word at SP (valid for leaf
+	// library routines like strcat and the syscall wrappers), falling back to
+	// the saved return address in the current frame.
+	if callerIdx, ok := returnSiteFrom(m, m.Regs[vm.SP]); ok {
+		r.CallerPC = callerIdx
+		r.CallerSym = m.SymbolAt(callerIdx)
+	} else if callerIdx, ok := returnSiteFrom(m, m.Regs[vm.BP]+4); ok {
+		r.CallerPC = callerIdx
+		r.CallerSym = m.SymbolAt(callerIdx)
+	}
+
+	// Stack consistency: walk the frame-pointer chain.
+	r.StackConsistent, r.StackDepth = walkStack(m)
+
+	// Heap consistency: walk the allocator's inline metadata.
+	ok, detail, chunk := p.Alloc.CheckConsistency()
+	r.HeapConsistent = ok
+	r.HeapDetail = detail
+	r.CorruptChunk = chunk.Addr
+
+	r.NullDeref = stop.Fault != nil && stop.Fault.Kind == vm.FaultPage && stop.Fault.Addr < vm.PageSize
+
+	r.Class = classify(p, stop, r)
+	return r
+}
+
+// returnSiteFrom reads a stack word and, if it is a valid code address,
+// returns the index of the call instruction that pushed it.
+func returnSiteFrom(m *vm.Machine, slot uint32) (int, bool) {
+	val, ok := m.Mem.ReadWord(slot)
+	if !ok {
+		return 0, false
+	}
+	idx, ok := m.IndexOfAddr(val)
+	if !ok || idx == 0 {
+		return 0, false
+	}
+	return idx - 1, true
+}
+
+// walkStack follows the saved-BP chain, checking that every frame's saved
+// return address points into the code segment and that frames ascend.
+func walkStack(m *vm.Machine) (consistent bool, depth int) {
+	layout := m.Layout()
+	stackLo := layout.StackBase
+	stackHi := layout.StackTop()
+	bp := m.Regs[vm.BP]
+	for i := 0; i < 64; i++ {
+		if bp == stackHi {
+			return true, depth // reached the initial frame
+		}
+		if bp < stackLo || bp >= stackHi {
+			return false, depth
+		}
+		savedBP, ok1 := m.Mem.ReadWord(bp)
+		retAddr, ok2 := m.Mem.ReadWord(bp + 4)
+		if !ok1 || !ok2 {
+			return false, depth
+		}
+		if _, ok := m.IndexOfAddr(retAddr); !ok {
+			return false, depth
+		}
+		if savedBP <= bp {
+			return false, depth
+		}
+		bp = savedBP
+		depth++
+	}
+	return false, depth
+}
+
+func classify(p *proc.Process, stop *vm.StopInfo, r *Report) Class {
+	if stop.Violation != nil {
+		switch stop.Violation.Kind {
+		case vm.ViolationStackSmash, vm.ViolationReturnAddress, vm.ViolationCanary:
+			return ClassStackSmash
+		case vm.ViolationHeapOverflow, vm.ViolationBoundsCheck:
+			return ClassHeapOverflow
+		case vm.ViolationDoubleFree:
+			return ClassDoubleFree
+		case vm.ViolationNullDeref:
+			return ClassNullDeref
+		case vm.ViolationTaintedControl:
+			return ClassControlHijack
+		}
+		return ClassUnknown
+	}
+	f := stop.Fault
+	if f == nil {
+		return ClassUnknown
+	}
+	m := p.Machine
+	switch f.Kind {
+	case vm.FaultBadPC:
+		if m.InstrAt(f.PC).Op == vm.OpRet {
+			return ClassStackSmash
+		}
+		return ClassControlHijack
+	case vm.FaultPage:
+		if f.Addr < vm.PageSize {
+			return ClassNullDeref
+		}
+		if f.IsWrite && p.Alloc.InHeapRegion(f.Addr) {
+			return ClassHeapOverflow
+		}
+		if f.IsWrite && !r.HeapConsistent {
+			return ClassHeapOverflow
+		}
+		return ClassUnknown
+	case vm.FaultHeapCorruption:
+		if strings.Contains(f.Detail, "double free") {
+			return ClassDoubleFree
+		}
+		return ClassHeapCorruption
+	}
+	return ClassUnknown
+}

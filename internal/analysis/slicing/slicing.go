@@ -1,0 +1,336 @@
+// Package slicing implements dynamic backward slicing: during replay it
+// records, for every executed instruction, the dynamic instructions whose
+// results it consumed (through registers, memory, condition flags and —
+// optionally — control flow). A backward slice from the failure point is the
+// set of instructions that influenced it; the paper uses it as a sanity check
+// on the other analysis tools (anything they blame must be in the slice) and
+// as the most thorough, most expensive analysis step.
+package slicing
+
+import (
+	"fmt"
+	"sort"
+
+	"sweeper/internal/vm"
+)
+
+// Node is one dynamic instruction instance.
+type Node struct {
+	Seq      int   // execution order
+	InstrIdx int   // static instruction index
+	Deps     []int // sequence numbers of the dynamic instructions it depends on
+}
+
+// Options configure the slicer.
+type Options struct {
+	// IncludeControlDeps adds a dependence from every instruction to the most
+	// recently executed branch, approximating control dependence (this is
+	// what makes slices complete — and expensive).
+	IncludeControlDeps bool
+	// MaxNodes bounds the recorded execution to protect the host against
+	// runaway replays; 0 means the default.
+	MaxNodes int
+}
+
+// DefaultMaxNodes bounds the recorded dynamic instruction count.
+const DefaultMaxNodes = 2_000_000
+
+// Slicer is the dynamic-slicing tool; attach it with vm.Machine.AttachTool
+// before replaying from a checkpoint.
+type Slicer struct {
+	opts Options
+
+	nodes []Node
+
+	lastRegWriter   [vm.NumRegs]int
+	lastMemWriter   map[uint32]int
+	lastFlagsWriter int
+	lastBranch      int
+
+	truncated bool
+}
+
+// New returns an empty slicer.
+func New(opts Options) *Slicer {
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = DefaultMaxNodes
+	}
+	s := &Slicer{
+		opts:            opts,
+		lastMemWriter:   make(map[uint32]int),
+		lastFlagsWriter: -1,
+		lastBranch:      -1,
+	}
+	for i := range s.lastRegWriter {
+		s.lastRegWriter[i] = -1
+	}
+	return s
+}
+
+// Name implements vm.Tool.
+func (s *Slicer) Name() string { return "analysis.slicing" }
+
+// NodeCount returns the number of dynamic instructions recorded.
+func (s *Slicer) NodeCount() int { return len(s.nodes) }
+
+// Truncated reports whether recording stopped because MaxNodes was reached.
+func (s *Slicer) Truncated() bool { return s.truncated }
+
+// Nodes returns the recorded dynamic instructions (for tests and reports).
+func (s *Slicer) Nodes() []Node { return s.nodes }
+
+// BeforeInstr implements vm.InstrHook: it records the dynamic instruction and
+// its dependences. Effective addresses are computed from the pre-execution
+// register state.
+func (s *Slicer) BeforeInstr(m *vm.Machine, idx int, in vm.Instr) {
+	if len(s.nodes) >= s.opts.MaxNodes {
+		s.truncated = true
+		return
+	}
+	seq := len(s.nodes)
+	node := Node{Seq: seq, InstrIdx: idx}
+
+	addDep := func(d int) {
+		if d >= 0 {
+			node.Deps = append(node.Deps, d)
+		}
+	}
+	depReg := func(r vm.Reg) {
+		if r < vm.NumRegs {
+			addDep(s.lastRegWriter[r])
+		}
+	}
+	depMem := func(addr uint32, size int) {
+		for i := 0; i < size; i++ {
+			if w, ok := s.lastMemWriter[addr+uint32(i)]; ok {
+				addDep(w)
+			}
+		}
+	}
+	writeReg := func(r vm.Reg) {
+		if r < vm.NumRegs {
+			s.lastRegWriter[r] = seq
+		}
+	}
+	writeMem := func(addr uint32, size int) {
+		for i := 0; i < size; i++ {
+			s.lastMemWriter[addr+uint32(i)] = seq
+		}
+	}
+
+	if s.opts.IncludeControlDeps {
+		addDep(s.lastBranch)
+	}
+
+	switch in.Op {
+	case vm.OpNop, vm.OpHalt:
+
+	case vm.OpMovI:
+		writeReg(in.Rd)
+	case vm.OpMov, vm.OpLea:
+		depReg(in.Rs)
+		writeReg(in.Rd)
+
+	case vm.OpLoadB, vm.OpLoadW:
+		size := 4
+		if in.Op == vm.OpLoadB {
+			size = 1
+		}
+		depReg(in.Rs)
+		depMem(m.Regs[in.Rs]+uint32(in.Imm), size)
+		writeReg(in.Rd)
+
+	case vm.OpStoreB, vm.OpStoreW:
+		size := 4
+		if in.Op == vm.OpStoreB {
+			size = 1
+		}
+		depReg(in.Rd)
+		depReg(in.Rs)
+		writeMem(m.Regs[in.Rd]+uint32(in.Imm), size)
+
+	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMod, vm.OpAnd, vm.OpOr, vm.OpXor, vm.OpShl, vm.OpShr:
+		depReg(in.Rd)
+		depReg(in.Rs)
+		writeReg(in.Rd)
+	case vm.OpAddI, vm.OpSubI, vm.OpMulI, vm.OpDivI, vm.OpModI, vm.OpAndI, vm.OpOrI, vm.OpXorI, vm.OpShlI, vm.OpShrI:
+		depReg(in.Rd)
+		writeReg(in.Rd)
+
+	case vm.OpCmp:
+		depReg(in.Rd)
+		depReg(in.Rs)
+		s.lastFlagsWriter = seq
+	case vm.OpCmpI:
+		depReg(in.Rd)
+		s.lastFlagsWriter = seq
+
+	case vm.OpJmp:
+		s.lastBranch = seq
+	case vm.OpJz, vm.OpJnz, vm.OpJlt, vm.OpJle, vm.OpJgt, vm.OpJge:
+		addDep(s.lastFlagsWriter)
+		s.lastBranch = seq
+	case vm.OpJmpReg:
+		depReg(in.Rd)
+		s.lastBranch = seq
+
+	case vm.OpCall:
+		writeMem(m.Regs[vm.SP]-4, 4)
+		writeReg(vm.SP)
+		s.lastBranch = seq
+	case vm.OpCallReg:
+		depReg(in.Rd)
+		writeMem(m.Regs[vm.SP]-4, 4)
+		writeReg(vm.SP)
+		s.lastBranch = seq
+	case vm.OpRet:
+		depReg(vm.SP)
+		depMem(m.Regs[vm.SP], 4)
+		writeReg(vm.SP)
+		s.lastBranch = seq
+
+	case vm.OpPush:
+		depReg(in.Rd)
+		depReg(vm.SP)
+		writeMem(m.Regs[vm.SP]-4, 4)
+		writeReg(vm.SP)
+	case vm.OpPushI:
+		depReg(vm.SP)
+		writeMem(m.Regs[vm.SP]-4, 4)
+		writeReg(vm.SP)
+	case vm.OpPop:
+		depReg(vm.SP)
+		depMem(m.Regs[vm.SP], 4)
+		writeReg(in.Rd)
+		writeReg(vm.SP)
+
+	case vm.OpSyscall:
+		// Syscalls read the argument registers and write R0; their memory
+		// effects (recv buffers) are treated as fresh definitions by the
+		// InputHook path of other tools, so here only register flow is kept.
+		depReg(vm.R0)
+		depReg(vm.R1)
+		depReg(vm.R2)
+		depReg(vm.R3)
+		writeReg(vm.R0)
+	}
+
+	s.nodes = append(s.nodes, node)
+}
+
+// Slice is the result of a backward (or forward) slice computation.
+type Slice struct {
+	// FromSeq is the dynamic instruction the slice was computed from.
+	FromSeq int
+	// NodeSeqs are the dynamic instructions in the slice.
+	NodeSeqs []int
+	// InstrSet is the set of static instruction indices covered by the slice.
+	InstrSet map[int]bool
+}
+
+// Contains reports whether the static instruction idx is in the slice.
+func (sl *Slice) Contains(idx int) bool { return sl.InstrSet[idx] }
+
+// Instrs returns the sorted static instruction indices in the slice.
+func (sl *Slice) Instrs() []int {
+	out := make([]int, 0, len(sl.InstrSet))
+	for idx := range sl.InstrSet {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Size returns the number of dynamic instructions in the slice.
+func (sl *Slice) Size() int { return len(sl.NodeSeqs) }
+
+// BackwardSlice computes the backward slice from the dynamic instruction with
+// the given sequence number.
+func (s *Slicer) BackwardSlice(fromSeq int) (*Slice, error) {
+	if fromSeq < 0 || fromSeq >= len(s.nodes) {
+		return nil, fmt.Errorf("slicing: sequence %d out of range (have %d nodes)", fromSeq, len(s.nodes))
+	}
+	visited := make(map[int]bool)
+	queue := []int{fromSeq}
+	visited[fromSeq] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range s.nodes[cur].Deps {
+			if !visited[d] {
+				visited[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return s.buildSlice(fromSeq, visited), nil
+}
+
+// BackwardSliceFromLast computes the backward slice from the most recently
+// recorded dynamic instruction (normally the faulting one).
+func (s *Slicer) BackwardSliceFromLast() (*Slice, error) {
+	return s.BackwardSlice(len(s.nodes) - 1)
+}
+
+// LastSeqOf returns the sequence number of the most recent dynamic instance
+// of the given static instruction, or -1.
+func (s *Slicer) LastSeqOf(instrIdx int) int {
+	for i := len(s.nodes) - 1; i >= 0; i-- {
+		if s.nodes[i].InstrIdx == instrIdx {
+			return i
+		}
+	}
+	return -1
+}
+
+// ForwardSlice computes the set of dynamic instructions influenced by the
+// given dynamic instruction (the paper mentions this as a possible use of the
+// same dependence tree).
+func (s *Slicer) ForwardSlice(fromSeq int) (*Slice, error) {
+	if fromSeq < 0 || fromSeq >= len(s.nodes) {
+		return nil, fmt.Errorf("slicing: sequence %d out of range (have %d nodes)", fromSeq, len(s.nodes))
+	}
+	// Build forward adjacency.
+	succ := make(map[int][]int)
+	for _, n := range s.nodes {
+		for _, d := range n.Deps {
+			succ[d] = append(succ[d], n.Seq)
+		}
+	}
+	visited := map[int]bool{fromSeq: true}
+	queue := []int{fromSeq}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nxt := range succ[cur] {
+			if !visited[nxt] {
+				visited[nxt] = true
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	return s.buildSlice(fromSeq, visited), nil
+}
+
+func (s *Slicer) buildSlice(fromSeq int, visited map[int]bool) *Slice {
+	sl := &Slice{FromSeq: fromSeq, InstrSet: make(map[int]bool)}
+	for seq := range visited {
+		sl.NodeSeqs = append(sl.NodeSeqs, seq)
+		sl.InstrSet[s.nodes[seq].InstrIdx] = true
+	}
+	sort.Ints(sl.NodeSeqs)
+	return sl
+}
+
+// Verify checks whether every given static instruction is contained in the
+// slice; it returns the ones that are not. The paper uses exactly this check:
+// "if they identify an issue which is not in the slice, then they are
+// incorrect".
+func (sl *Slice) Verify(instrs ...int) (missing []int) {
+	for _, idx := range instrs {
+		if idx >= 0 && !sl.Contains(idx) {
+			missing = append(missing, idx)
+		}
+	}
+	return missing
+}

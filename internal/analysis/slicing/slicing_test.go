@@ -1,0 +1,220 @@
+package slicing_test
+
+import (
+	"testing"
+
+	"sweeper/internal/analysis/slicing"
+	"sweeper/internal/apps"
+	"sweeper/internal/asm"
+	"sweeper/internal/exploit"
+	"sweeper/internal/netproxy"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// runSliced runs a small standalone program under the slicer.
+func runSliced(t *testing.T, opts slicing.Options, build func(b *asm.Builder)) (*slicing.Slicer, *vm.Machine) {
+	t.Helper()
+	b := asm.New("sliced")
+	build(b)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.NewMachine(prog, vm.DefaultLayout(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := slicing.New(opts)
+	m.AttachTool(sl)
+	m.Run(100_000)
+	return sl, m
+}
+
+func TestBackwardSliceDataDependences(t *testing.T) {
+	// r1 = 3       (idx 0)  <- in slice
+	// r2 = 4       (idx 1)  <- NOT in slice (never used by r3's chain)
+	// r3 = r1      (idx 2)  <- in slice
+	// r3 += r1     (idx 3)  <- in slice
+	// r4 = r2      (idx 4)  <- not in slice
+	// halt         (idx 5)
+	sl, _ := runSliced(t, slicing.Options{}, func(b *asm.Builder) {
+		b.Func("main")
+		b.MovI(vm.R1, 3)
+		b.MovI(vm.R2, 4)
+		b.Mov(vm.R3, vm.R1)
+		b.Add(vm.R3, vm.R1)
+		b.Mov(vm.R4, vm.R2)
+		b.Halt()
+	})
+	if sl.NodeCount() != 5 { // halt is recorded too? Halt stops before being recorded... it is recorded in BeforeInstr.
+		// Both 5 and 6 are acceptable depending on whether halt is recorded;
+		// assert at least the data instructions are present.
+		if sl.NodeCount() < 5 {
+			t.Fatalf("node count = %d", sl.NodeCount())
+		}
+	}
+	seq := sl.LastSeqOf(3) // the add
+	slice, err := sl.BackwardSlice(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slice.Contains(0) || !slice.Contains(2) || !slice.Contains(3) {
+		t.Errorf("slice %v missing data dependences", slice.Instrs())
+	}
+	if slice.Contains(1) || slice.Contains(4) {
+		t.Errorf("slice %v contains unrelated instructions", slice.Instrs())
+	}
+	if missing := slice.Verify(0, 2, 3); len(missing) != 0 {
+		t.Errorf("Verify reported %v as missing", missing)
+	}
+	if missing := slice.Verify(1); len(missing) != 1 {
+		t.Error("Verify should flag instruction 1 as outside the slice")
+	}
+}
+
+func TestBackwardSliceThroughMemory(t *testing.T) {
+	// The value flows through a store/load pair on the stack.
+	sl, _ := runSliced(t, slicing.Options{}, func(b *asm.Builder) {
+		b.Func("main")
+		b.MovI(vm.R1, 42)     // 0: source
+		b.Push(vm.R1)         // 1: store to stack
+		b.MovI(vm.R1, 0)      // 2: clobber the register (not a dependence of the load)
+		b.Pop(vm.R2)          // 3: load back
+		b.Mov(vm.R3, vm.R2)   // 4: sink
+		b.Halt()
+	})
+	slice, err := sl.BackwardSlice(sl.LastSeqOf(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int{0, 1, 3, 4} {
+		if !slice.Contains(want) {
+			t.Errorf("slice missing instruction %d: %v", want, slice.Instrs())
+		}
+	}
+}
+
+func TestControlDependenceCapturedWhenEnabled(t *testing.T) {
+	build := func(b *asm.Builder) {
+		b.Func("main")
+		b.MovI(vm.R1, 0)  // 0
+		b.CmpI(vm.R1, 0)  // 1
+		b.Jnz("skip")     // 2
+		b.MovI(vm.R2, 7)  // 3: executed because the branch fell through
+		b.Label("skip")
+		b.Mov(vm.R3, vm.R2) // 4: sink
+		b.Halt()
+	}
+	with, _ := runSliced(t, slicing.Options{IncludeControlDeps: true}, build)
+	slice, err := with.BackwardSlice(with.LastSeqOf(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slice.Contains(2) || !slice.Contains(1) {
+		t.Errorf("control dependences missing from slice %v", slice.Instrs())
+	}
+
+	without, _ := runSliced(t, slicing.Options{IncludeControlDeps: false}, build)
+	slice2, _ := without.BackwardSlice(without.LastSeqOf(4))
+	if slice2.Contains(2) {
+		t.Errorf("pure data slice should not include the branch: %v", slice2.Instrs())
+	}
+	if slice2.Size() > slice.Size() {
+		t.Error("control-dependence slices must be at least as large as data slices")
+	}
+}
+
+func TestForwardSlice(t *testing.T) {
+	sl, _ := runSliced(t, slicing.Options{}, func(b *asm.Builder) {
+		b.Func("main")
+		b.MovI(vm.R1, 1)    // 0
+		b.Mov(vm.R2, vm.R1) // 1: influenced by 0
+		b.MovI(vm.R3, 9)    // 2: independent
+		b.Add(vm.R2, vm.R3) // 3: influenced by 0 (through r2) and 2
+		b.Halt()
+	})
+	fwd, err := sl.ForwardSlice(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fwd.Contains(1) || !fwd.Contains(3) {
+		t.Errorf("forward slice %v missing influenced instructions", fwd.Instrs())
+	}
+	if fwd.Contains(2) {
+		t.Errorf("forward slice %v contains independent instruction", fwd.Instrs())
+	}
+}
+
+func TestSliceErrorsAndTruncation(t *testing.T) {
+	sl, _ := runSliced(t, slicing.Options{MaxNodes: 3}, func(b *asm.Builder) {
+		b.Func("main")
+		for i := 0; i < 10; i++ {
+			b.Nop()
+		}
+		b.Halt()
+	})
+	if !sl.Truncated() {
+		t.Error("recording should have hit MaxNodes")
+	}
+	if sl.NodeCount() != 3 {
+		t.Errorf("node count = %d, want 3", sl.NodeCount())
+	}
+	if _, err := sl.BackwardSlice(999); err == nil {
+		t.Error("out-of-range slice should error")
+	}
+	if _, err := sl.ForwardSlice(-1); err == nil {
+		t.Error("negative forward slice should error")
+	}
+	if sl.LastSeqOf(9999) != -1 {
+		t.Error("LastSeqOf for never-executed instruction should be -1")
+	}
+}
+
+// TestSliceVerifiesSweeperFindings mirrors the paper's use of slicing as a
+// sanity check: for the apache1 exploit, the instructions blamed by the other
+// tools (the overflowing store in lmatcher and the faulting return) must be
+// inside the backward slice from the failure.
+func TestSliceVerifiesSweeperFindings(t *testing.T) {
+	spec, err := apps.ByName("apache1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := exploit.Exploit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := netproxy.New()
+	proxy.Submit(exploit.Benign("apache1", 0), "client", false)
+	p, err := proc.New(spec.Name, spec.Image, vm.DefaultLayout(), proxy, spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop := p.Run(0); stop.Reason != vm.StopWaitInput {
+		t.Fatal("warm-up failed")
+	}
+	snap := p.Snapshot(1)
+	proxy.Submit(payload, "worm", true)
+	stop := p.Run(0)
+	if stop.Reason != vm.StopHalt && stop.Reason != vm.StopFault {
+		t.Fatalf("exploit outcome unexpected: %v", stop.Reason)
+	}
+
+	p.Rollback(snap, proc.ModeReplay, false)
+	sl := slicing.New(slicing.Options{IncludeControlDeps: true})
+	p.Machine.AttachTool(sl)
+	p.Run(0)
+	p.Machine.DetachTool(sl.Name())
+
+	slice, err := sl.BackwardSliceFromLast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smashingStore := spec.Image.Symbols["lmatcher.store"]
+	if missing := slice.Verify(smashingStore); len(missing) != 0 {
+		t.Errorf("the overflowing store is not in the backward slice")
+	}
+	if slice.Size() == 0 || len(slice.Instrs()) == 0 {
+		t.Error("empty slice")
+	}
+}

@@ -1,0 +1,106 @@
+package antibody
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sweeper/internal/netproxy"
+	"sweeper/internal/proc"
+)
+
+// Stage labels how refined an antibody is. Sweeper distributes antibodies
+// piecemeal: the initial one (from memory-state analysis) within tens of
+// milliseconds, refined and final ones as the heavier analyses complete.
+type Stage string
+
+// Antibody stages.
+const (
+	StageInitial Stage = "initial"
+	StageRefined Stage = "refined"
+	StageFinal   Stage = "final"
+)
+
+// Antibody is the shareable unit of defence: VSEFs, input signatures and the
+// exploit-triggering input that lets untrusting hosts verify (or regenerate)
+// the antibodies themselves.
+type Antibody struct {
+	ID      string       `json:"id"`
+	Program string       `json:"program"`
+	Stage   Stage        `json:"stage"`
+	VSEFs   []*VSEF      `json:"vsefs,omitempty"`
+	Sigs    []*Signature `json:"signatures,omitempty"`
+	// ExploitInput is the captured attack request.
+	ExploitInput []byte `json:"exploit_input,omitempty"`
+	// CreatedAtMs is the virtual time at which the antibody became available,
+	// measured from the protected process's clock.
+	CreatedAtMs uint64   `json:"created_at_ms"`
+	Notes       []string `json:"notes,omitempty"`
+}
+
+// String summarises the antibody.
+func (a *Antibody) String() string {
+	return fmt.Sprintf("antibody %s for %s (%s): %d VSEFs, %d signatures",
+		a.ID, a.Program, a.Stage, len(a.VSEFs), len(a.Sigs))
+}
+
+// Marshal encodes the antibody for distribution to other hosts.
+func (a *Antibody) Marshal() ([]byte, error) { return json.Marshal(a) }
+
+// Unmarshal decodes an antibody received from another host.
+func Unmarshal(data []byte) (*Antibody, error) {
+	var a Antibody
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("antibody: decoding: %w", err)
+	}
+	return &a, nil
+}
+
+// Filters returns the antibody's input signatures as proxy filters.
+func (a *Antibody) Filters() []netproxy.Filter {
+	out := make([]netproxy.Filter, 0, len(a.Sigs))
+	for _, s := range a.Sigs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// AppliedAntibody is a handle to an antibody installed on a process and proxy.
+type AppliedAntibody struct {
+	antibody *Antibody
+	vsefs    []*Applied
+	proxy    *netproxy.Proxy
+}
+
+// Remove uninstalls the antibody's VSEF probes and proxy filters.
+func (ap *AppliedAntibody) Remove() {
+	for _, v := range ap.vsefs {
+		v.Remove()
+	}
+	if ap.proxy != nil {
+		for _, s := range ap.antibody.Sigs {
+			ap.proxy.RemoveFilter(s.Name())
+		}
+	}
+}
+
+// Apply installs the antibody's VSEFs on the process and (when a proxy is
+// given) its input signatures on the proxy. By their nature VSEFs cannot be
+// harmful — an incorrect VSEF only adds unnecessary checking — so hosts may
+// apply antibodies before verifying them.
+func (a *Antibody) Apply(p *proc.Process, proxy *netproxy.Proxy) (*AppliedAntibody, error) {
+	ap := &AppliedAntibody{antibody: a, proxy: proxy}
+	for _, v := range a.VSEFs {
+		h, err := v.Apply(p)
+		if err != nil {
+			ap.Remove()
+			return nil, err
+		}
+		ap.vsefs = append(ap.vsefs, h)
+	}
+	if proxy != nil {
+		for _, s := range a.Sigs {
+			proxy.AddFilter(s)
+		}
+	}
+	return ap, nil
+}

@@ -1,0 +1,345 @@
+package antibody_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sweeper/internal/antibody"
+	"sweeper/internal/apps"
+	"sweeper/internal/exploit"
+	"sweeper/internal/netproxy"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// --- signatures ---
+
+func TestExactSignature(t *testing.T) {
+	payload := []byte("Directory \n")
+	sig := antibody.ExactSignature("cvs-sig", payload)
+	if !sig.Match(payload) {
+		t.Error("exact signature must match its own payload")
+	}
+	if sig.Match([]byte("Directory x\n")) || sig.Match(append(payload, 'x')) {
+		t.Error("exact signature must not match different payloads")
+	}
+	if sig.Name() != "cvs-sig" {
+		t.Error("name lost")
+	}
+	// The signature owns its copy of the payload.
+	payload[0] = 'X'
+	if !sig.Match([]byte("Directory \n")) {
+		t.Error("signature payload was aliased to the caller's buffer")
+	}
+}
+
+func TestTokenSignatureFromMultipleSamples(t *testing.T) {
+	samples := [][]byte{
+		[]byte("GET /aaaaAAAA\x01\x02\x03 HTTP/1.0"),
+		[]byte("GET /bbbbAAAA\x01\x02\x03zz HTTP/1.0"),
+		[]byte("GET /ccAAAA\x01\x02\x03qqqq HTTP/1.0"),
+	}
+	sig := antibody.TokenSignature("poly", samples, 4)
+	if len(sig.Tokens) == 0 {
+		t.Fatal("no tokens extracted")
+	}
+	for _, s := range samples {
+		if !sig.Match(s) {
+			t.Errorf("signature does not match its own sample %q", s)
+		}
+	}
+	// A fourth variant sharing the invariant parts also matches...
+	if !sig.Match([]byte("GET /ddddddAAAA\x01\x02\x03!! HTTP/1.0")) {
+		t.Error("signature should match a new variant with the invariant content")
+	}
+	// ...but ordinary traffic does not.
+	if sig.Match([]byte("GET /index.html HTTP/1.0")) {
+		t.Error("signature matches benign traffic")
+	}
+	if sig.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestTokenSignatureDegenerateCases(t *testing.T) {
+	if sig := antibody.TokenSignature("empty", nil, 4); sig.Match([]byte("anything")) {
+		t.Error("empty signature must not match")
+	}
+	sig := antibody.TokenSignature("one", [][]byte{[]byte("ABCDEFGH")}, 4)
+	if !sig.Match([]byte("xxABCDEFGHyy")) {
+		t.Error("single-sample token signature should match supersets")
+	}
+}
+
+// TestQuickTokenSignatureAlwaysMatchesSamples: for any pair of samples with a
+// common middle, the generated signature matches both samples.
+func TestQuickTokenSignatureAlwaysMatchesSamples(t *testing.T) {
+	prop := func(prefixA, prefixB, common, suffixA, suffixB []byte) bool {
+		if len(common) < 8 {
+			return true
+		}
+		a := append(append(append([]byte{}, prefixA...), common...), suffixA...)
+		b := append(append(append([]byte{}, prefixB...), common...), suffixB...)
+		sig := antibody.TokenSignature("q", [][]byte{a, b}, 4)
+		if len(sig.Tokens) == 0 {
+			return true // nothing in common long enough — acceptable
+		}
+		return sig.Match(a) && sig.Match(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- antibody bundles ---
+
+func TestAntibodyMarshalRoundTrip(t *testing.T) {
+	a := &antibody.Antibody{
+		ID:      "squid-attack1-final",
+		Program: "squid",
+		Stage:   antibody.StageFinal,
+		VSEFs: []*antibody.VSEF{{
+			Kind: antibody.VSEFHeapBounds, Program: "squid", Name: "v1",
+			InstrIdx: 197, InstrSym: "strcat", CallerIdx: 66,
+		}},
+		Sigs:         []*antibody.Signature{antibody.ExactSignature("s", []byte("ftp://evil"))},
+		ExploitInput: []byte("ftp://evil"),
+		CreatedAtMs:  1234,
+		Notes:        []string{"heap inconsistent"},
+	}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := antibody.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != a.ID || back.Stage != a.Stage || len(back.VSEFs) != 1 || len(back.Sigs) != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.VSEFs[0].InstrIdx != 197 || back.VSEFs[0].CallerIdx != 66 {
+		t.Error("VSEF fields lost")
+	}
+	if !bytes.Equal(back.ExploitInput, a.ExploitInput) {
+		t.Error("exploit input lost")
+	}
+	if !back.Sigs[0].Match([]byte("ftp://evil")) {
+		t.Error("signature no longer matches after the round trip")
+	}
+	if _, err := antibody.Unmarshal([]byte("{broken")); err == nil {
+		t.Error("corrupt antibody should fail to decode")
+	}
+	if a.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+// --- VSEF application on live processes ---
+
+func newProcess(t *testing.T, app string, payloads ...[]byte) (*proc.Process, *netproxy.Proxy, *apps.Spec) {
+	t.Helper()
+	spec, err := apps.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := netproxy.New()
+	for _, pl := range payloads {
+		proxy.Submit(pl, "client", bytes.Contains(pl, []byte("ftp://\\")))
+	}
+	p, err := proc.New(spec.Name, spec.Image, vm.DefaultLayout(), proxy, spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, proxy, spec
+}
+
+func TestHeapBoundsVSEFStopsSquidExploit(t *testing.T) {
+	p, _, spec := newProcess(t, "squid",
+		[]byte("ftp://anonymous@ftp.example.org/file.gz"),
+		exploit.SquidExploit(),
+	)
+	v := &antibody.VSEF{
+		Kind:     antibody.VSEFHeapBounds,
+		Program:  "squid",
+		Name:     "squid-heap-vsef",
+		InstrIdx: spec.VulnIndex(),
+		InstrSym: "strcat",
+		CallerIdx: -1,
+	}
+	applied, err := v.Apply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(0)
+	if stop.Reason != vm.StopViolation || stop.Violation.Kind != vm.ViolationBoundsCheck {
+		t.Fatalf("stop = %v %v, want bounds-check violation", stop.Reason, stop.Violation)
+	}
+	// The benign request was served before the violation.
+	if p.ServedRequests() != 1 {
+		t.Errorf("served = %d", p.ServedRequests())
+	}
+	applied.Remove()
+	if p.Machine.ProbeCount() != 0 {
+		t.Error("Remove left probes installed")
+	}
+}
+
+func TestReturnGuardVSEFStopsApache1HijackAtDefaultLayout(t *testing.T) {
+	spec, _ := apps.ByName("apache1")
+	payload, err := exploit.Apache1ExploitDefault(spec.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, _ := newProcess(t, "apache1", exploit.Apache1Benign(0), payload)
+	v := &antibody.VSEF{
+		Kind:    antibody.VSEFReturnGuard,
+		Program: "apache1",
+		Name:    "apache1-ret-guard",
+		FuncSym: "try_alias_list",
+		CallerIdx: -1,
+	}
+	if _, err := v.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(0)
+	if stop.Reason != vm.StopViolation || stop.Violation.Kind != vm.ViolationReturnAddress {
+		t.Fatalf("stop = %v %v", stop.Reason, stop.Violation)
+	}
+	// Without the guard this exact run would have been hijacked (halt); the
+	// violation means the hijack never executed.
+	for _, out := range p.Outputs() {
+		if bytes.Contains(out.Data, []byte("OWNED")) {
+			t.Fatal("backdoor ran despite the return guard")
+		}
+	}
+}
+
+func TestDoubleFreeVSEFStopsCVSExploit(t *testing.T) {
+	spec, _ := apps.ByName("cvs")
+	p, _, _ := newProcess(t, "cvs", []byte("Directory src/lib\n"), exploit.CVSExploit())
+	v := &antibody.VSEF{
+		Kind:     antibody.VSEFDoubleFree,
+		Program:  "cvs",
+		Name:     "cvs-dfree-guard",
+		InstrIdx: spec.Image.Symbols["dirswitch.second_free"],
+		InstrSym: "dirswitch",
+		CallerIdx: -1,
+	}
+	if _, err := v.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(0)
+	if stop.Reason != vm.StopViolation || stop.Violation.Kind != vm.ViolationDoubleFree {
+		t.Fatalf("stop = %v %v", stop.Reason, stop.Violation)
+	}
+}
+
+func TestNullCheckVSEFStopsApache2Exploit(t *testing.T) {
+	spec, _ := apps.ByName("apache2")
+	p, _, _ := newProcess(t, "apache2", exploit.Apache2Benign(1), exploit.Apache2Exploit())
+	v := &antibody.VSEF{
+		Kind:     antibody.VSEFNullCheck,
+		Program:  "apache2",
+		Name:     "apache2-null-guard",
+		InstrIdx: spec.Image.Symbols["is_ip.load"],
+		InstrSym: "is_ip",
+		CallerIdx: -1,
+	}
+	if _, err := v.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(0)
+	if stop.Reason != vm.StopViolation || stop.Violation.Kind != vm.ViolationNullDeref {
+		t.Fatalf("stop = %v %v", stop.Reason, stop.Violation)
+	}
+}
+
+func TestVSEFsDoNotDisturbBenignTraffic(t *testing.T) {
+	spec, _ := apps.ByName("squid")
+	var benign [][]byte
+	for i := 0; i < 10; i++ {
+		benign = append(benign, exploit.SquidBenign(i))
+	}
+	p, _, _ := newProcess(t, "squid", benign...)
+	v := &antibody.VSEF{
+		Kind: antibody.VSEFHeapBounds, Program: "squid", Name: "g",
+		InstrIdx: spec.VulnIndex(), InstrSym: "strcat", CallerIdx: -1,
+	}
+	if _, err := v.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Run(0)
+	if stop.Reason != vm.StopWaitInput {
+		t.Fatalf("benign traffic under the VSEF stopped with %v (%v)", stop.Reason, stop.Violation)
+	}
+	if p.ServedRequests() != len(benign) {
+		t.Errorf("served %d of %d", p.ServedRequests(), len(benign))
+	}
+	if v.InstrumentedInstrs() != 1 {
+		t.Errorf("heap-bounds VSEF instruments %d instructions, want 1", v.InstrumentedInstrs())
+	}
+}
+
+func TestApplyUnknownVSEFKindFails(t *testing.T) {
+	p, _, _ := newProcess(t, "cvs")
+	v := &antibody.VSEF{Kind: antibody.VSEFKind("bogus"), Name: "x", CallerIdx: -1}
+	if _, err := v.Apply(p); err == nil {
+		t.Error("unknown kind should fail to apply")
+	}
+	rg := &antibody.VSEF{Kind: antibody.VSEFReturnGuard, Name: "y", FuncSym: "no_such_fn", CallerIdx: -1}
+	if _, err := rg.Apply(p); err == nil {
+		t.Error("return guard for a missing function should fail to apply")
+	}
+}
+
+func TestAntibodyApplyInstallsFiltersAndProbes(t *testing.T) {
+	spec, _ := apps.ByName("cvs")
+	p, proxy, _ := newProcess(t, "cvs")
+	a := &antibody.Antibody{
+		ID: "cvs-final", Program: "cvs", Stage: antibody.StageFinal,
+		VSEFs: []*antibody.VSEF{{
+			Kind: antibody.VSEFDoubleFree, Program: "cvs", Name: "g",
+			InstrIdx: spec.Image.Symbols["dirswitch.second_free"], CallerIdx: -1,
+		}},
+		Sigs: []*antibody.Signature{antibody.ExactSignature("cvs-sig", exploit.CVSExploit())},
+	}
+	applied, err := a.Apply(p, proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine.ProbeCount() == 0 {
+		t.Error("no probes installed")
+	}
+	if len(proxy.Filters()) != 1 {
+		t.Error("no filter installed")
+	}
+	if _, ok := proxy.Submit(exploit.CVSExploit(), "worm", true); ok {
+		t.Error("filter did not drop the exploit")
+	}
+	applied.Remove()
+	if p.Machine.ProbeCount() != 0 || len(proxy.Filters()) != 0 {
+		t.Error("Remove did not clean up")
+	}
+	if len(a.Filters()) != 1 {
+		t.Error("Filters() accessor wrong")
+	}
+}
+
+func TestVSEFStringAndInstrumentedInstrs(t *testing.T) {
+	kinds := []*antibody.VSEF{
+		{Kind: antibody.VSEFReturnGuard, FuncSym: "f", CallerIdx: -1},
+		{Kind: antibody.VSEFHeapBounds, InstrIdx: 5, InstrSym: "strcat", CallerIdx: 3},
+		{Kind: antibody.VSEFTaint, TaintInstrs: []int{1, 2, 3}, CallerIdx: -1},
+		{Kind: antibody.VSEFStackStore, InstrIdx: 9, InstrSym: "lmatcher", CallerIdx: -1},
+	}
+	if kinds[0].InstrumentedInstrs() != 2 || kinds[2].InstrumentedInstrs() != 3 || kinds[1].InstrumentedInstrs() != 1 {
+		t.Error("InstrumentedInstrs wrong")
+	}
+	for _, v := range kinds {
+		if v.String() == "" {
+			t.Errorf("VSEF %v has empty String()", v.Kind)
+		}
+	}
+}

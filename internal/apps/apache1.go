@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"sweeper/internal/asm"
+	"sweeper/internal/guest"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// Apache1AliasBufSize is the size of the stack buffer that try_alias_list
+// keeps its alias match in; URIs longer than this smash the stack.
+const Apache1AliasBufSize = 256
+
+// Apache1RetOffset is the byte offset within the URI at which the saved
+// return address of try_alias_list is overwritten (buffer size + saved
+// BP + padding for the leading locals). Exploit builders use it.
+const Apache1RetOffset = Apache1AliasBufSize + 12
+
+// Apache1BackdoorSym is the code symbol the canned exploit hijacks control to
+// (standing in for injected shellcode).
+const Apache1BackdoorSym = "backdoor"
+
+// Apache1 models the Apache 1.3.27 local stack smashing vulnerability
+// (CVE-2003-0542, mod_alias/mod_rewrite): try_alias_list keeps a fixed-size
+// stack buffer and lmatcher copies the request URI into it without bounds
+// checking, overwriting the saved return address.
+func Apache1() *Spec {
+	b := asm.New("apache-1.3.27")
+
+	emitMainLoop(b)
+
+	b.DataString("str_get", "GET ")
+	b.DataString("str_ok", "HTTP/1.0 200 OK\r\nServer: Apache/1.3.27\r\n\r\n<html>it works</html>\r\n")
+	b.DataString("str_bad", "HTTP/1.0 400 Bad Request\r\n\r\n")
+	b.DataString("str_owned", "OWNED\n")
+
+	// handle_request(req r1). Frame: [bp-4]=req, [bp-8]=uri
+	b.Func("handle_request")
+	b.Prologue(16)
+	b.StoreW(vm.BP, -4, vm.R1)
+	b.LoadDataAddr(vm.R2, "str_get")
+	b.Call(guest.FnPrefix)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.bad")
+	// uri = req + 4, terminated at the first space
+	b.LoadW(vm.R1, vm.BP, -4)
+	b.AddI(vm.R1, 4)
+	b.StoreW(vm.BP, -8, vm.R1)
+	b.MovI(vm.R2, int32(' '))
+	b.Call(guest.FnStrchr)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.nospace")
+	b.MovI(vm.R3, 0)
+	b.StoreB(vm.R0, 0, vm.R3)
+	b.Label("handle_request.nospace")
+	b.LoadW(vm.R1, vm.BP, -8)
+	b.Call("try_alias_list")
+	emitSendString(b, "str_ok")
+	b.Epilogue()
+	b.Label("handle_request.bad")
+	emitSendString(b, "str_bad")
+	b.Epilogue()
+
+	// try_alias_list(uri r1): matches the URI against the configured aliases,
+	// recording the match into a fixed-size stack buffer via lmatcher.
+	// Frame: [bp-4]=uri, [bp-8]=match length, buffer at [bp-(8+bufsize) .. bp-8)
+	frame := int32(Apache1AliasBufSize + 16)
+	b.Func("try_alias_list")
+	b.Prologue(frame)
+	b.StoreW(vm.BP, -4, vm.R1)
+	// lmatcher(dst=buffer, src=uri)
+	b.Mov(vm.R2, vm.R1)
+	b.Lea(vm.R1, vm.BP, -(8 + Apache1AliasBufSize))
+	b.Call("lmatcher")
+	b.StoreW(vm.BP, -8, vm.R0)
+	b.Label("try_alias_list.ret")
+	b.Epilogue()
+
+	// lmatcher(dst r1, src r2) -> r0 = bytes copied. The copy is unbounded:
+	// this store is the instruction that smashes the caller's stack frame.
+	b.Func("lmatcher")
+	b.MovI(vm.R0, 0)
+	b.Label("lmatcher.loop")
+	b.LoadB(vm.R4, vm.R2, 0)
+	b.CmpI(vm.R4, 0)
+	b.Jz("lmatcher.done")
+	b.Label("lmatcher.store")
+	b.StoreB(vm.R1, 0, vm.R4)
+	b.AddI(vm.R1, 1)
+	b.AddI(vm.R2, 1)
+	b.AddI(vm.R0, 1)
+	b.Jmp("lmatcher.loop")
+	b.Label("lmatcher.done")
+	b.MovI(vm.R4, 0)
+	b.StoreB(vm.R1, 0, vm.R4)
+	b.Ret()
+
+	// The hijack target standing in for injected shellcode: make sure its
+	// default-layout address contains no bytes that would corrupt the exploit
+	// string in transit (NUL terminates copies; space ends the URI).
+	padCodeForCleanAddress(b, 0x00, ' ', '\r', '\n')
+	b.Func(Apache1BackdoorSym)
+	b.LoadDataAddr(vm.R1, "str_owned")
+	b.MovI(vm.R2, 6)
+	b.Call(guest.FnSend)
+	b.Call(guest.FnExit)
+
+	guest.AddLibc(b)
+
+	return &Spec{
+		Name:        "apache1",
+		Program:     "apache-1.3.27 web server",
+		CVE:         "CVE-2003-0542",
+		BugType:     "Stack Smashing",
+		Threat:      "Local exploitable vulnerability enables unauthorized access",
+		Image:       b.MustBuild(),
+		Options:     proc.Options{},
+		VulnSym:     "lmatcher",
+		VulnLabel:   "lmatcher.store",
+		DetectSym:   "try_alias_list",
+		RecvBufSize: recvBufSize,
+	}
+}

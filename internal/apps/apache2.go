@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"sweeper/internal/asm"
+	"sweeper/internal/guest"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// Apache2 models the Apache 1.3.12 NULL pointer dereference (CVE-2003-1054
+// analogue in the paper's Table 1): a Referer header whose URL does not start
+// with "http://" or "ftp://" makes the scheme parser return NULL, which is_ip
+// then dereferences.
+func Apache2() *Spec {
+	b := asm.New("apache-1.3.12")
+
+	emitMainLoop(b)
+
+	b.DataString("str_get", "GET ")
+	b.DataString("str_referer", "Referer: ")
+	b.DataString("str_http_scheme", "http://")
+	b.DataString("str_ftp_scheme", "ftp://")
+	b.DataString("str_ok", "HTTP/1.0 200 OK\r\nServer: Apache/1.3.12\r\n\r\n<html>welcome</html>\r\n")
+	b.DataString("str_bad", "HTTP/1.0 400 Bad Request\r\n\r\n")
+
+	// handle_request(req r1). Frame: [bp-4]=req, [bp-8]=referer, [bp-12]=host
+	b.Func("handle_request")
+	b.Prologue(16)
+	b.StoreW(vm.BP, -4, vm.R1)
+	b.LoadDataAddr(vm.R2, "str_get")
+	b.Call(guest.FnPrefix)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.bad")
+	// Look for a Referer header and classify its host.
+	b.LoadW(vm.R1, vm.BP, -4)
+	b.LoadDataAddr(vm.R2, "str_referer")
+	b.Call(guest.FnStrstr)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.noref")
+	b.AddI(vm.R0, 9)
+	b.StoreW(vm.BP, -8, vm.R0)
+	// terminate the header value at CR and at LF
+	b.Mov(vm.R1, vm.R0)
+	b.MovI(vm.R2, int32('\r'))
+	b.Call(guest.FnStrchr)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.nocr")
+	b.MovI(vm.R3, 0)
+	b.StoreB(vm.R0, 0, vm.R3)
+	b.Label("handle_request.nocr")
+	b.LoadW(vm.R1, vm.BP, -8)
+	b.MovI(vm.R2, int32('\n'))
+	b.Call(guest.FnStrchr)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.nolf")
+	b.MovI(vm.R3, 0)
+	b.StoreB(vm.R0, 0, vm.R3)
+	b.Label("handle_request.nolf")
+	// host = referer_host(referer); is_ip(host)
+	b.LoadW(vm.R1, vm.BP, -8)
+	b.Call("referer_host")
+	b.StoreW(vm.BP, -12, vm.R0)
+	b.Mov(vm.R1, vm.R0)
+	b.Call("is_ip")
+	b.Label("handle_request.noref")
+	emitSendString(b, "str_ok")
+	b.Epilogue()
+	b.Label("handle_request.bad")
+	emitSendString(b, "str_bad")
+	b.Epilogue()
+
+	// referer_host(ref r1) -> r0 = pointer past the scheme, or NULL when the
+	// scheme is neither http:// nor ftp:// (the bug: callers never check).
+	b.Func("referer_host")
+	b.Prologue(8)
+	b.StoreW(vm.BP, -4, vm.R1)
+	b.LoadDataAddr(vm.R2, "str_http_scheme")
+	b.Call(guest.FnPrefix)
+	b.CmpI(vm.R0, 0)
+	b.Jnz("referer_host.http")
+	b.LoadW(vm.R1, vm.BP, -4)
+	b.LoadDataAddr(vm.R2, "str_ftp_scheme")
+	b.Call(guest.FnPrefix)
+	b.CmpI(vm.R0, 0)
+	b.Jnz("referer_host.ftp")
+	b.MovI(vm.R0, 0)
+	b.Epilogue()
+	b.Label("referer_host.http")
+	b.LoadW(vm.R0, vm.BP, -4)
+	b.AddI(vm.R0, 7)
+	b.Epilogue()
+	b.Label("referer_host.ftp")
+	b.LoadW(vm.R0, vm.BP, -4)
+	b.AddI(vm.R0, 6)
+	b.Epilogue()
+
+	// is_ip(host r1) -> r0 = 1 when the host looks numeric. The first load is
+	// the NULL pointer dereference when referer_host returned NULL.
+	b.Func("is_ip")
+	b.Label("is_ip.load")
+	b.LoadB(vm.R4, vm.R1, 0)
+	b.CmpI(vm.R4, int32('0'))
+	b.Jlt("is_ip.no")
+	b.CmpI(vm.R4, int32('9'))
+	b.Jgt("is_ip.no")
+	b.MovI(vm.R0, 1)
+	b.Ret()
+	b.Label("is_ip.no")
+	b.MovI(vm.R0, 0)
+	b.Ret()
+
+	guest.AddLibc(b)
+
+	return &Spec{
+		Name:        "apache2",
+		Program:     "apache-1.3.12 web server",
+		CVE:         "CVE-2003-1054",
+		BugType:     "NULL Pointer",
+		Threat:      "Remotely exploitable vulnerability allows disruption of service",
+		Image:       b.MustBuild(),
+		Options:     proc.Options{},
+		VulnSym:     "is_ip",
+		VulnLabel:   "is_ip.load",
+		DetectSym:   "is_ip",
+		RecvBufSize: recvBufSize,
+	}
+}

@@ -1,0 +1,133 @@
+// Package apps contains the guest server applications used to evaluate
+// Sweeper: simplified re-implementations of the request-handling paths of
+// Apache 1.3, CVS 1.11 and Squid 2.3 that contain the same vulnerability
+// classes, at identifiable instructions, as the four CVEs in the paper's
+// Table 1.
+package apps
+
+import (
+	"fmt"
+
+	"sweeper/internal/asm"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// Spec describes one evaluation application: its program image, the options
+// it needs from the process runtime, and ground-truth metadata about its
+// vulnerability used by tests and by the Table 1/2 harnesses.
+type Spec struct {
+	// Name identifies the application (apache1, apache2, cvs, squid).
+	Name string
+	// Program is a description of the real server being modelled.
+	Program string
+	// CVE is the vulnerability identifier of the modelled bug.
+	CVE string
+	// BugType is the paper's Table 1 bug classification.
+	BugType string
+	// Threat is the paper's Table 1 security-threat description.
+	Threat string
+
+	// Image is the loadable guest program.
+	Image *vm.Program
+	// Options are the process-runtime options the application needs.
+	Options proc.Options
+
+	// VulnSym is the function containing the instruction ultimately
+	// responsible for the vulnerability (ground truth for tests).
+	VulnSym string
+	// VulnLabel, when non-empty, is a code label placed exactly on the
+	// vulnerable instruction.
+	VulnLabel string
+	// DetectSym is the function in which the lightweight monitors are
+	// expected to observe the failure (ground truth for tests).
+	DetectSym string
+	// RecvBufSize is the size of the static request buffer used by main.
+	RecvBufSize int
+}
+
+// VulnIndex returns the instruction index of the labelled vulnerable
+// instruction, or -1 when the spec does not label one.
+func (s *Spec) VulnIndex() int {
+	if s.VulnLabel == "" {
+		return -1
+	}
+	if idx, ok := s.Image.Symbols[s.VulnLabel]; ok {
+		return idx
+	}
+	return -1
+}
+
+// All returns the four evaluation applications in Table 1 order.
+func All() []*Spec {
+	return []*Spec{Apache1(), Apache2(), CVS(), Squid()}
+}
+
+// ByName returns the named application spec.
+func ByName(name string) (*Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// recvBufSize is the static request buffer size shared by all applications.
+const recvBufSize = 8192
+
+// recvBufLabel is the data-segment label of the request buffer.
+const recvBufLabel = "reqbuf"
+
+// emitMainLoop emits the standard server main loop: receive a request into
+// the static buffer, NUL-terminate it, dispatch to handle_request, repeat.
+func emitMainLoop(b *asm.Builder) {
+	b.DataSpace(recvBufLabel, recvBufSize+4)
+	b.Func("main")
+	b.Label("main.loop")
+	b.LoadDataAddr(vm.R1, recvBufLabel)
+	b.MovI(vm.R2, recvBufSize)
+	b.Call("recv")
+	// NUL-terminate the received bytes: reqbuf[n] = 0.
+	b.LoadDataAddr(vm.R1, recvBufLabel)
+	b.Mov(vm.R2, vm.R1)
+	b.Add(vm.R2, vm.R0)
+	b.MovI(vm.R3, 0)
+	b.StoreB(vm.R2, 0, vm.R3)
+	// handle_request(reqbuf)
+	b.Call("handle_request")
+	b.Jmp("main.loop")
+}
+
+// emitSendString emits code that sends the NUL-terminated data-segment string
+// under the given label.
+func emitSendString(b *asm.Builder, label string) {
+	b.LoadDataAddr(vm.R1, label)
+	b.Call("strlen")
+	b.Mov(vm.R2, vm.R0)
+	b.LoadDataAddr(vm.R1, label)
+	b.Call("send")
+}
+
+// padCodeForCleanAddress appends nops until the *next* emitted instruction's
+// default-layout address contains none of the given forbidden byte values in
+// its low two bytes. Exploit payloads embed that address inside strings, so
+// bytes like NUL or space would corrupt the payload in transit.
+func padCodeForCleanAddress(b *asm.Builder, forbidden ...byte) {
+	bad := func(v byte) bool {
+		for _, f := range forbidden {
+			if v == f {
+				return true
+			}
+		}
+		return false
+	}
+	def := vm.DefaultLayout()
+	for {
+		addr := def.CodeBase + uint32(b.Len())*vm.InstrSize
+		if !bad(byte(addr)) && !bad(byte(addr>>8)) && !bad(byte(addr>>16)) && !bad(byte(addr>>24)) {
+			return
+		}
+		b.Nop()
+	}
+}

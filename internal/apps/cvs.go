@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"sweeper/internal/asm"
+	"sweeper/internal/guest"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// CVS models the cvs-1.11.4 double free (CVE-2003-0015): the Directory
+// request handler allocates a buffer for the directory name, frees it on its
+// error path, and then frees it again in its common cleanup path.
+func CVS() *Spec {
+	b := asm.New("cvs-1.11.4")
+
+	emitMainLoop(b)
+
+	b.DataString("str_directory", "Directory ")
+	b.DataString("str_dir_ok", "ok Directory\n")
+	b.DataString("str_cvs_ok", "ok\n")
+	b.DataString("str_dir_err", "E protocol error: empty Directory request\n")
+
+	// handle_request(req r1). Frame: [bp-4]=req, [bp-8]=arg
+	b.Func("handle_request")
+	b.Prologue(16)
+	b.StoreW(vm.BP, -4, vm.R1)
+	b.LoadDataAddr(vm.R2, "str_directory")
+	b.Call(guest.FnPrefix)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.other")
+	// arg = req + len("Directory "), stripped of its trailing newline
+	b.LoadW(vm.R1, vm.BP, -4)
+	b.AddI(vm.R1, 10)
+	b.StoreW(vm.BP, -8, vm.R1)
+	b.MovI(vm.R2, int32('\n'))
+	b.Call(guest.FnStrchr)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.nolf")
+	b.MovI(vm.R3, 0)
+	b.StoreB(vm.R0, 0, vm.R3)
+	b.Label("handle_request.nolf")
+	b.LoadW(vm.R1, vm.BP, -8)
+	b.Call("dirswitch")
+	b.Epilogue()
+	b.Label("handle_request.other")
+	emitSendString(b, "str_cvs_ok")
+	b.Epilogue()
+
+	// dirswitch(arg r1): switch the server's notion of the current directory.
+	// Frame: [bp-4]=arg, [bp-8]=len, [bp-12]=buf
+	b.Func("dirswitch")
+	b.Prologue(16)
+	b.StoreW(vm.BP, -4, vm.R1)
+	b.Call(guest.FnStrlen)
+	b.StoreW(vm.BP, -8, vm.R0)
+	// buf = malloc(len + 2); strcpy(buf, arg)
+	b.AddI(vm.R0, 2)
+	b.Mov(vm.R1, vm.R0)
+	b.Call(guest.FnMalloc)
+	b.StoreW(vm.BP, -12, vm.R0)
+	b.Mov(vm.R1, vm.R0)
+	b.LoadW(vm.R2, vm.BP, -4)
+	b.Call(guest.FnStrcpy)
+	// Error path: an empty directory name frees the buffer and reports an
+	// error -- but then falls through to the common cleanup which frees it
+	// again. This is the double free.
+	b.LoadW(vm.R4, vm.BP, -8)
+	b.CmpI(vm.R4, 0)
+	b.Jnz("dirswitch.ok")
+	b.LoadW(vm.R1, vm.BP, -12)
+	b.Label("dirswitch.first_free")
+	b.Call(guest.FnFree)
+	emitSendString(b, "str_dir_err")
+	b.Jmp("dirswitch.cleanup")
+	b.Label("dirswitch.ok")
+	emitSendString(b, "str_dir_ok")
+	b.Label("dirswitch.cleanup")
+	b.LoadW(vm.R1, vm.BP, -12)
+	b.Label("dirswitch.second_free")
+	b.Call(guest.FnFree)
+	b.Epilogue()
+
+	guest.AddLibc(b)
+
+	return &Spec{
+		Name:        "cvs",
+		Program:     "cvs-1.11.4 version control server",
+		CVE:         "CVE-2003-0015",
+		BugType:     "Double Free",
+		Threat:      "Remotely exploitable vulnerability provides unauthorized access and disruption of service",
+		Image:       b.MustBuild(),
+		Options:     proc.Options{},
+		VulnSym:     "dirswitch",
+		VulnLabel:   "dirswitch.second_free",
+		DetectSym:   guest.FnFree,
+		RecvBufSize: recvBufSize,
+	}
+}

@@ -1,0 +1,201 @@
+package apps
+
+import (
+	"sweeper/internal/asm"
+	"sweeper/internal/guest"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// SquidMmapThreshold is the allocation size above which the Squid process's
+// allocator uses the large-object zone. The escape buffer of the exploit
+// request exceeds it, so (as with real Squid) the buffer being overflowed is
+// the last object in the main arena and the overflow runs off mapped memory,
+// crashing inside strcat.
+const SquidMmapThreshold = 8192
+
+// Squid models the squid-2.3 FTP URL handling heap overflow (CVE-2002-0068,
+// Figure 2 of the paper): ftpBuildTitleUrl allocates t = 64+strlen(user)
+// bytes, rfc1738_escape_part expands user up to 3x into its own buffer, and
+// an unbounded strcat copies the escaped string into t.
+func Squid() *Spec {
+	b := asm.New("squid-2.3")
+
+	emitMainLoop(b)
+
+	b.DataString("str_ftp_scheme", "ftp://")
+	b.DataString("str_atsite", "@ftp.site/")
+	b.DataString("str_generic_resp", "HTTP/1.0 200 OK\r\nX-Cache: MISS from squid\r\n\r\n<html>cached object</html>\r\n")
+	b.DataString("str_ftp_err", "HTTP/1.0 400 Bad ftp URL\r\n\r\n")
+
+	// handle_request(req r1): dispatch FTP URLs to ftpBuildTitleUrl.
+	// Frame: [bp-4]=req, [bp-8]=scratch, [bp-12]=user
+	b.Func("handle_request")
+	b.Prologue(16)
+	b.StoreW(vm.BP, -4, vm.R1)
+	b.LoadDataAddr(vm.R2, "str_ftp_scheme")
+	b.Call(guest.FnPrefix)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.notftp")
+	// user = req + 6
+	b.LoadW(vm.R1, vm.BP, -4)
+	b.AddI(vm.R1, 6)
+	b.StoreW(vm.BP, -12, vm.R1)
+	// find '@' terminating the user part
+	b.MovI(vm.R2, int32('@'))
+	b.Call(guest.FnStrchr)
+	b.CmpI(vm.R0, 0)
+	b.Jz("handle_request.badftp")
+	b.MovI(vm.R3, 0)
+	b.StoreB(vm.R0, 0, vm.R3)
+	// ftpBuildTitleUrl(user)
+	b.LoadW(vm.R1, vm.BP, -12)
+	b.Call("ftpBuildTitleUrl")
+	b.Epilogue()
+	b.Label("handle_request.badftp")
+	emitSendString(b, "str_ftp_err")
+	b.Epilogue()
+	b.Label("handle_request.notftp")
+	emitSendString(b, "str_generic_resp")
+	b.Epilogue()
+
+	// ftpBuildTitleUrl(user r1): builds the FTP title URL (Figure 2).
+	// Frame: [bp-4]=user, [bp-8]=len, [bp-12]=t, [bp-16]=buf
+	b.Func("ftpBuildTitleUrl")
+	b.Prologue(24)
+	b.StoreW(vm.BP, -4, vm.R1)
+	// len = 64 + strlen(user)
+	b.Call(guest.FnStrlen)
+	b.AddI(vm.R0, 64)
+	b.StoreW(vm.BP, -8, vm.R0)
+	// t = malloc(len)
+	b.Mov(vm.R1, vm.R0)
+	b.Call(guest.FnMalloc)
+	b.StoreW(vm.BP, -12, vm.R0)
+	// strcpy(t, "ftp://")
+	b.Mov(vm.R1, vm.R0)
+	b.LoadDataAddr(vm.R2, "str_ftp_scheme")
+	b.Call(guest.FnStrcpy)
+	// buf = rfc1738_escape_part(user)
+	b.LoadW(vm.R1, vm.BP, -4)
+	b.Call("rfc1738_escape_part")
+	b.StoreW(vm.BP, -16, vm.R0)
+	// strcat(t, buf)  -- the unbounded copy that overflows t
+	b.LoadW(vm.R1, vm.BP, -12)
+	b.Mov(vm.R2, vm.R0)
+	b.Label("ftpBuildTitleUrl.overflowing_strcat")
+	b.Call(guest.FnStrcat)
+	// strcat(t, "@ftp.site/")
+	b.LoadW(vm.R1, vm.BP, -12)
+	b.LoadDataAddr(vm.R2, "str_atsite")
+	b.Call(guest.FnStrcat)
+	// send(t, strlen(t))
+	b.LoadW(vm.R1, vm.BP, -12)
+	b.Call(guest.FnStrlen)
+	b.Mov(vm.R2, vm.R0)
+	b.LoadW(vm.R1, vm.BP, -12)
+	b.Call(guest.FnSend)
+	// free(buf); free(t)
+	b.LoadW(vm.R1, vm.BP, -16)
+	b.Call(guest.FnFree)
+	b.LoadW(vm.R1, vm.BP, -12)
+	b.Call(guest.FnFree)
+	b.Epilogue()
+
+	// rfc1738_escape_part(src r1) -> r0 = freshly allocated escaped copy.
+	// Frame: [bp-4]=src, [bp-8]=buf
+	b.Func("rfc1738_escape_part")
+	b.Prologue(16)
+	b.StoreW(vm.BP, -4, vm.R1)
+	// bufsize = strlen(src)*3 + 1; buf = malloc(bufsize)
+	b.Call(guest.FnStrlen)
+	b.MulI(vm.R0, 3)
+	b.AddI(vm.R0, 1)
+	b.Mov(vm.R1, vm.R0)
+	b.Call(guest.FnMalloc)
+	b.StoreW(vm.BP, -8, vm.R0)
+	// r4 = src cursor, r5 = dst cursor
+	b.Mov(vm.R5, vm.R0)
+	b.LoadW(vm.R4, vm.BP, -4)
+	b.Label("escape.loop")
+	b.LoadB(vm.R6, vm.R4, 0)
+	b.CmpI(vm.R6, 0)
+	b.Jz("escape.done")
+	// digits pass through
+	b.CmpI(vm.R6, '0')
+	b.Jlt("escape.chk_upper")
+	b.CmpI(vm.R6, '9')
+	b.Jle("escape.passthru")
+	b.Label("escape.chk_upper")
+	b.CmpI(vm.R6, 'A')
+	b.Jlt("escape.chk_punct")
+	b.CmpI(vm.R6, 'Z')
+	b.Jle("escape.passthru")
+	b.CmpI(vm.R6, 'a')
+	b.Jlt("escape.chk_punct")
+	b.CmpI(vm.R6, 'z')
+	b.Jle("escape.passthru")
+	b.Label("escape.chk_punct")
+	b.CmpI(vm.R6, '/')
+	b.Jz("escape.passthru")
+	b.CmpI(vm.R6, '.')
+	b.Jz("escape.passthru")
+	b.CmpI(vm.R6, '-')
+	b.Jz("escape.passthru")
+	b.CmpI(vm.R6, '_')
+	b.Jz("escape.passthru")
+	// escape: '%' high-nibble low-nibble
+	b.MovI(vm.R7, int32('%'))
+	b.StoreB(vm.R5, 0, vm.R7)
+	b.AddI(vm.R5, 1)
+	b.Mov(vm.R7, vm.R6)
+	b.ShrI(vm.R7, 4)
+	b.CmpI(vm.R7, 10)
+	b.Jlt("escape.hi_digit")
+	b.AddI(vm.R7, 55) // 'A'-10
+	b.Jmp("escape.hi_store")
+	b.Label("escape.hi_digit")
+	b.AddI(vm.R7, '0')
+	b.Label("escape.hi_store")
+	b.StoreB(vm.R5, 0, vm.R7)
+	b.AddI(vm.R5, 1)
+	b.Mov(vm.R7, vm.R6)
+	b.AndI(vm.R7, 15)
+	b.CmpI(vm.R7, 10)
+	b.Jlt("escape.lo_digit")
+	b.AddI(vm.R7, 55)
+	b.Jmp("escape.lo_store")
+	b.Label("escape.lo_digit")
+	b.AddI(vm.R7, '0')
+	b.Label("escape.lo_store")
+	b.StoreB(vm.R5, 0, vm.R7)
+	b.AddI(vm.R5, 1)
+	b.Jmp("escape.next")
+	b.Label("escape.passthru")
+	b.StoreB(vm.R5, 0, vm.R6)
+	b.AddI(vm.R5, 1)
+	b.Label("escape.next")
+	b.AddI(vm.R4, 1)
+	b.Jmp("escape.loop")
+	b.Label("escape.done")
+	b.MovI(vm.R7, 0)
+	b.StoreB(vm.R5, 0, vm.R7)
+	b.LoadW(vm.R0, vm.BP, -8)
+	b.Epilogue()
+
+	guest.AddLibc(b)
+
+	return &Spec{
+		Name:        "squid",
+		Program:     "squid-2.3 proxy cache server",
+		CVE:         "CVE-2002-0068",
+		BugType:     "Heap Buffer Overflow",
+		Threat:      "Remotely exploitable vulnerability provides unauthorized access and disruption of service",
+		Image:       b.MustBuild(),
+		Options:     proc.Options{MmapThreshold: SquidMmapThreshold},
+		VulnSym:     guest.FnStrcat,
+		VulnLabel:   guest.StrcatStoreLabel,
+		DetectSym:   guest.FnStrcat,
+		RecvBufSize: recvBufSize,
+	}
+}

@@ -1,0 +1,427 @@
+// Package asm provides a small assembler DSL for building guest programs for
+// the vm package. Guest servers (the reproduction's stand-ins for Apache,
+// Squid and CVS) and the guest C library are written with this builder.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"sweeper/internal/vm"
+)
+
+type fixup struct {
+	instr int
+	label string
+}
+
+type relocFixup struct {
+	instr int
+	label string
+	kind  vm.RelocKind
+}
+
+// Builder accumulates instructions, labels and data and produces a vm.Program.
+// Methods record errors internally; Build returns the first one.
+type Builder struct {
+	name   string
+	code   []vm.Instr
+	labels map[string]int
+	fixups []fixup
+	relocs []relocFixup
+
+	data       []byte
+	dataLabels map[string]uint32
+
+	curSym string
+	errs   []error
+}
+
+// New returns an empty builder for a program with the given name.
+func New(name string) *Builder {
+	return &Builder{
+		name:       name,
+		labels:     make(map[string]int),
+		dataLabels: make(map[string]uint32),
+	}
+}
+
+// Name returns the program name.
+func (b *Builder) Name() string { return b.name }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }
+
+func (b *Builder) errorf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+func (b *Builder) emit(in vm.Instr) int {
+	in.Sym = b.curSym
+	b.code = append(b.code, in)
+	return len(b.code) - 1
+}
+
+// Label defines a code label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errorf("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+// Func defines a function entry label and sets the symbol annotation for the
+// instructions that follow.
+func (b *Builder) Func(name string) {
+	b.Label(name)
+	b.curSym = name
+}
+
+// HasLabel reports whether a code label has been defined.
+func (b *Builder) HasLabel(name string) bool {
+	_, ok := b.labels[name]
+	return ok
+}
+
+// --- data segment ---
+
+func (b *Builder) defData(label string, size int) uint32 {
+	if _, dup := b.dataLabels[label]; dup {
+		b.errorf("duplicate data label %q", label)
+		return 0
+	}
+	// word-align every object
+	for len(b.data)%4 != 0 {
+		b.data = append(b.data, 0)
+	}
+	off := uint32(len(b.data))
+	b.dataLabels[label] = off
+	b.data = append(b.data, make([]byte, size)...)
+	return off
+}
+
+// DataString defines a NUL-terminated string in the data segment.
+func (b *Builder) DataString(label, s string) uint32 {
+	off := b.defData(label, len(s)+1)
+	copy(b.data[off:], s)
+	return off
+}
+
+// DataBytes defines a raw byte blob in the data segment.
+func (b *Builder) DataBytes(label string, bs []byte) uint32 {
+	off := b.defData(label, len(bs))
+	copy(b.data[off:], bs)
+	return off
+}
+
+// DataWord defines a single 32-bit word in the data segment.
+func (b *Builder) DataWord(label string, v uint32) uint32 {
+	off := b.defData(label, 4)
+	b.data[off] = byte(v)
+	b.data[off+1] = byte(v >> 8)
+	b.data[off+2] = byte(v >> 16)
+	b.data[off+3] = byte(v >> 24)
+	return off
+}
+
+// DataSpace reserves size zeroed bytes in the data segment.
+func (b *Builder) DataSpace(label string, size int) uint32 {
+	return b.defData(label, size)
+}
+
+// --- plain instructions ---
+
+// Nop emits a no-op.
+func (b *Builder) Nop() int { return b.emit(vm.Instr{Op: vm.OpNop}) }
+
+// MovI emits rd = imm.
+func (b *Builder) MovI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpMovI, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd = rs.
+func (b *Builder) Mov(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpMov, Rd: rd, Rs: rs}) }
+
+// Lea emits rd = rs + imm.
+func (b *Builder) Lea(rd, rs vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpLea, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// LoadB emits rd = mem8[rs+off].
+func (b *Builder) LoadB(rd, rs vm.Reg, off int32) int {
+	return b.emit(vm.Instr{Op: vm.OpLoadB, Rd: rd, Rs: rs, Imm: off})
+}
+
+// LoadW emits rd = mem32[rs+off].
+func (b *Builder) LoadW(rd, rs vm.Reg, off int32) int {
+	return b.emit(vm.Instr{Op: vm.OpLoadW, Rd: rd, Rs: rs, Imm: off})
+}
+
+// StoreB emits mem8[rd+off] = rs.
+func (b *Builder) StoreB(rd vm.Reg, off int32, rs vm.Reg) int {
+	return b.emit(vm.Instr{Op: vm.OpStoreB, Rd: rd, Rs: rs, Imm: off})
+}
+
+// StoreW emits mem32[rd+off] = rs.
+func (b *Builder) StoreW(rd vm.Reg, off int32, rs vm.Reg) int {
+	return b.emit(vm.Instr{Op: vm.OpStoreW, Rd: rd, Rs: rs, Imm: off})
+}
+
+// Add emits rd += rs.
+func (b *Builder) Add(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpAdd, Rd: rd, Rs: rs}) }
+
+// Sub emits rd -= rs.
+func (b *Builder) Sub(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpSub, Rd: rd, Rs: rs}) }
+
+// Mul emits rd *= rs.
+func (b *Builder) Mul(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpMul, Rd: rd, Rs: rs}) }
+
+// Div emits rd /= rs.
+func (b *Builder) Div(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpDiv, Rd: rd, Rs: rs}) }
+
+// Mod emits rd %= rs.
+func (b *Builder) Mod(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpMod, Rd: rd, Rs: rs}) }
+
+// And emits rd &= rs.
+func (b *Builder) And(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpAnd, Rd: rd, Rs: rs}) }
+
+// Or emits rd |= rs.
+func (b *Builder) Or(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpOr, Rd: rd, Rs: rs}) }
+
+// Xor emits rd ^= rs.
+func (b *Builder) Xor(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpXor, Rd: rd, Rs: rs}) }
+
+// AddI emits rd += imm.
+func (b *Builder) AddI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpAddI, Rd: rd, Imm: imm})
+}
+
+// SubI emits rd -= imm.
+func (b *Builder) SubI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpSubI, Rd: rd, Imm: imm})
+}
+
+// MulI emits rd *= imm.
+func (b *Builder) MulI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpMulI, Rd: rd, Imm: imm})
+}
+
+// DivI emits rd /= imm.
+func (b *Builder) DivI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpDivI, Rd: rd, Imm: imm})
+}
+
+// ModI emits rd %= imm.
+func (b *Builder) ModI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpModI, Rd: rd, Imm: imm})
+}
+
+// AndI emits rd &= imm.
+func (b *Builder) AndI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpAndI, Rd: rd, Imm: imm})
+}
+
+// OrI emits rd |= imm.
+func (b *Builder) OrI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpOrI, Rd: rd, Imm: imm})
+}
+
+// XorI emits rd ^= imm.
+func (b *Builder) XorI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpXorI, Rd: rd, Imm: imm})
+}
+
+// ShlI emits rd <<= imm.
+func (b *Builder) ShlI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpShlI, Rd: rd, Imm: imm})
+}
+
+// ShrI emits rd >>= imm.
+func (b *Builder) ShrI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpShrI, Rd: rd, Imm: imm})
+}
+
+// Cmp emits flags = sign(rd - rs).
+func (b *Builder) Cmp(rd, rs vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpCmp, Rd: rd, Rs: rs}) }
+
+// CmpI emits flags = sign(rd - imm).
+func (b *Builder) CmpI(rd vm.Reg, imm int32) int {
+	return b.emit(vm.Instr{Op: vm.OpCmpI, Rd: rd, Imm: imm})
+}
+
+// Push emits a push of rd.
+func (b *Builder) Push(rd vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpPush, Rd: rd}) }
+
+// PushI emits a push of an immediate.
+func (b *Builder) PushI(imm int32) int { return b.emit(vm.Instr{Op: vm.OpPushI, Imm: imm}) }
+
+// Pop emits a pop into rd.
+func (b *Builder) Pop(rd vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpPop, Rd: rd}) }
+
+// Syscall emits a syscall instruction (number in R0, args in R1..R3).
+func (b *Builder) Syscall() int { return b.emit(vm.Instr{Op: vm.OpSyscall}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() int { return b.emit(vm.Instr{Op: vm.OpHalt}) }
+
+// Ret emits a return.
+func (b *Builder) Ret() int { return b.emit(vm.Instr{Op: vm.OpRet}) }
+
+// JmpReg emits an indirect jump through rd.
+func (b *Builder) JmpReg(rd vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpJmpReg, Rd: rd}) }
+
+// CallReg emits an indirect call through rd.
+func (b *Builder) CallReg(rd vm.Reg) int { return b.emit(vm.Instr{Op: vm.OpCallReg, Rd: rd}) }
+
+// --- label-referencing instructions ---
+
+func (b *Builder) emitBranch(op vm.Op, label string) int {
+	idx := b.emit(vm.Instr{Op: op})
+	b.fixups = append(b.fixups, fixup{instr: idx, label: label})
+	return idx
+}
+
+// Jmp emits an unconditional jump to a label.
+func (b *Builder) Jmp(label string) int { return b.emitBranch(vm.OpJmp, label) }
+
+// Jz emits a jump-if-zero to a label.
+func (b *Builder) Jz(label string) int { return b.emitBranch(vm.OpJz, label) }
+
+// Jnz emits a jump-if-not-zero to a label.
+func (b *Builder) Jnz(label string) int { return b.emitBranch(vm.OpJnz, label) }
+
+// Jlt emits a jump-if-less-than to a label.
+func (b *Builder) Jlt(label string) int { return b.emitBranch(vm.OpJlt, label) }
+
+// Jle emits a jump-if-less-or-equal to a label.
+func (b *Builder) Jle(label string) int { return b.emitBranch(vm.OpJle, label) }
+
+// Jgt emits a jump-if-greater-than to a label.
+func (b *Builder) Jgt(label string) int { return b.emitBranch(vm.OpJgt, label) }
+
+// Jge emits a jump-if-greater-or-equal to a label.
+func (b *Builder) Jge(label string) int { return b.emitBranch(vm.OpJge, label) }
+
+// Call emits a call to a labelled function.
+func (b *Builder) Call(label string) int { return b.emitBranch(vm.OpCall, label) }
+
+// LoadDataAddr emits rd = &data(label), resolved at load time against the
+// data segment base (a data relocation).
+func (b *Builder) LoadDataAddr(rd vm.Reg, label string) int {
+	idx := b.emit(vm.Instr{Op: vm.OpMovI, Rd: rd})
+	b.relocs = append(b.relocs, relocFixup{instr: idx, label: label, kind: vm.RelocData})
+	return idx
+}
+
+// LoadCodeAddr emits rd = &code(label), resolved at load time against the
+// code segment base (a code relocation; used for function pointers).
+func (b *Builder) LoadCodeAddr(rd vm.Reg, label string) int {
+	idx := b.emit(vm.Instr{Op: vm.OpMovI, Rd: rd})
+	b.relocs = append(b.relocs, relocFixup{instr: idx, label: label, kind: vm.RelocCode})
+	return idx
+}
+
+// --- calling convention helpers ---
+
+// Prologue emits the standard function prologue: save BP, establish the new
+// frame and reserve frameSize bytes of locals.
+func (b *Builder) Prologue(frameSize int32) {
+	b.Push(vm.BP)
+	b.Mov(vm.BP, vm.SP)
+	if frameSize > 0 {
+		b.SubI(vm.SP, frameSize)
+	}
+}
+
+// Epilogue emits the standard epilogue matching Prologue and returns.
+func (b *Builder) Epilogue() {
+	b.Mov(vm.SP, vm.BP)
+	b.Pop(vm.BP)
+	b.Ret()
+}
+
+// Build resolves all fixups and relocations and returns the program image.
+func (b *Builder) Build() (*vm.Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	code := make([]vm.Instr, len(b.code))
+	copy(code, b.code)
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q referenced by instruction %d", f.label, f.instr)
+		}
+		code[f.instr].Imm = int32(target)
+	}
+	var relocs []vm.Reloc
+	for _, r := range b.relocs {
+		switch r.kind {
+		case vm.RelocCode:
+			target, ok := b.labels[r.label]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined code symbol %q in relocation", r.label)
+			}
+			relocs = append(relocs, vm.Reloc{InstrIndex: r.instr, Kind: vm.RelocCode, Target: uint32(target)})
+		case vm.RelocData:
+			off, ok := b.dataLabels[r.label]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined data symbol %q in relocation", r.label)
+			}
+			relocs = append(relocs, vm.Reloc{InstrIndex: r.instr, Kind: vm.RelocData, Target: off})
+		}
+	}
+	entry := 0
+	if e, ok := b.labels["main"]; ok {
+		entry = e
+	}
+	symbols := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		symbols[k] = v
+	}
+	dataSymbols := make(map[string]uint32, len(b.dataLabels))
+	for k, v := range b.dataLabels {
+		dataSymbols[k] = v
+	}
+	data := make([]byte, len(b.data))
+	copy(data, b.data)
+	return &vm.Program{
+		Name:        b.name,
+		Code:        code,
+		Data:        data,
+		Relocs:      relocs,
+		Symbols:     symbols,
+		DataSymbols: dataSymbols,
+		Entry:       entry,
+	}, nil
+}
+
+// MustBuild is Build but panics on error; intended for static, known-good
+// programs constructed at init time and in tests.
+func (b *Builder) MustBuild() *vm.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Symbols returns the defined code labels sorted by instruction index, for
+// diagnostics and disassembly listings.
+func (b *Builder) Symbols() []string {
+	type sym struct {
+		name string
+		idx  int
+	}
+	syms := make([]sym, 0, len(b.labels))
+	for name, idx := range b.labels {
+		syms = append(syms, sym{name, idx})
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].idx < syms[j].idx })
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = fmt.Sprintf("%6d %s", s.idx, s.name)
+	}
+	return out
+}

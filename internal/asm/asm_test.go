@@ -1,0 +1,260 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"sweeper/internal/vm"
+)
+
+func TestLabelsAndFixups(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Code[0].Op != vm.OpJmp || prog.Code[0].Imm != 2 {
+		t.Errorf("jump target = %d, want 2", prog.Code[0].Imm)
+	}
+	if prog.Entry != 0 {
+		t.Errorf("entry = %d", prog.Entry)
+	}
+	if prog.Name != "p" || b.Name() != "p" {
+		t.Error("name lost")
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("expected undefined label error, got %v", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("expected duplicate label error, got %v", err)
+	}
+}
+
+func TestDuplicateDataLabel(t *testing.T) {
+	b := New("p")
+	b.DataString("s", "a")
+	b.DataString("s", "b")
+	b.Func("main")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("expected duplicate data label error")
+	}
+}
+
+func TestUndefinedDataSymbolInRelocation(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	b.LoadDataAddr(vm.R1, "missing")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined data symbol") {
+		t.Errorf("expected undefined data symbol error, got %v", err)
+	}
+}
+
+func TestUndefinedCodeSymbolInRelocation(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	b.LoadCodeAddr(vm.R1, "missing")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined code symbol") {
+		t.Errorf("expected undefined code symbol error, got %v", err)
+	}
+}
+
+func TestDataAlignmentAndContents(t *testing.T) {
+	b := New("p")
+	b.DataString("a", "xyz") // 4 bytes with NUL
+	b.DataWord("w", 0x11223344)
+	b.DataBytes("raw", []byte{9, 8, 7})
+	b.DataSpace("buf", 10)
+	b.Func("main")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offW := prog.DataSymbols["w"]
+	if offW%4 != 0 {
+		t.Errorf("word not aligned: offset %d", offW)
+	}
+	got := uint32(prog.Data[offW]) | uint32(prog.Data[offW+1])<<8 | uint32(prog.Data[offW+2])<<16 | uint32(prog.Data[offW+3])<<24
+	if got != 0x11223344 {
+		t.Errorf("word = %#x", got)
+	}
+	offA := prog.DataSymbols["a"]
+	if string(prog.Data[offA:offA+3]) != "xyz" || prog.Data[offA+3] != 0 {
+		t.Error("string data wrong")
+	}
+	if _, ok := prog.DataSymbols["buf"]; !ok {
+		t.Error("space symbol missing")
+	}
+}
+
+func TestRelocationsResolved(t *testing.T) {
+	b := New("p")
+	b.DataWord("val", 5)
+	b.Func("main")
+	b.LoadDataAddr(vm.R1, "val")
+	b.LoadCodeAddr(vm.R2, "fn")
+	b.Halt()
+	b.Func("fn")
+	b.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Relocs) != 2 {
+		t.Fatalf("got %d relocations, want 2", len(prog.Relocs))
+	}
+	kinds := map[vm.RelocKind]bool{}
+	for _, r := range prog.Relocs {
+		kinds[r.Kind] = true
+	}
+	if !kinds[vm.RelocData] || !kinds[vm.RelocCode] {
+		t.Error("expected one data and one code relocation")
+	}
+}
+
+func TestSymAnnotationFollowsFunc(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	b.Nop()
+	b.Func("helper")
+	b.Nop()
+	b.Halt()
+	prog := b.MustBuild()
+	if prog.Code[0].Sym != "main" || prog.Code[1].Sym != "helper" {
+		t.Errorf("syms = %q %q", prog.Code[0].Sym, prog.Code[1].Sym)
+	}
+}
+
+func TestEmitReturnsIndices(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	i0 := b.MovI(vm.R1, 1)
+	i1 := b.AddI(vm.R1, 2)
+	i2 := b.Halt()
+	if i0 != 0 || i1 != 1 || i2 != 2 || b.Len() != 3 {
+		t.Errorf("indices %d %d %d len %d", i0, i1, i2, b.Len())
+	}
+}
+
+func TestHasLabelAndSymbols(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	b.Halt()
+	b.Func("aux")
+	b.Ret()
+	if !b.HasLabel("main") || !b.HasLabel("aux") || b.HasLabel("nope") {
+		t.Error("HasLabel wrong")
+	}
+	syms := b.Symbols()
+	if len(syms) != 2 || !strings.Contains(syms[0], "main") {
+		t.Errorf("Symbols() = %v", syms)
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on error")
+		}
+	}()
+	b := New("p")
+	b.Func("main")
+	b.Jmp("missing")
+	b.MustBuild()
+}
+
+func TestBuildIsIdempotentCopy(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	b.Jmp("main")
+	p1 := b.MustBuild()
+	p2 := b.MustBuild()
+	p1.Code[0].Imm = 999
+	if p2.Code[0].Imm == 999 {
+		t.Error("Build must return independent copies of the code")
+	}
+	p1.Data = append(p1.Data, 1)
+	_ = p2
+}
+
+func TestEveryEmitterProducesExpectedOpcode(t *testing.T) {
+	b := New("p")
+	b.Func("main")
+	checks := []struct {
+		idx int
+		op  vm.Op
+	}{
+		{b.Nop(), vm.OpNop},
+		{b.MovI(vm.R1, 1), vm.OpMovI},
+		{b.Mov(vm.R1, vm.R2), vm.OpMov},
+		{b.Lea(vm.R1, vm.BP, -4), vm.OpLea},
+		{b.LoadB(vm.R1, vm.R2, 0), vm.OpLoadB},
+		{b.LoadW(vm.R1, vm.R2, 0), vm.OpLoadW},
+		{b.StoreB(vm.R1, 0, vm.R2), vm.OpStoreB},
+		{b.StoreW(vm.R1, 0, vm.R2), vm.OpStoreW},
+		{b.Add(vm.R1, vm.R2), vm.OpAdd},
+		{b.Sub(vm.R1, vm.R2), vm.OpSub},
+		{b.Mul(vm.R1, vm.R2), vm.OpMul},
+		{b.Div(vm.R1, vm.R2), vm.OpDiv},
+		{b.Mod(vm.R1, vm.R2), vm.OpMod},
+		{b.And(vm.R1, vm.R2), vm.OpAnd},
+		{b.Or(vm.R1, vm.R2), vm.OpOr},
+		{b.Xor(vm.R1, vm.R2), vm.OpXor},
+		{b.AddI(vm.R1, 1), vm.OpAddI},
+		{b.SubI(vm.R1, 1), vm.OpSubI},
+		{b.MulI(vm.R1, 1), vm.OpMulI},
+		{b.DivI(vm.R1, 1), vm.OpDivI},
+		{b.ModI(vm.R1, 1), vm.OpModI},
+		{b.AndI(vm.R1, 1), vm.OpAndI},
+		{b.OrI(vm.R1, 1), vm.OpOrI},
+		{b.XorI(vm.R1, 1), vm.OpXorI},
+		{b.ShlI(vm.R1, 1), vm.OpShlI},
+		{b.ShrI(vm.R1, 1), vm.OpShrI},
+		{b.Cmp(vm.R1, vm.R2), vm.OpCmp},
+		{b.CmpI(vm.R1, 1), vm.OpCmpI},
+		{b.Push(vm.R1), vm.OpPush},
+		{b.PushI(1), vm.OpPushI},
+		{b.Pop(vm.R1), vm.OpPop},
+		{b.Syscall(), vm.OpSyscall},
+		{b.Ret(), vm.OpRet},
+		{b.JmpReg(vm.R1), vm.OpJmpReg},
+		{b.CallReg(vm.R1), vm.OpCallReg},
+		{b.Jmp("main"), vm.OpJmp},
+		{b.Jz("main"), vm.OpJz},
+		{b.Jnz("main"), vm.OpJnz},
+		{b.Jlt("main"), vm.OpJlt},
+		{b.Jle("main"), vm.OpJle},
+		{b.Jgt("main"), vm.OpJgt},
+		{b.Jge("main"), vm.OpJge},
+		{b.Call("main"), vm.OpCall},
+		{b.Halt(), vm.OpHalt},
+	}
+	prog := b.MustBuild()
+	for _, c := range checks {
+		if prog.Code[c.idx].Op != c.op {
+			t.Errorf("instruction %d has op %v, want %v", c.idx, prog.Code[c.idx].Op, c.op)
+		}
+	}
+}

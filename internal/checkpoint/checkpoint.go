@@ -1,0 +1,116 @@
+// Package checkpoint implements the Rx-style checkpoint manager: a bounded
+// ring of lightweight in-memory process snapshots taken at a configurable
+// interval of virtual time. Snapshots are taken at request boundaries, kept
+// for a short time (the paper keeps the 20 most recent, at 200 ms intervals)
+// and discarded as new ones arrive.
+package checkpoint
+
+import (
+	"fmt"
+
+	"sweeper/internal/proc"
+)
+
+// Policy controls when checkpoints are taken and how many are retained.
+type Policy struct {
+	// IntervalMs is the minimum virtual time between checkpoints.
+	IntervalMs uint64
+	// MaxKept is the number of recent checkpoints retained.
+	MaxKept int
+}
+
+// DefaultPolicy mirrors the paper's experiment setup: a checkpoint every
+// 200 ms, keeping the 20 most recent.
+func DefaultPolicy() Policy { return Policy{IntervalMs: 200, MaxKept: 20} }
+
+// Manager owns the snapshot ring for one protected process.
+type Manager struct {
+	policy Policy
+	snaps  []*proc.Snapshot
+	seq    int
+	lastMs uint64
+	taken  int
+}
+
+// NewManager returns a manager with the given policy; zero fields fall back
+// to the defaults.
+func NewManager(policy Policy) *Manager {
+	def := DefaultPolicy()
+	if policy.IntervalMs == 0 {
+		policy.IntervalMs = def.IntervalMs
+	}
+	if policy.MaxKept <= 0 {
+		policy.MaxKept = def.MaxKept
+	}
+	return &Manager{policy: policy}
+}
+
+// Policy returns the manager's policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// Count returns the number of retained snapshots.
+func (m *Manager) Count() int { return len(m.snaps) }
+
+// Taken returns the total number of checkpoints taken since creation.
+func (m *Manager) Taken() int { return m.taken }
+
+// Checkpoint unconditionally takes a snapshot of p and adds it to the ring,
+// evicting the oldest if the ring is full.
+func (m *Manager) Checkpoint(p *proc.Process) *proc.Snapshot {
+	m.seq++
+	s := p.Snapshot(m.seq)
+	m.snaps = append(m.snaps, s)
+	if len(m.snaps) > m.policy.MaxKept {
+		m.snaps = m.snaps[1:]
+	}
+	m.lastMs = s.TakenAtMs
+	m.taken++
+	return s
+}
+
+// MaybeCheckpoint takes a snapshot only if at least the policy interval of
+// virtual time has elapsed since the previous one. It returns nil when no
+// checkpoint was taken. Callers invoke it at request boundaries.
+func (m *Manager) MaybeCheckpoint(p *proc.Process) *proc.Snapshot {
+	now := p.Machine.NowMillis()
+	if len(m.snaps) > 0 && now < m.lastMs+m.policy.IntervalMs {
+		return nil
+	}
+	return m.Checkpoint(p)
+}
+
+// Latest returns the most recent snapshot, or nil if none exist.
+func (m *Manager) Latest() *proc.Snapshot {
+	if len(m.snaps) == 0 {
+		return nil
+	}
+	return m.snaps[len(m.snaps)-1]
+}
+
+// Oldest returns the oldest retained snapshot, or nil if none exist.
+func (m *Manager) Oldest() *proc.Snapshot {
+	if len(m.snaps) == 0 {
+		return nil
+	}
+	return m.snaps[0]
+}
+
+// Snapshots returns the retained snapshots from oldest to newest.
+func (m *Manager) Snapshots() []*proc.Snapshot {
+	out := make([]*proc.Snapshot, len(m.snaps))
+	copy(out, m.snaps)
+	return out
+}
+
+// BeforeLogIndex returns the most recent snapshot taken before the event log
+// had grown to logIndex entries — i.e. a snapshot from before the given
+// request was delivered. The analysis module uses it to roll back to "a point
+// prior to the attacking requests being read in".
+func (m *Manager) BeforeLogIndex(logIndex int) (*proc.Snapshot, error) {
+	for i := len(m.snaps) - 1; i >= 0; i-- {
+		if m.snaps[i].LogLen <= logIndex {
+			return m.snaps[i], nil
+		}
+	}
+	return nil, fmt.Errorf("checkpoint: no retained snapshot precedes log index %d", logIndex)
+}

@@ -1,0 +1,143 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"sweeper/internal/apps"
+	"sweeper/internal/checkpoint"
+	"sweeper/internal/exploit"
+	"sweeper/internal/netproxy"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+func newCVSProcess(t *testing.T, nRequests int) *proc.Process {
+	t.Helper()
+	spec, err := apps.ByName("cvs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := netproxy.New()
+	for i := 0; i < nRequests; i++ {
+		proxy.Submit(exploit.CVSBenign(i), "client", false)
+	}
+	p, err := proc.New(spec.Name, spec.Image, vm.DefaultLayout(), proxy, spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	pol := checkpoint.DefaultPolicy()
+	if pol.IntervalMs != 200 || pol.MaxKept != 20 {
+		t.Errorf("default policy %+v", pol)
+	}
+	m := checkpoint.NewManager(checkpoint.Policy{})
+	if m.Policy().IntervalMs != 200 || m.Policy().MaxKept != 20 {
+		t.Errorf("zero policy should fall back to defaults: %+v", m.Policy())
+	}
+}
+
+func TestCheckpointRingEviction(t *testing.T) {
+	p := newCVSProcess(t, 0)
+	m := checkpoint.NewManager(checkpoint.Policy{IntervalMs: 1, MaxKept: 3})
+	for i := 0; i < 5; i++ {
+		m.Checkpoint(p)
+	}
+	if m.Count() != 3 {
+		t.Errorf("ring holds %d, want 3", m.Count())
+	}
+	if m.Taken() != 5 {
+		t.Errorf("taken = %d", m.Taken())
+	}
+	if m.Oldest().SeqNo != 3 || m.Latest().SeqNo != 5 {
+		t.Errorf("oldest/latest seq = %d/%d", m.Oldest().SeqNo, m.Latest().SeqNo)
+	}
+	if got := m.Snapshots(); len(got) != 3 || got[0].SeqNo != 3 {
+		t.Errorf("snapshots = %v", got)
+	}
+}
+
+func TestMaybeCheckpointRespectsInterval(t *testing.T) {
+	p := newCVSProcess(t, 30)
+	m := checkpoint.NewManager(checkpoint.Policy{IntervalMs: 50, MaxKept: 10})
+	first := m.MaybeCheckpoint(p)
+	if first == nil {
+		t.Fatal("first MaybeCheckpoint should always take one")
+	}
+	// Immediately asking again must not take another (no virtual time passed).
+	if m.MaybeCheckpoint(p) != nil {
+		t.Error("checkpoint taken before the interval elapsed")
+	}
+	// Serve the whole workload; tens of requests advance the virtual clock
+	// well past the 50 ms interval.
+	if stop := p.Run(0); stop.Reason != vm.StopWaitInput {
+		t.Fatalf("serving failed: %v", stop.Reason)
+	}
+	if p.Machine.NowMillis() <= first.TakenAtMs+50 {
+		t.Fatalf("workload too short to advance the virtual clock (%d ms)", p.Machine.NowMillis())
+	}
+	second := m.MaybeCheckpoint(p)
+	if second == nil {
+		t.Fatal("second checkpoint never taken despite elapsed virtual time")
+	}
+	if second.TakenAtMs <= first.TakenAtMs || second.LogLen <= first.LogLen {
+		t.Errorf("second checkpoint does not advance: %+v vs %+v", second, first)
+	}
+}
+
+func TestLatestAndOldestEmpty(t *testing.T) {
+	m := checkpoint.NewManager(checkpoint.DefaultPolicy())
+	if m.Latest() != nil || m.Oldest() != nil || m.Count() != 0 {
+		t.Error("empty manager should have no snapshots")
+	}
+	if _, err := m.BeforeLogIndex(0); err == nil {
+		t.Error("BeforeLogIndex on empty manager should error")
+	}
+}
+
+func TestBeforeLogIndex(t *testing.T) {
+	p := newCVSProcess(t, 6)
+	m := checkpoint.NewManager(checkpoint.Policy{IntervalMs: 1, MaxKept: 10})
+	m.Checkpoint(p) // LogLen 0
+	// Serve two requests, checkpoint, serve the rest.
+	for p.ServedRequests() < 2 {
+		if stop := p.Run(10_000); stop.Reason == vm.StopWaitInput {
+			break
+		}
+	}
+	mid := m.Checkpoint(p)
+	p.Run(0)
+
+	snap, err := m.BeforeLogIndex(mid.LogLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.LogLen > mid.LogLen {
+		t.Errorf("BeforeLogIndex returned a later snapshot (%d > %d)", snap.LogLen, mid.LogLen)
+	}
+	if snap.SeqNo != mid.SeqNo {
+		t.Errorf("expected the most recent qualifying snapshot, got seq %d", snap.SeqNo)
+	}
+	if first, err := m.BeforeLogIndex(0); err != nil || first.LogLen != 0 {
+		t.Errorf("BeforeLogIndex(0) = %+v, %v", first, err)
+	}
+}
+
+func TestSnapshotIsUsableForRollback(t *testing.T) {
+	p := newCVSProcess(t, 4)
+	m := checkpoint.NewManager(checkpoint.Policy{IntervalMs: 1, MaxKept: 5})
+	snap := m.Checkpoint(p)
+	if stop := p.Run(0); stop.Reason != vm.StopWaitInput {
+		t.Fatalf("serving failed: %v", stop.Reason)
+	}
+	served := p.ServedRequests()
+	p.Rollback(snap, proc.ModeReplay, false)
+	if stop := p.Run(0); stop.Reason != vm.StopWaitInput {
+		t.Fatalf("replay failed: %v", stop.Reason)
+	}
+	if p.ServedRequests() != served {
+		t.Errorf("replay served %d, want %d", p.ServedRequests(), served)
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sweeper/internal/analysis/coredump"
+	"sweeper/internal/analysis/membug"
+	"sweeper/internal/analysis/slicing"
+	"sweeper/internal/analysis/taint"
+	"sweeper/internal/antibody"
+	"sweeper/internal/monitor"
+	"sweeper/internal/proc"
+	"sweeper/internal/replay"
+	"sweeper/internal/vm"
+)
+
+// StepTiming records the wall-clock duration of one analysis component
+// (Table 3's "component diagnosis time").
+type StepTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// AttackReport captures everything Sweeper learned and did about one attack:
+// the detection event, the result of each analysis step, the antibodies
+// generated (and when), and the recovery outcome. Tables 2 and 3 are built
+// from these reports.
+type AttackReport struct {
+	Seq          int
+	DetectedAtMs uint64
+	Detection    monitor.Detection
+
+	// Analysis results.
+	CoreDump        *coredump.Report
+	MemBugFindings  []membug.Finding
+	TaintFindings   []taint.Finding
+	TaintDetected   bool
+	SliceNodes      int
+	SliceInstrs     int
+	SliceConsistent bool
+	MissingFromSlice []int
+
+	// Exploit input identification.
+	CulpritRequestID int
+	CulpritPayload   []byte
+	IsolationUsed    bool
+
+	// Antibodies, in the order they became available.
+	InitialAntibody *antibody.Antibody
+	RefinedAntibody *antibody.Antibody
+	FinalAntibody   *antibody.Antibody
+
+	// Wall-clock timings measured from the moment of detection.
+	TimeToFirstVSEF     time.Duration
+	TimeToBestVSEF      time.Duration
+	InitialAnalysisTime time.Duration
+	TotalAnalysisTime   time.Duration
+	Steps               []StepTiming
+
+	// Recovery.
+	Recovered          bool
+	RecoveryTime       time.Duration
+	RecoveryVirtualMs  uint64
+	RecoveryDiverged   bool
+	RecoveryDivergence string
+}
+
+// BestVSEF returns the most refined VSEF available (refined if the memory-bug
+// step produced one, otherwise the initial one).
+func (r *AttackReport) BestVSEF() *antibody.VSEF {
+	if r.RefinedAntibody != nil && len(r.RefinedAntibody.VSEFs) > 0 {
+		return r.RefinedAntibody.VSEFs[len(r.RefinedAntibody.VSEFs)-1]
+	}
+	if r.InitialAntibody != nil && len(r.InitialAntibody.VSEFs) > 0 {
+		return r.InitialAntibody.VSEFs[0]
+	}
+	return nil
+}
+
+func (s *Sweeper) newAntibodyID(stage antibody.Stage) string {
+	return fmt.Sprintf("%s-attack%d-%s", s.name, s.attackSeq, stage)
+}
+
+func (s *Sweeper) publish(a *antibody.Antibody) {
+	s.antibodies = append(s.antibodies, a)
+	if s.OnAntibody != nil {
+		s.OnAntibody(a)
+	}
+}
+
+// snapshotForAnalysis picks the most recent checkpoint taken before the
+// current (suspected) attack request was read in.
+func (s *Sweeper) snapshotForAnalysis() *proc.Snapshot {
+	// Find the log index of the request being served when the monitor
+	// tripped; any checkpoint at or before that index predates the request.
+	curID := s.proc.CurrentRequestID()
+	if curID != 0 {
+		events := s.proc.Log.Events()
+		for i, e := range events {
+			if e.Kind == replay.EventRequest && e.RequestID == curID {
+				if snap, err := s.ckpt.BeforeLogIndex(i); err == nil {
+					return snap
+				}
+				break
+			}
+		}
+	}
+	return s.ckpt.Latest()
+}
+
+// HandleAttack runs the full post-detection pipeline: memory-state analysis,
+// iterative rollback/replay under the heavyweight tools, antibody generation
+// and distribution, and finally rollback/re-execution recovery with the
+// attack input dropped.
+func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *AttackReport {
+	s.attackSeq++
+	t0 := time.Now()
+	detectCycles := s.proc.Machine.Cycles()
+	report := &AttackReport{
+		Seq:              s.attackSeq,
+		DetectedAtMs:     s.proc.Machine.NowMillis(),
+		Detection:        det,
+		CulpritRequestID: -1,
+	}
+	step := func(name string, start time.Time) {
+		report.Steps = append(report.Steps, StepTiming{Name: name, Duration: time.Since(start)})
+	}
+
+	// --- Step 1: memory-state (core dump) analysis, no rollback needed. ---
+	t := time.Now()
+	cd := coredump.Analyze(s.proc, stop)
+	report.CoreDump = cd
+	initVSEF := antibody.FromCoreDump(s.newAntibodyID("initial")+"-vsef", s.name, cd)
+	step("memory-state", t)
+
+	initial := &antibody.Antibody{
+		ID:          s.newAntibodyID(antibody.StageInitial),
+		Program:     s.name,
+		Stage:       antibody.StageInitial,
+		CreatedAtMs: s.proc.Machine.NowMillis(),
+		Notes:       []string{cd.Summary()},
+	}
+	if initVSEF != nil {
+		initial.VSEFs = append(initial.VSEFs, initVSEF)
+	}
+	report.InitialAntibody = initial
+	report.TimeToFirstVSEF = time.Since(t0)
+	s.publish(initial)
+
+	snap := s.snapshotForAnalysis()
+	if snap == nil {
+		// Nothing to roll back to: deploy what we have and give up on
+		// recovery (the caller will restart the service).
+		report.TotalAnalysisTime = time.Since(t0)
+		return report
+	}
+
+	// --- Step 2: dynamic memory-bug detection during replay. ---
+	var membugPrimary *membug.Finding
+	if s.cfg.EnableMemBug {
+		t = time.Now()
+		s.proc.Rollback(snap, proc.ModeReplay, false)
+		det := membug.New(s.proc, true)
+		s.proc.Machine.AttachTool(det)
+		s.proc.Run(s.cfg.ReplayBudget)
+		s.proc.Machine.DetachTool(det.Name())
+		report.MemBugFindings = det.Findings()
+		membugPrimary = det.Primary()
+		step("memory-bug", t)
+	}
+	refinedVSEF := antibody.FromMemBug(s.newAntibodyID("refined")+"-vsef", s.name, membugPrimary)
+	if refinedVSEF != nil {
+		refined := &antibody.Antibody{
+			ID:          s.newAntibodyID(antibody.StageRefined),
+			Program:     s.name,
+			Stage:       antibody.StageRefined,
+			CreatedAtMs: s.proc.Machine.NowMillis(),
+		}
+		if initVSEF != nil {
+			refined.VSEFs = append(refined.VSEFs, initVSEF)
+		}
+		refined.VSEFs = append(refined.VSEFs, refinedVSEF)
+		if membugPrimary != nil {
+			refined.Notes = append(refined.Notes, membugPrimary.Summary())
+		}
+		report.RefinedAntibody = refined
+		report.TimeToBestVSEF = time.Since(t0)
+		s.publish(refined)
+	} else {
+		report.TimeToBestVSEF = report.TimeToFirstVSEF
+	}
+
+	// --- Step 3: dynamic taint analysis and exploit-input identification. ---
+	var taintVSEF *antibody.VSEF
+	if s.cfg.EnableTaint {
+		t = time.Now()
+		s.proc.Rollback(snap, proc.ModeReplay, false)
+		tr := taint.New(true)
+		s.proc.Machine.AttachTool(tr)
+		s.proc.Run(s.cfg.ReplayBudget)
+		s.proc.Machine.DetachTool(tr.Name())
+		report.TaintFindings = tr.Findings()
+		report.TaintDetected = tr.Detected()
+		if id, ok := tr.ResponsibleRequest(); ok {
+			report.CulpritRequestID = id
+		}
+		taintVSEF = antibody.FromTaint(s.newAntibodyID("taint")+"-vsef", s.name, tr)
+		step("input-taint", t)
+	}
+	if report.CulpritRequestID < 0 {
+		t = time.Now()
+		report.CulpritRequestID = s.isolateInput(snap)
+		report.IsolationUsed = true
+		step("input-isolation", t)
+	}
+	if report.CulpritRequestID >= 0 {
+		report.CulpritPayload = s.payloadOf(report.CulpritRequestID)
+	}
+	report.InitialAnalysisTime = time.Since(t0)
+
+	// --- Step 4: dynamic backward slicing (sanity check of the other steps). ---
+	if s.cfg.EnableSlicing {
+		t = time.Now()
+		s.proc.Rollback(snap, proc.ModeReplay, false)
+		sl := slicing.New(slicing.Options{IncludeControlDeps: true})
+		s.proc.Machine.AttachTool(sl)
+		s.proc.Run(s.cfg.ReplayBudget)
+		s.proc.Machine.DetachTool(sl.Name())
+		if slice, err := sl.BackwardSliceFromLast(); err == nil {
+			report.SliceNodes = slice.Size()
+			report.SliceInstrs = len(slice.InstrSet)
+			report.MissingFromSlice = slice.Verify(s.implicatedInstrs(report)...)
+			report.SliceConsistent = len(report.MissingFromSlice) == 0
+		}
+		step("slicing", t)
+	}
+	report.TotalAnalysisTime = time.Since(t0)
+
+	// --- Final antibody: best VSEFs + input signature + exploit input. ---
+	final := &antibody.Antibody{
+		ID:          s.newAntibodyID(antibody.StageFinal),
+		Program:     s.name,
+		Stage:       antibody.StageFinal,
+		CreatedAtMs: s.proc.Machine.NowMillis(),
+	}
+	if initVSEF != nil {
+		final.VSEFs = append(final.VSEFs, initVSEF)
+	}
+	if refinedVSEF != nil {
+		final.VSEFs = append(final.VSEFs, refinedVSEF)
+	}
+	if taintVSEF != nil {
+		final.VSEFs = append(final.VSEFs, taintVSEF)
+	}
+	if report.CulpritPayload != nil {
+		sig := antibody.ExactSignature(final.ID+"-sig", report.CulpritPayload)
+		final.Sigs = append(final.Sigs, sig)
+		final.ExploitInput = report.CulpritPayload
+	}
+	report.FinalAntibody = final
+	s.publish(final)
+
+	// --- Step 5: recovery by rollback and re-execution without the attack. ---
+	// The analysis replays above ran against shadow state; their cost is
+	// reported as wall-clock analysis time, not as client-visible service
+	// time. The service clock resumes from the moment of detection and only
+	// advances by the rollback and re-execution below (this is what Figure 5
+	// measures as the recovery gap).
+	s.proc.Machine.SetCycles(detectCycles)
+	t = time.Now()
+	recoveryStartMs := s.proc.Machine.NowMillis()
+	s.proc.Rollback(snap, proc.ModeReplay, false)
+	s.proc.ClearDropped()
+	if report.CulpritRequestID >= 0 {
+		s.proc.ExciseRequests(report.CulpritRequestID)
+	}
+	if applied, err := final.Apply(s.proc, s.proxy); err == nil {
+		s.applied = append(s.applied, applied)
+	}
+	// Re-execute the logged, non-malicious requests in the sandbox; once the
+	// log is exhausted the process is back in a safe, up-to-date state and is
+	// switched to live mode so the ServeAll loop can continue serving queued
+	// and future requests (each of which is now covered by the new VSEFs and
+	// input filters).
+	replayStop := s.proc.Run(s.cfg.ReplayBudget)
+	switch replayStop.Reason {
+	case vm.StopWaitInput:
+		report.Recovered = true
+		s.proc.SetMode(proc.ModeLive, false)
+		// Start the post-recovery epoch from a fresh checkpoint so later
+		// analyses never need to replay across the excised attack.
+		s.ckpt.Checkpoint(s.proc)
+	default:
+		// The replayed benign traffic itself faulted or ran away (should not
+		// happen); treat recovery as failed so the caller can fall back to a
+		// restart.
+		report.Recovered = false
+	}
+	report.RecoveryTime = time.Since(t)
+	report.RecoveryVirtualMs = s.proc.Machine.NowMillis() - recoveryStartMs
+	report.RecoveryDiverged, report.RecoveryDivergence = s.proc.Diverged()
+	step("recovery", t)
+	return report
+}
+
+// isolateInput identifies the exploit request by replaying the requests
+// received since the checkpoint one at a time and seeing which one reproduces
+// the failure (the fallback the paper also uses when taint analysis alone
+// cannot name the input).
+func (s *Sweeper) isolateInput(snap *proc.Snapshot) int {
+	candidates := s.proc.Log.RequestsSince(snap.LogLen)
+	if len(candidates) == 0 {
+		return -1
+	}
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	defer s.proc.ClearDropped()
+	for _, candidate := range candidates {
+		s.proc.Rollback(snap, proc.ModeReplay, false)
+		s.proc.ClearDropped()
+		var others []int
+		for _, id := range candidates {
+			if id != candidate {
+				others = append(others, id)
+			}
+		}
+		s.proc.DropRequests(others...)
+		stop := s.proc.Run(s.cfg.ReplayBudget)
+		if stop.Reason == vm.StopFault || stop.Reason == vm.StopViolation {
+			return candidate
+		}
+	}
+	return -1
+}
+
+// payloadOf returns the payload of a logged request.
+func (s *Sweeper) payloadOf(requestID int) []byte {
+	for _, e := range s.proc.Log.Events() {
+		if e.Kind == replay.EventRequest && e.RequestID == requestID {
+			return append([]byte(nil), e.Data...)
+		}
+	}
+	return nil
+}
+
+// implicatedInstrs collects the static instructions the earlier analysis
+// steps blamed, so the slice can confirm or refute them.
+func (s *Sweeper) implicatedInstrs(r *AttackReport) []int {
+	var out []int
+	if r.CoreDump != nil {
+		out = append(out, r.CoreDump.FaultPC)
+	}
+	if len(r.MemBugFindings) > 0 {
+		f := r.MemBugFindings[0]
+		out = append(out, f.InstrIdx)
+		if f.CallerIdx >= 0 {
+			out = append(out, f.CallerIdx)
+		}
+	}
+	if len(r.TaintFindings) > 0 {
+		out = append(out, r.TaintFindings[0].InstrIdx)
+	}
+	return out
+}

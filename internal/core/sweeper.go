@@ -1,0 +1,249 @@
+// Package core implements the Sweeper system itself: it wires the runtime
+// module (lightweight monitoring, checkpointing, the network proxy), the
+// analysis module (memory-state analysis, memory-bug detection, taint
+// analysis, backward slicing, applied during rollback-and-replay) and the
+// antibody module (VSEF and input-signature generation, deployment and
+// distribution) around one protected guest process, and drives the
+// detect → analyze → inoculate → recover cycle end to end.
+package core
+
+import (
+	"fmt"
+
+	"sweeper/internal/analysis/taint"
+	"sweeper/internal/antibody"
+	"sweeper/internal/checkpoint"
+	"sweeper/internal/metrics"
+	"sweeper/internal/monitor"
+	"sweeper/internal/netproxy"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// Config controls a Sweeper instance.
+type Config struct {
+	// CheckpointIntervalMs is the virtual time between lightweight
+	// checkpoints (the paper's default is 200 ms).
+	CheckpointIntervalMs uint64
+	// MaxCheckpoints is the number of recent checkpoints retained (20).
+	MaxCheckpoints int
+
+	// ASLR enables address-space randomisation, the default lightweight
+	// monitor. When disabled, the process is loaded at the well-known layout
+	// an attacker assumes.
+	ASLR bool
+	// ASLRSeed fixes the randomised layout for reproducible experiments.
+	ASLRSeed int64
+	// ShadowStack additionally enables the shadow-stack lightweight monitor
+	// (an ablation; the paper's default configuration relies on ASLR alone).
+	ShadowStack bool
+
+	// EnableMemBug, EnableTaint and EnableSlicing select which heavyweight
+	// analyses run after an attack is detected. All default to true.
+	EnableMemBug  bool
+	EnableTaint   bool
+	EnableSlicing bool
+
+	// AlwaysOnTaint attaches full dynamic taint analysis during normal
+	// execution (the TaintCheck/Vigilante-style baseline Sweeper argues
+	// against); used only for overhead comparisons.
+	AlwaysOnTaint bool
+
+	// ReplayBudget bounds each analysis replay, in instructions.
+	ReplayBudget uint64
+	// ServeBudget bounds each slice of normal execution, in instructions.
+	ServeBudget uint64
+
+	// RandSeed seeds the guest-visible RNG.
+	RandSeed uint32
+}
+
+// DefaultConfig returns the configuration used in the paper's experiments:
+// 200 ms checkpoints, 20 retained, ASLR on, all analyses enabled.
+func DefaultConfig() Config {
+	return Config{
+		CheckpointIntervalMs: 200,
+		MaxCheckpoints:       20,
+		ASLR:                 true,
+		ASLRSeed:             0x5eed,
+		EnableMemBug:         true,
+		EnableTaint:          true,
+		EnableSlicing:        true,
+		ReplayBudget:         200_000_000,
+		ServeBudget:          0,
+	}
+}
+
+// Sweeper protects one guest server process.
+type Sweeper struct {
+	cfg      Config
+	name     string
+	prog     *vm.Program
+	procOpts proc.Options
+
+	layout vm.Layout
+	proxy  *netproxy.Proxy
+	proc   *proc.Process
+	ckpt   *checkpoint.Manager
+
+	antibodies []*antibody.Antibody
+	applied    []*antibody.AppliedAntibody
+	attacks    []*AttackReport
+
+	completions *metrics.CompletionRecorder
+
+	// OnAntibody, when set, is called every time an antibody (initial,
+	// refined or final) becomes available; community-defence experiments use
+	// it to model distribution to other hosts.
+	OnAntibody func(*antibody.Antibody)
+
+	attackSeq int
+	halted    bool
+}
+
+// New creates a Sweeper instance protecting the given program.
+func New(name string, prog *vm.Program, procOpts proc.Options, cfg Config) (*Sweeper, error) {
+	if cfg.CheckpointIntervalMs == 0 {
+		cfg.CheckpointIntervalMs = 200
+	}
+	if cfg.MaxCheckpoints == 0 {
+		cfg.MaxCheckpoints = 20
+	}
+	if cfg.ReplayBudget == 0 {
+		cfg.ReplayBudget = 200_000_000
+	}
+	layout := vm.DefaultLayout()
+	if cfg.ASLR {
+		layout = monitor.RandomizedLayout(monitor.RandomizeOptions{Seed: cfg.ASLRSeed})
+	}
+	if procOpts.RandSeed == 0 {
+		procOpts.RandSeed = cfg.RandSeed
+	}
+	proxy := netproxy.New()
+	p, err := proc.New(name, prog, layout, proxy, procOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := &Sweeper{
+		cfg:         cfg,
+		name:        name,
+		prog:        prog,
+		procOpts:    procOpts,
+		layout:      layout,
+		proxy:       proxy,
+		proc:        p,
+		ckpt:        checkpoint.NewManager(checkpoint.Policy{IntervalMs: cfg.CheckpointIntervalMs, MaxKept: cfg.MaxCheckpoints}),
+		completions: metrics.NewCompletionRecorder(),
+	}
+	p.OnRequestBoundary = s.onRequestBoundary
+	if cfg.ShadowStack {
+		p.Machine.AttachTool(monitor.NewShadowStack())
+	}
+	if cfg.AlwaysOnTaint {
+		p.Machine.AttachTool(taint.New(true))
+	}
+	// Always start from a known-good checkpoint so analysis and recovery have
+	// somewhere to roll back to even if the very first request is the attack.
+	s.ckpt.Checkpoint(p)
+	return s, nil
+}
+
+// Name returns the protected program's name.
+func (s *Sweeper) Name() string { return s.name }
+
+// Config returns the active configuration.
+func (s *Sweeper) Config() Config { return s.cfg }
+
+// Layout returns the (possibly randomised) layout the process runs at.
+func (s *Sweeper) Layout() vm.Layout { return s.layout }
+
+// Proxy returns the protecting network proxy; workload generators submit
+// requests through it.
+func (s *Sweeper) Proxy() *netproxy.Proxy { return s.proxy }
+
+// Process returns the protected process.
+func (s *Sweeper) Process() *proc.Process { return s.proc }
+
+// Checkpoints returns the checkpoint manager.
+func (s *Sweeper) Checkpoints() *checkpoint.Manager { return s.ckpt }
+
+// Antibodies returns every antibody generated so far, in generation order.
+func (s *Sweeper) Antibodies() []*antibody.Antibody { return s.antibodies }
+
+// Attacks returns the report for every attack handled so far.
+func (s *Sweeper) Attacks() []*AttackReport { return s.attacks }
+
+// Completions returns the request-completion recorder (throughput series).
+func (s *Sweeper) Completions() *metrics.CompletionRecorder { return s.completions }
+
+// Halted reports whether the protected server exited (e.g. a successful
+// hijack called exit, or the guest program terminated).
+func (s *Sweeper) Halted() bool { return s.halted }
+
+// Submit offers a request payload to the protected server through the proxy.
+// It reports whether the request was accepted (false when an input-signature
+// antibody filtered it out).
+func (s *Sweeper) Submit(payload []byte, src string, malicious bool) bool {
+	_, accepted := s.proxy.Submit(payload, src, malicious)
+	return accepted
+}
+
+func (s *Sweeper) onRequestBoundary() {
+	s.completions.Record(s.proc.Machine.NowMillis())
+	s.ckpt.MaybeCheckpoint(s.proc)
+}
+
+// ServeResult summarises one ServeAll invocation.
+type ServeResult struct {
+	RequestsServed int
+	AttacksHandled int
+	Halted         bool
+}
+
+// ServeAll runs the protected server until the proxy queue is drained,
+// handling any attacks detected along the way (analysis, antibody
+// generation, recovery) and then continuing service.
+func (s *Sweeper) ServeAll() (ServeResult, error) {
+	var res ServeResult
+	if s.halted {
+		return res, fmt.Errorf("core: protected process has exited")
+	}
+	startServed := s.proc.ServedRequests()
+	for {
+		stop := s.proc.Run(s.cfg.ServeBudget)
+		switch stop.Reason {
+		case vm.StopWaitInput:
+			if s.proxy.Pending() == 0 {
+				res.RequestsServed = s.proc.ServedRequests() - startServed
+				return res, nil
+			}
+			// More requests arrived while we were handling the previous stop;
+			// keep serving.
+			continue
+		case vm.StopInstrBudget:
+			continue
+		case vm.StopHalt:
+			s.halted = true
+			res.Halted = true
+			res.RequestsServed = s.proc.ServedRequests() - startServed
+			return res, nil
+		case vm.StopFault, vm.StopViolation:
+			det := monitor.Classify(stop)
+			if !det.Suspicious {
+				continue
+			}
+			report := s.HandleAttack(stop, det)
+			s.attacks = append(s.attacks, report)
+			res.AttacksHandled++
+			if !report.Recovered {
+				s.halted = true
+				res.Halted = true
+				res.RequestsServed = s.proc.ServedRequests() - startServed
+				return res, fmt.Errorf("core: recovery failed after attack: %s", report.Detection.Reason)
+			}
+			continue
+		default:
+			return res, fmt.Errorf("core: unexpected stop reason %v", stop.Reason)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package epidemic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AgentParams configure the discrete-event, agent-based worm simulation used
+// to cross-check the differential-equation model. Hosts are explicit: some
+// are Producers, the rest Consumers; an infected host makes Beta infection
+// attempts per second against uniformly random vulnerable hosts (the hit-list
+// assumption — the worm already knows who is vulnerable).
+type AgentParams struct {
+	N     int     // vulnerable hosts
+	Alpha float64 // producer fraction
+	Beta  float64 // contact rate per infected host per second
+	Gamma float64 // community response time in seconds
+	Rho   float64 // per-attempt success probability against protected hosts (1 = unprotected)
+	Dt    float64 // simulation step in seconds (0 = automatic)
+	Seed  int64   // RNG seed
+}
+
+// AgentResult is the outcome of one agent-based run.
+type AgentResult struct {
+	T0             float64
+	Infected       int
+	InfectionRatio float64
+	Attempts       int64
+	Duration       float64
+}
+
+type hostState uint8
+
+const (
+	hostSusceptible hostState = iota
+	hostInfected
+	hostImmune
+	hostProducer
+)
+
+// SimulateAgents runs the agent-based simulation until the community response
+// completes (T0 + Gamma) or the worm has nowhere left to spread.
+func SimulateAgents(p AgentParams) (AgentResult, error) {
+	if p.N <= 1 || p.Beta <= 0 {
+		return AgentResult{}, fmt.Errorf("epidemic: invalid agent parameters N=%d beta=%g", p.N, p.Beta)
+	}
+	if p.Rho <= 0 {
+		p.Rho = 1
+	}
+	if p.Dt <= 0 {
+		// Keep the expected number of attempts per infected host per step
+		// around one so the discretisation error stays small.
+		p.Dt = math.Min(1.0/p.Beta, 0.05)
+		if p.Gamma > 0 {
+			p.Dt = math.Min(p.Dt, p.Gamma/50)
+		}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	hosts := make([]hostState, p.N)
+	producers := int(math.Round(p.Alpha * float64(p.N)))
+	for i := 0; i < producers; i++ {
+		hosts[i] = hostProducer
+	}
+	// Shuffle producer placement.
+	rng.Shuffle(p.N, func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+
+	// Patient zero: a random consumer.
+	var infected []int
+	for {
+		h := rng.Intn(p.N)
+		if hosts[h] == hostSusceptible {
+			hosts[h] = hostInfected
+			infected = append(infected, h)
+			break
+		}
+	}
+
+	var res AgentResult
+	t := 0.0
+	t0 := math.Inf(1)
+	perStep := p.Beta * p.Dt
+
+	for {
+		// Community response: at T0+Gamma every remaining susceptible host
+		// (and every producer) installs the antibody and becomes immune.
+		if !math.IsInf(t0, 1) && t >= t0+p.Gamma {
+			break
+		}
+		if len(infected) >= p.N-producers {
+			break // nobody left to infect
+		}
+		// Bound runaway simulations when no producer is ever contacted.
+		if math.IsInf(t0, 1) && t > 1e6/p.Beta {
+			break
+		}
+
+		newInfections := []int{}
+		for range infected {
+			// Number of attempts this step: floor(perStep) plus a Bernoulli
+			// trial for the fractional part.
+			attempts := int(perStep)
+			if rng.Float64() < perStep-float64(attempts) {
+				attempts++
+			}
+			for a := 0; a < attempts; a++ {
+				res.Attempts++
+				target := rng.Intn(p.N)
+				switch hosts[target] {
+				case hostProducer:
+					// Any attempt against a producer is detected, analysed
+					// and starts the response clock.
+					if math.IsInf(t0, 1) {
+						t0 = t
+					}
+				case hostSusceptible:
+					if rng.Float64() < p.Rho {
+						hosts[target] = hostInfected
+						newInfections = append(newInfections, target)
+					}
+				}
+			}
+		}
+		infected = append(infected, newInfections...)
+		t += p.Dt
+	}
+
+	res.T0 = t0
+	res.Infected = len(infected)
+	res.InfectionRatio = float64(len(infected)) / float64(p.N)
+	res.Duration = t
+	return res, nil
+}
+
+// SimulateAgentsMean averages the infection ratio over several seeds.
+func SimulateAgentsMean(p AgentParams, runs int) (mean float64, results []AgentResult, err error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	sum := 0.0
+	for i := 0; i < runs; i++ {
+		q := p
+		q.Seed = p.Seed + int64(i)*7919
+		r, err := SimulateAgents(q)
+		if err != nil {
+			return 0, nil, err
+		}
+		results = append(results, r)
+		sum += r.InfectionRatio
+	}
+	return sum / float64(runs), results, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatTable1 renders Table 1 as text.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: List of tested exploits\n")
+	fmt.Fprintf(&b, "%-10s %-36s %-15s %-22s %s\n", "Name", "Program", "CVE ID", "Bug Type", "Security Threat")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-36s %-15s %-22s %s\n", r.Name, r.Program, r.CVE, r.BugType, r.Threat)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2 as text.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Overall Sweeper results\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "\n== %s ==\n", r.App)
+		fmt.Fprintf(&b, "  Defense result summary:\n")
+		for _, s := range r.ResultSummary {
+			fmt.Fprintf(&b, "    - %s\n", s)
+		}
+		fmt.Fprintf(&b, "  #1 Memory State Analysis : %s\n", r.MemoryState)
+		if r.MemoryStateVSEF != "" {
+			fmt.Fprintf(&b, "                             %s\n", r.MemoryStateVSEF)
+		}
+		fmt.Fprintf(&b, "  #2 Memory Bug Detection  : %s\n", r.MemoryBug)
+		if r.MemoryBugVSEF != "" {
+			fmt.Fprintf(&b, "                             %s\n", r.MemoryBugVSEF)
+		}
+		fmt.Fprintf(&b, "  #3 Input/Taint Analysis  : %s\n", r.InputTaint)
+		fmt.Fprintf(&b, "  #4 Slicing               : %s\n", r.Slicing)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2f ms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%d ms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	}
+}
+
+// FormatTable3 renders Table 3 as text.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Sweeper failure analysis time (wall clock of this reproduction)\n")
+	fmt.Fprintf(&b, "%-10s %-12s %-12s %-12s %-12s | %-12s %-12s %-12s %-12s %-10s\n",
+		"App", "First VSEF", "Best VSEF", "Initial", "Total",
+		"MemState", "MemBug", "Input/Taint", "Slicing", "Recovery")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-12s %-12s %-12s %-12s | %-12s %-12s %-12s %-12s %-10s\n",
+			r.App,
+			fmtDur(r.TimeToFirstVSEF), fmtDur(r.TimeToBestVSEF),
+			fmtDur(r.InitialAnalysisTime), fmtDur(r.TotalAnalysisTime),
+			fmtDur(r.MemoryState), fmtDur(r.MemoryBug), fmtDur(r.InputTaint), fmtDur(r.Slicing),
+			fmtDur(r.RecoveryTime))
+	}
+	return b.String()
+}
+
+// FormatFigure4 renders the checkpoint-interval sweep as text.
+func FormatFigure4(points []Figure4Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: throughput overhead vs checkpoint interval (Squid benign workload)\n")
+	fmt.Fprintf(&b, "%-14s %-22s %s\n", "Interval (ms)", "Throughput (req/s)", "Overhead")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-14d %-22.1f %.3f%%\n", p.IntervalMs, p.Throughput, p.Overhead*100)
+	}
+	return b.String()
+}
+
+// FormatOverhead renders the monitoring-overhead comparison as text.
+func FormatOverhead(rows []OverheadRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Normal-execution overhead by monitoring configuration (Squid benign workload)\n")
+	fmt.Fprintf(&b, "%-50s %-22s %s\n", "Configuration", "Throughput (req/s)", "Overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-50s %-22.1f %.2f%%\n", r.Mode, r.Throughput, r.Overhead*100)
+	}
+	return b.String()
+}
+
+// FormatFigure5 renders the attack/recovery throughput time series as text.
+func FormatFigure5(res Figure5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: throughput during a single attack against Squid\n")
+	fmt.Fprintf(&b, "Attack at t=%d ms; Sweeper recovery gap %d ms; restart baseline gap %d ms\n",
+		res.AttackAtMs, res.RecoveryGapMs, res.RestartGapMs)
+	fmt.Fprintf(&b, "Requests served: Sweeper=%d, restart baseline=%d\n", res.SweeperServed, res.RestartServed)
+	fmt.Fprintf(&b, "%-12s %-20s %-20s\n", "time (ms)", "sweeper (req/s)", "restart (req/s)")
+	n := len(res.Sweeper)
+	if len(res.Restart) > n {
+		n = len(res.Restart)
+	}
+	for i := 0; i < n; i++ {
+		var t uint64
+		sv, rv := "-", "-"
+		if i < len(res.Sweeper) {
+			t = res.Sweeper[i].TimeMs
+			sv = fmt.Sprintf("%.1f", res.Sweeper[i].Value)
+		}
+		if i < len(res.Restart) {
+			t = res.Restart[i].TimeMs
+			rv = fmt.Sprintf("%.1f", res.Restart[i].Value)
+		}
+		fmt.Fprintf(&b, "%-12d %-20s %-20s\n", t, sv, rv)
+	}
+	return b.String()
+}
+
+// FormatCommunityFigure renders one of Figures 6-8 as text.
+func FormatCommunityFigure(title string, series []FigureSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s", "alpha")
+	for _, s := range series {
+		fmt.Fprintf(&b, "g=%-10.0f", s.Gamma)
+	}
+	fmt.Fprintf(&b, "\n")
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%-12g", series[0].Points[i].Alpha)
+		for _, s := range series {
+			fmt.Fprintf(&b, "%-12.4f", s.Points[i].InfectionRatio)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// FormatProactiveAblation renders the proactive-protection ablation.
+func FormatProactiveAblation(rows []ProactiveAblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: proactive protection (rho=2^-12) vs none (rho=1), hit-list worm\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-10s %-18s %-18s\n", "beta", "gamma", "alpha", "with proactive", "without proactive")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8.0f %-8.0f %-10g %-18.4f %-18.4f\n", r.Beta, r.Gamma, r.Alpha, r.WithProactive, r.WithoutProactive)
+	}
+	return b.String()
+}
+
+// FormatResponseTimeAblation renders the antibody-timing ablation.
+func FormatResponseTimeAblation(rows []ResponseTimeAblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: distribute initial VSEF immediately vs wait for refined VSEF\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-24s %-24s\n", "beta", "alpha", "initial (gamma=5s)", "wait for refined")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8.0f %-10g %-24.4f %-24.4f\n", r.Beta, r.Alpha, r.RatioInitial, r.RatioRefined)
+	}
+	return b.String()
+}
+
+// FormatAgentCrossCheck renders the model-vs-agent comparison.
+func FormatAgentCrossCheck(rows []AgentCrossCheckRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cross-check: SI differential-equation model vs agent-based simulation\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-8s %-12s %-14s %-14s\n", "beta", "alpha", "gamma", "rho", "model ratio", "agent ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8g %-10g %-8.0f %-12.2e %-14.4f %-14.4f\n", r.Beta, r.Alpha, r.Gamma, r.Rho, r.ModelRatio, r.AgentRatio)
+	}
+	return b.String()
+}

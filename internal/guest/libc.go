@@ -1,0 +1,238 @@
+// Package guest provides the guest-side C library shared by all simulated
+// server applications: syscall wrappers (recv, send, malloc, free, ...) and
+// the unbounded string routines (strcpy, strcat, ...) whose misuse produces
+// the memory-corruption vulnerabilities the paper studies.
+package guest
+
+import (
+	"sweeper/internal/asm"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// Names of the library entry points added by AddLibc. Applications call them
+// with the standard convention: arguments in R1..R3, result in R0.
+const (
+	FnRecv    = "recv"
+	FnSend    = "send"
+	FnExit    = "exit"
+	FnMalloc  = "malloc"
+	FnFree    = "free"
+	FnTime    = "timeofday"
+	FnRand    = "random"
+	FnLogMsg  = "logmsg"
+	FnStrlen  = "strlen"
+	FnStrcpy  = "strcpy"
+	FnStrcat  = "strcat"
+	FnMemcpy  = "memcpy"
+	FnMemset  = "memset"
+	FnStreq   = "streq"
+	FnPrefix  = "hasprefix"
+	FnStrstr  = "strstr"
+	FnStrchr  = "strchr"
+)
+
+// StrcatStoreLabel names the store instruction inside strcat that performs
+// the (unbounded) copy; analysis results and tests refer to it. The label is
+// placed directly on the instruction so its index can be recovered from the
+// program's symbol table.
+const StrcatStoreLabel = "strcat.store"
+
+// StrcpyStoreLabel names the unbounded store inside strcpy.
+const StrcpyStoreLabel = "strcpy.store"
+
+// AddLibc appends the guest C library to the builder. It may be called once
+// per program, before or after the application's own functions.
+func AddLibc(b *asm.Builder) {
+	addSyscallWrappers(b)
+	addStringRoutines(b)
+}
+
+func addSyscallWrappers(b *asm.Builder) {
+	wrapper := func(name string, num int32) {
+		b.Func(name)
+		b.MovI(vm.R0, num)
+		b.Syscall()
+		b.Ret()
+	}
+	wrapper(FnRecv, proc.SysRecv)
+	wrapper(FnSend, proc.SysSend)
+	wrapper(FnMalloc, proc.SysMalloc)
+	wrapper(FnFree, proc.SysFree)
+	wrapper(FnTime, proc.SysTime)
+	wrapper(FnRand, proc.SysRand)
+	wrapper(FnLogMsg, proc.SysLog)
+
+	// exit does not return.
+	b.Func(FnExit)
+	b.MovI(vm.R0, proc.SysExit)
+	b.Syscall()
+	b.Halt()
+}
+
+func addStringRoutines(b *asm.Builder) {
+	// strlen(s r1) -> r0
+	b.Func(FnStrlen)
+	b.MovI(vm.R0, 0)
+	b.Label("strlen.loop")
+	b.LoadB(vm.R4, vm.R1, 0)
+	b.CmpI(vm.R4, 0)
+	b.Jz("strlen.done")
+	b.AddI(vm.R1, 1)
+	b.AddI(vm.R0, 1)
+	b.Jmp("strlen.loop")
+	b.Label("strlen.done")
+	b.Ret()
+
+	// strcpy(dst r1, src r2) -> r0 = dst. Unbounded, like the real thing.
+	b.Func(FnStrcpy)
+	b.Mov(vm.R0, vm.R1)
+	b.Label("strcpy.loop")
+	b.LoadB(vm.R4, vm.R2, 0)
+	b.Label(StrcpyStoreLabel)
+	b.StoreB(vm.R1, 0, vm.R4)
+	b.CmpI(vm.R4, 0)
+	b.Jz("strcpy.done")
+	b.AddI(vm.R1, 1)
+	b.AddI(vm.R2, 1)
+	b.Jmp("strcpy.loop")
+	b.Label("strcpy.done")
+	b.Ret()
+
+	// strcat(dst r1, src r2) -> r0 = dst. The copy store carries the
+	// StrcatStoreLabel; it is the instruction the Squid heap overflow
+	// analysis must identify (the paper's 0x4f0f0907 in lib strcat).
+	b.Func(FnStrcat)
+	b.Mov(vm.R0, vm.R1)
+	b.Label("strcat.findend")
+	b.LoadB(vm.R4, vm.R1, 0)
+	b.CmpI(vm.R4, 0)
+	b.Jz("strcat.copy")
+	b.AddI(vm.R1, 1)
+	b.Jmp("strcat.findend")
+	b.Label("strcat.copy")
+	b.LoadB(vm.R4, vm.R2, 0)
+	b.Label(StrcatStoreLabel)
+	b.StoreB(vm.R1, 0, vm.R4)
+	b.CmpI(vm.R4, 0)
+	b.Jz("strcat.done")
+	b.AddI(vm.R1, 1)
+	b.AddI(vm.R2, 1)
+	b.Jmp("strcat.copy")
+	b.Label("strcat.done")
+	b.Ret()
+
+	// memcpy(dst r1, src r2, n r3) -> r0 = dst
+	b.Func(FnMemcpy)
+	b.Mov(vm.R0, vm.R1)
+	b.Label("memcpy.loop")
+	b.CmpI(vm.R3, 0)
+	b.Jz("memcpy.done")
+	b.LoadB(vm.R4, vm.R2, 0)
+	b.StoreB(vm.R1, 0, vm.R4)
+	b.AddI(vm.R1, 1)
+	b.AddI(vm.R2, 1)
+	b.SubI(vm.R3, 1)
+	b.Jmp("memcpy.loop")
+	b.Label("memcpy.done")
+	b.Ret()
+
+	// memset(dst r1, val r2, n r3) -> r0 = dst
+	b.Func(FnMemset)
+	b.Mov(vm.R0, vm.R1)
+	b.Label("memset.loop")
+	b.CmpI(vm.R3, 0)
+	b.Jz("memset.done")
+	b.StoreB(vm.R1, 0, vm.R2)
+	b.AddI(vm.R1, 1)
+	b.SubI(vm.R3, 1)
+	b.Jmp("memset.loop")
+	b.Label("memset.done")
+	b.Ret()
+
+	// streq(a r1, b r2) -> r0 = 1 if the strings are equal, else 0
+	b.Func(FnStreq)
+	b.Label("streq.loop")
+	b.LoadB(vm.R4, vm.R1, 0)
+	b.LoadB(vm.R5, vm.R2, 0)
+	b.Cmp(vm.R4, vm.R5)
+	b.Jnz("streq.no")
+	b.CmpI(vm.R4, 0)
+	b.Jz("streq.yes")
+	b.AddI(vm.R1, 1)
+	b.AddI(vm.R2, 1)
+	b.Jmp("streq.loop")
+	b.Label("streq.yes")
+	b.MovI(vm.R0, 1)
+	b.Ret()
+	b.Label("streq.no")
+	b.MovI(vm.R0, 0)
+	b.Ret()
+
+	// hasprefix(s r1, prefix r2) -> r0 = 1/0
+	b.Func(FnPrefix)
+	b.Label("hasprefix.loop")
+	b.LoadB(vm.R4, vm.R2, 0)
+	b.CmpI(vm.R4, 0)
+	b.Jz("hasprefix.yes")
+	b.LoadB(vm.R5, vm.R1, 0)
+	b.Cmp(vm.R5, vm.R4)
+	b.Jnz("hasprefix.no")
+	b.AddI(vm.R1, 1)
+	b.AddI(vm.R2, 1)
+	b.Jmp("hasprefix.loop")
+	b.Label("hasprefix.yes")
+	b.MovI(vm.R0, 1)
+	b.Ret()
+	b.Label("hasprefix.no")
+	b.MovI(vm.R0, 0)
+	b.Ret()
+
+	// strstr(haystack r1, needle r2) -> r0 = pointer to first match, or 0
+	b.Func(FnStrstr)
+	b.Mov(vm.R5, vm.R1) // r5: current haystack position
+	b.Label("strstr.outer")
+	b.Mov(vm.R6, vm.R5) // r6: haystack cursor
+	b.Mov(vm.R7, vm.R2) // r7: needle cursor
+	b.Label("strstr.inner")
+	b.LoadB(vm.R3, vm.R7, 0)
+	b.CmpI(vm.R3, 0)
+	b.Jz("strstr.found")
+	b.LoadB(vm.R4, vm.R6, 0)
+	b.CmpI(vm.R4, 0)
+	b.Jz("strstr.notfound")
+	b.Cmp(vm.R4, vm.R3)
+	b.Jnz("strstr.advance")
+	b.AddI(vm.R6, 1)
+	b.AddI(vm.R7, 1)
+	b.Jmp("strstr.inner")
+	b.Label("strstr.advance")
+	b.LoadB(vm.R4, vm.R5, 0)
+	b.CmpI(vm.R4, 0)
+	b.Jz("strstr.notfound")
+	b.AddI(vm.R5, 1)
+	b.Jmp("strstr.outer")
+	b.Label("strstr.found")
+	b.Mov(vm.R0, vm.R5)
+	b.Ret()
+	b.Label("strstr.notfound")
+	b.MovI(vm.R0, 0)
+	b.Ret()
+
+	// strchr(s r1, ch r2) -> r0 = pointer to first occurrence, or 0
+	b.Func(FnStrchr)
+	b.Label("strchr.loop")
+	b.LoadB(vm.R4, vm.R1, 0)
+	b.Cmp(vm.R4, vm.R2)
+	b.Jz("strchr.found")
+	b.CmpI(vm.R4, 0)
+	b.Jz("strchr.notfound")
+	b.AddI(vm.R1, 1)
+	b.Jmp("strchr.loop")
+	b.Label("strchr.found")
+	b.Mov(vm.R0, vm.R1)
+	b.Ret()
+	b.Label("strchr.notfound")
+	b.MovI(vm.R0, 0)
+	b.Ret()
+}

@@ -1,0 +1,295 @@
+package guest_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sweeper/internal/asm"
+	"sweeper/internal/guest"
+	"sweeper/internal/vm"
+)
+
+// callString builds a tiny guest program that calls fn with up to two string
+// arguments (placed in the data segment) and a scratch output buffer, runs it
+// and returns the final machine for inspection.
+func callString(t *testing.T, fn string, arg1, arg2 string, setup func(b *asm.Builder)) *vm.Machine {
+	t.Helper()
+	b := asm.New("libc-test")
+	b.DataString("arg1", arg1)
+	b.DataString("arg2", arg2)
+	b.DataSpace("out", 4096)
+	b.Func("main")
+	if setup != nil {
+		setup(b)
+	} else {
+		b.LoadDataAddr(vm.R1, "arg1")
+		b.LoadDataAddr(vm.R2, "arg2")
+	}
+	b.Call(fn)
+	b.Halt()
+	guest.AddLibc(b)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("assembling: %v", err)
+	}
+	m, err := vm.NewMachine(prog, vm.DefaultLayout(), nil)
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	stop := m.Run(1_000_000)
+	if stop.Reason != vm.StopHalt {
+		t.Fatalf("guest stopped with %v (fault=%v)", stop.Reason, stop.Fault)
+	}
+	return m
+}
+
+func dataAddr(m *vm.Machine, label string) uint32 {
+	return m.Layout().DataBase + m.Program().DataSymbols[label]
+}
+
+func TestStrlen(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", strings.Repeat("x", 300)} {
+		m := callString(t, guest.FnStrlen, s, "", nil)
+		if got := m.Regs[vm.R0]; got != uint32(len(s)) {
+			t.Errorf("strlen(%q) = %d, want %d", s, got, len(s))
+		}
+	}
+}
+
+func TestStrcpy(t *testing.T) {
+	m := callString(t, guest.FnStrcpy, "unused", "copy me", func(b *asm.Builder) {
+		b.LoadDataAddr(vm.R1, "out")
+		b.LoadDataAddr(vm.R2, "arg2")
+	})
+	out, _ := m.Mem.ReadCString(dataAddr(m, "out"), 64)
+	if out != "copy me" {
+		t.Errorf("strcpy result %q", out)
+	}
+	if m.Regs[vm.R0] != dataAddr(m, "out") {
+		t.Error("strcpy should return dst")
+	}
+}
+
+func TestStrcat(t *testing.T) {
+	m := callString(t, guest.FnStrcat, "", "tail", func(b *asm.Builder) {
+		// out starts as "head\0"
+		b.LoadDataAddr(vm.R1, "out")
+		b.LoadDataAddr(vm.R2, "arg1")
+		b.Call(guest.FnStrcpy)
+		b.LoadDataAddr(vm.R1, "out")
+		b.LoadDataAddr(vm.R2, "arg2")
+	})
+	_ = m
+	m2 := callStrcat(t, "head", "tail")
+	out, _ := m2.Mem.ReadCString(dataAddr(m2, "out"), 64)
+	if out != "headtail" {
+		t.Errorf("strcat result %q", out)
+	}
+}
+
+// callStrcat copies a into out then concatenates b.
+func callStrcat(t *testing.T, a, b string) *vm.Machine {
+	t.Helper()
+	return callString(t, guest.FnStrcat, a, b, func(bb *asm.Builder) {
+		bb.LoadDataAddr(vm.R1, "out")
+		bb.LoadDataAddr(vm.R2, "arg1")
+		bb.Call(guest.FnStrcpy)
+		bb.LoadDataAddr(vm.R1, "out")
+		bb.LoadDataAddr(vm.R2, "arg2")
+	})
+}
+
+func TestMemcpyAndMemset(t *testing.T) {
+	m := callString(t, guest.FnMemcpy, "0123456789", "", func(b *asm.Builder) {
+		b.LoadDataAddr(vm.R1, "out")
+		b.LoadDataAddr(vm.R2, "arg1")
+		b.MovI(vm.R3, 6)
+	})
+	out, _ := m.Mem.ReadBytes(dataAddr(m, "out"), 6)
+	if string(out) != "012345" {
+		t.Errorf("memcpy result %q", out)
+	}
+
+	m = callString(t, guest.FnMemset, "", "", func(b *asm.Builder) {
+		b.LoadDataAddr(vm.R1, "out")
+		b.MovI(vm.R2, int32('z'))
+		b.MovI(vm.R3, 5)
+	})
+	out, _ = m.Mem.ReadBytes(dataAddr(m, "out"), 6)
+	if string(out[:5]) != "zzzzz" || out[5] != 0 {
+		t.Errorf("memset result %q", out)
+	}
+}
+
+func TestStreq(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want uint32
+	}{
+		{"abc", "abc", 1},
+		{"abc", "abd", 0},
+		{"", "", 1},
+		{"abc", "ab", 0},
+		{"ab", "abc", 0},
+	}
+	for _, c := range cases {
+		m := callString(t, guest.FnStreq, c.a, c.b, nil)
+		if m.Regs[vm.R0] != c.want {
+			t.Errorf("streq(%q,%q) = %d, want %d", c.a, c.b, m.Regs[vm.R0], c.want)
+		}
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	cases := []struct {
+		s, prefix string
+		want      uint32
+	}{
+		{"GET /index.html", "GET ", 1},
+		{"POST /", "GET ", 0},
+		{"ftp://x", "ftp://", 1},
+		{"ft", "ftp://", 0},
+		{"anything", "", 1},
+	}
+	for _, c := range cases {
+		m := callString(t, guest.FnPrefix, c.s, c.prefix, nil)
+		if m.Regs[vm.R0] != c.want {
+			t.Errorf("hasprefix(%q,%q) = %d, want %d", c.s, c.prefix, m.Regs[vm.R0], c.want)
+		}
+	}
+}
+
+func TestStrstr(t *testing.T) {
+	cases := []struct {
+		hay, needle string
+		wantIdx     int // -1 = not found
+	}{
+		{"GET / HTTP/1.0\r\nReferer: http://x\r\n", "Referer: ", 16},
+		{"abcdef", "cde", 2},
+		{"abcdef", "xyz", -1},
+		{"abc", "abcdef", -1},
+		{"aaa", "aa", 0},
+	}
+	for _, c := range cases {
+		m := callString(t, guest.FnStrstr, c.hay, c.needle, nil)
+		got := m.Regs[vm.R0]
+		if c.wantIdx < 0 {
+			if got != 0 {
+				t.Errorf("strstr(%q,%q) = %#x, want NULL", c.hay, c.needle, got)
+			}
+			continue
+		}
+		want := dataAddr(m, "arg1") + uint32(c.wantIdx)
+		if got != want {
+			t.Errorf("strstr(%q,%q) = %#x, want %#x", c.hay, c.needle, got, want)
+		}
+	}
+}
+
+func TestStrchr(t *testing.T) {
+	m := callString(t, guest.FnStrchr, "user@host", "", func(b *asm.Builder) {
+		b.LoadDataAddr(vm.R1, "arg1")
+		b.MovI(vm.R2, int32('@'))
+	})
+	want := dataAddr(m, "arg1") + 4
+	if m.Regs[vm.R0] != want {
+		t.Errorf("strchr = %#x, want %#x", m.Regs[vm.R0], want)
+	}
+	m = callString(t, guest.FnStrchr, "nochar", "", func(b *asm.Builder) {
+		b.LoadDataAddr(vm.R1, "arg1")
+		b.MovI(vm.R2, int32('@'))
+	})
+	if m.Regs[vm.R0] != 0 {
+		t.Errorf("strchr of absent char = %#x, want 0", m.Regs[vm.R0])
+	}
+}
+
+func TestLibcLabelsExist(t *testing.T) {
+	b := asm.New("labels")
+	b.Func("main")
+	b.Halt()
+	guest.AddLibc(b)
+	prog := b.MustBuild()
+	for _, label := range []string{
+		guest.FnRecv, guest.FnSend, guest.FnExit, guest.FnMalloc, guest.FnFree,
+		guest.FnTime, guest.FnRand, guest.FnLogMsg,
+		guest.FnStrlen, guest.FnStrcpy, guest.FnStrcat, guest.FnMemcpy, guest.FnMemset,
+		guest.FnStreq, guest.FnPrefix, guest.FnStrstr, guest.FnStrchr,
+		guest.StrcatStoreLabel, guest.StrcpyStoreLabel,
+	} {
+		if _, ok := prog.Symbols[label]; !ok {
+			t.Errorf("libc label %q missing", label)
+		}
+	}
+	// The labelled stores really are store instructions.
+	if prog.Code[prog.Symbols[guest.StrcatStoreLabel]].Op != vm.OpStoreB {
+		t.Error("strcat.store is not a byte store")
+	}
+	if prog.Code[prog.Symbols[guest.StrcpyStoreLabel]].Op != vm.OpStoreB {
+		t.Error("strcpy.store is not a byte store")
+	}
+}
+
+// sanitize makes a quick-generated string usable as a guest C string: strip
+// NUL bytes and bound the length.
+func sanitize(s string, max int) string {
+	s = strings.ReplaceAll(s, "\x00", "x")
+	if len(s) > max {
+		s = s[:max]
+	}
+	return s
+}
+
+// TestQuickStringRoutinesMatchGo checks strlen/streq/hasprefix/strstr against
+// the Go standard library on random inputs.
+func TestQuickStringRoutinesMatchGo(t *testing.T) {
+	prop := func(rawA, rawB string) bool {
+		a := sanitize(rawA, 120)
+		b := sanitize(rawB, 60)
+
+		m := callString(t, guest.FnStrlen, a, b, nil)
+		if m.Regs[vm.R0] != uint32(len(a)) {
+			return false
+		}
+
+		m = callString(t, guest.FnStreq, a, b, nil)
+		if (m.Regs[vm.R0] == 1) != (a == b) {
+			return false
+		}
+
+		m = callString(t, guest.FnPrefix, a, b, nil)
+		if (m.Regs[vm.R0] == 1) != strings.HasPrefix(a, b) {
+			return false
+		}
+
+		m = callString(t, guest.FnStrstr, a, b, nil)
+		idx := strings.Index(a, b)
+		if idx < 0 {
+			if m.Regs[vm.R0] != 0 {
+				return false
+			}
+		} else if m.Regs[vm.R0] != dataAddr(m, "arg1")+uint32(idx) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStrcpyStrcatMatchGo checks the copy routines against Go string
+// concatenation on random inputs.
+func TestQuickStrcpyStrcatMatchGo(t *testing.T) {
+	prop := func(rawA, rawB string) bool {
+		a := sanitize(rawA, 100)
+		b := sanitize(rawB, 100)
+		m := callStrcat(t, a, b)
+		out, ok := m.Mem.ReadCString(dataAddr(m, "out"), 4096)
+		return ok && out == a+b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

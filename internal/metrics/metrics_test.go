@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompletionRecorder(t *testing.T) {
+	r := NewCompletionRecorder()
+	if r.Count() != 0 || r.Last() != 0 || r.Throughput() != 0 {
+		t.Error("empty recorder should be all zeros")
+	}
+	for _, ts := range []uint64{100, 200, 300, 400, 1000} {
+		r.Record(ts)
+	}
+	if r.Count() != 5 || r.Last() != 1000 {
+		t.Errorf("count=%d last=%d", r.Count(), r.Last())
+	}
+	// 5 requests over 1 second.
+	if got := r.Throughput(); math.Abs(got-5.0) > 0.01 {
+		t.Errorf("throughput = %f", got)
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	r := NewCompletionRecorder()
+	for i := 0; i < 10; i++ {
+		r.Record(uint64(i * 100)) // one per 100ms over 900ms
+	}
+	s := r.ThroughputSeries(500)
+	if len(s) != 2 {
+		t.Fatalf("series length = %d", len(s))
+	}
+	if s[0].Value != 10 || s[1].Value != 10 { // 5 per 0.5s = 10/s
+		t.Errorf("series = %+v", s)
+	}
+	if r.ThroughputSeries(0) != nil {
+		t.Error("zero bucket should yield nil")
+	}
+	if !strings.Contains(s.String(), "\t") {
+		t.Error("series String() should be tab separated")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(100, 99); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("overhead = %f", got)
+	}
+	if got := Overhead(0, 50); got != 0 {
+		t.Errorf("overhead with zero baseline = %f", got)
+	}
+	if got := Overhead(100, 110); got >= 0 {
+		t.Errorf("faster measurement should give negative overhead, got %f", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P95 < 4 || s.P95 > 5 {
+		t.Errorf("p95 = %f", s.P95)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %f", s.StdDev)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+// TestQuickSummarizeBounds: for any input, Min <= Median <= Max,
+// Min <= Mean <= Max and P95 <= Max.
+func TestQuickSummarizeBounds(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			// Keep magnitudes moderate so sums and variances cannot overflow;
+			// the property under test is ordering, not extended-precision
+			// arithmetic.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.P95 <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickThroughputSeriesConservation: the series buckets account for every
+// recorded completion exactly once.
+func TestQuickThroughputSeriesConservation(t *testing.T) {
+	prop := func(raw []uint16, bucket uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		bucketMs := uint64(bucket)%500 + 1
+		r := NewCompletionRecorder()
+		// Completion times must be non-decreasing for the recorder.
+		cur := uint64(0)
+		for _, d := range raw {
+			cur += uint64(d) % 50
+			r.Record(cur)
+		}
+		total := 0.0
+		for _, p := range r.ThroughputSeries(bucketMs) {
+			total += p.Value * float64(bucketMs) / 1000.0
+		}
+		return math.Abs(total-float64(len(raw))) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

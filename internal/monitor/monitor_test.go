@@ -1,0 +1,117 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"sweeper/internal/apps"
+	"sweeper/internal/exploit"
+	"sweeper/internal/monitor"
+	"sweeper/internal/netproxy"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+func TestRandomizedLayoutIsValidAndDistinct(t *testing.T) {
+	def := vm.DefaultLayout()
+	seen := map[uint32]bool{}
+	for seed := int64(1); seed <= 20; seed++ {
+		l := monitor.RandomizedLayout(monitor.RandomizeOptions{Seed: seed})
+		if err := l.Validate(); err != nil {
+			t.Fatalf("seed %d produced an invalid layout: %v", seed, err)
+		}
+		if l.CodeBase == def.CodeBase || l.DataBase == def.DataBase ||
+			l.HeapBase == def.HeapBase || l.StackBase == def.StackBase {
+			t.Errorf("seed %d left a segment at its default base", seed)
+		}
+		seen[l.CodeBase] = true
+	}
+	if len(seen) < 15 {
+		t.Errorf("only %d distinct code bases over 20 seeds; entropy too low", len(seen))
+	}
+}
+
+func TestRandomizedLayoutDeterministicPerSeed(t *testing.T) {
+	a := monitor.RandomizedLayout(monitor.RandomizeOptions{Seed: 5})
+	b := monitor.RandomizedLayout(monitor.RandomizeOptions{Seed: 5})
+	if a != b {
+		t.Error("same seed must produce the same layout")
+	}
+	c := monitor.RandomizedLayout(monitor.RandomizeOptions{Seed: 6})
+	if a == c {
+		t.Error("different seeds should produce different layouts")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	fault := &vm.StopInfo{Reason: vm.StopFault, Fault: &vm.Fault{Kind: vm.FaultPage, Detail: "x"}}
+	if d := monitor.Classify(fault); !d.Suspicious || d.Source != monitor.SourceFault || d.Fault == nil {
+		t.Errorf("fault classification = %+v", d)
+	}
+	viol := &vm.StopInfo{Reason: vm.StopViolation, Violation: &vm.Violation{Kind: vm.ViolationDoubleFree}}
+	if d := monitor.Classify(viol); !d.Suspicious || d.Source != monitor.SourceViolation {
+		t.Errorf("violation classification = %+v", d)
+	}
+	for _, r := range []vm.StopReason{vm.StopHalt, vm.StopWaitInput, vm.StopInstrBudget} {
+		if d := monitor.Classify(&vm.StopInfo{Reason: r}); d.Suspicious {
+			t.Errorf("%v should not be suspicious", r)
+		}
+	}
+}
+
+func TestShadowStackDetectsApache1Smash(t *testing.T) {
+	spec, err := apps.ByName("apache1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := exploit.Apache1ExploitDefault(spec.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := netproxy.New()
+	proxy.Submit([]byte("GET /ok.html HTTP/1.0\r\n\r\n"), "client", false)
+	proxy.Submit(payload, "worm", true)
+	// Default layout: without the shadow stack this exploit hijacks control.
+	p, err := proc.New(spec.Name, spec.Image, vm.DefaultLayout(), proxy, spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := monitor.NewShadowStack()
+	p.Machine.AttachTool(ss)
+	stop := p.Run(0)
+	if stop.Reason != vm.StopViolation {
+		t.Fatalf("stop = %v, want violation", stop.Reason)
+	}
+	if stop.Violation.Kind != vm.ViolationReturnAddress {
+		t.Errorf("violation = %v", stop.Violation)
+	}
+	if ss.Smashes != 1 {
+		t.Errorf("smashes = %d", ss.Smashes)
+	}
+}
+
+func TestShadowStackQuietOnBenignTraffic(t *testing.T) {
+	spec, err := apps.ByName("apache1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := netproxy.New()
+	for i := 0; i < 5; i++ {
+		proxy.Submit(exploit.Apache1Benign(i), "client", false)
+	}
+	p, err := proc.New(spec.Name, spec.Image, vm.DefaultLayout(), proxy, spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := monitor.NewShadowStack()
+	p.Machine.AttachTool(ss)
+	stop := p.Run(0)
+	if stop.Reason != vm.StopWaitInput {
+		t.Fatalf("benign traffic under shadow stack stopped with %v", stop.Reason)
+	}
+	if ss.Smashes != 0 {
+		t.Errorf("false positives: %d", ss.Smashes)
+	}
+	if ss.Depth() > 2 {
+		t.Errorf("shadow stack did not unwind: depth %d", ss.Depth())
+	}
+}

@@ -1,0 +1,129 @@
+package netproxy
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type substringFilter struct {
+	name string
+	sub  []byte
+}
+
+func (f *substringFilter) Name() string              { return f.name }
+func (f *substringFilter) Match(payload []byte) bool { return bytes.Contains(payload, f.sub) }
+
+func TestSubmitAndNext(t *testing.T) {
+	p := New()
+	r1, ok := p.Submit([]byte("one"), "a", false)
+	if !ok || r1.ID != 1 {
+		t.Fatalf("first submit: %v %v", r1, ok)
+	}
+	r2, _ := p.Submit([]byte("two"), "b", true)
+	if r2.ID != 2 || !r2.Malicious || r2.Src != "b" {
+		t.Errorf("second request metadata wrong: %+v", r2)
+	}
+	if p.Pending() != 2 {
+		t.Errorf("pending = %d", p.Pending())
+	}
+	got1, ok := p.Next()
+	got2, _ := p.Next()
+	if !ok || string(got1.Payload) != "one" || string(got2.Payload) != "two" {
+		t.Error("FIFO order violated")
+	}
+	if _, ok := p.Next(); ok {
+		t.Error("Next on empty queue should fail")
+	}
+	st := p.Stats()
+	if st.Submitted != 2 || st.Delivered != 2 || st.Pending != 0 || st.Filtered != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSubmitCopiesPayload(t *testing.T) {
+	p := New()
+	buf := []byte("mutate me")
+	r, _ := p.Submit(buf, "c", false)
+	buf[0] = 'X'
+	if r.Payload[0] == 'X' {
+		t.Error("proxy must keep its own copy of the payload")
+	}
+}
+
+func TestFiltering(t *testing.T) {
+	p := New()
+	p.AddFilter(&substringFilter{name: "worm-sig", sub: []byte("EVIL")})
+	if _, ok := p.Submit([]byte("normal request"), "c", false); !ok {
+		t.Error("benign request filtered")
+	}
+	if _, ok := p.Submit([]byte("an EVIL request"), "w", true); ok {
+		t.Error("matching request not filtered")
+	}
+	if got := p.Filters(); len(got) != 1 || got[0] != "worm-sig" {
+		t.Errorf("Filters() = %v", got)
+	}
+	dropped := p.FilteredRequests()
+	if len(dropped) != 1 || dropped[0].Filter != "worm-sig" {
+		t.Errorf("FilteredRequests = %+v", dropped)
+	}
+	if p.Stats().Filtered != 1 {
+		t.Error("filtered counter wrong")
+	}
+	if !p.RemoveFilter("worm-sig") || p.RemoveFilter("worm-sig") {
+		t.Error("RemoveFilter bookkeeping wrong")
+	}
+	if _, ok := p.Submit([]byte("an EVIL request"), "w", true); !ok {
+		t.Error("request should pass after the filter was removed")
+	}
+}
+
+func TestRequestCloneAndString(t *testing.T) {
+	r := &Request{ID: 7, Payload: []byte("GET /"), Src: "client"}
+	c := r.Clone()
+	c.Payload[0] = 'X'
+	if r.Payload[0] == 'X' {
+		t.Error("Clone must deep-copy the payload")
+	}
+	if s := r.String(); s == "" || !bytes.Contains([]byte(s), []byte("req#7")) {
+		t.Errorf("String() = %q", s)
+	}
+	long := &Request{ID: 8, Payload: bytes.Repeat([]byte("A"), 100)}
+	if len(long.String()) > 120 {
+		t.Error("String() should truncate long payloads")
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New()
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				p.Submit([]byte(fmt.Sprintf("req %d/%d", w, i)), "c", false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p.Pending() != workers*each {
+		t.Fatalf("pending = %d, want %d", p.Pending(), workers*each)
+	}
+	seen := map[int]bool{}
+	for {
+		r, ok := p.Next()
+		if !ok {
+			break
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate request ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != workers*each {
+		t.Errorf("delivered %d unique requests", len(seen))
+	}
+}

@@ -1,0 +1,153 @@
+// Package replay implements Flashback-style event logging for deterministic
+// re-execution. During normal execution the process runtime logs every
+// delivered request and every nondeterministic syscall result (time, random
+// numbers) together with the outputs it produced. After a rollback the same
+// log is consumed instead of the live sources, so re-execution is
+// deterministic; outputs produced during replay are compared against the log
+// to handle the output-commit problem.
+package replay
+
+import "fmt"
+
+// EventKind identifies a logged nondeterministic event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EventRequest EventKind = iota // delivery of a network request
+	EventTime                     // gettimeofday-style syscall result
+	EventRand                     // random number syscall result
+	EventOutput                   // bytes written by the guest (send syscall)
+)
+
+var eventNames = [...]string{"request", "time", "rand", "output"}
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("event?%d", uint8(k))
+}
+
+// Event is one logged nondeterministic event.
+type Event struct {
+	Kind      EventKind
+	Value     uint32 // time/rand result
+	RequestID int    // for EventRequest and EventOutput: the request being served
+	Data      []byte // request payload or output bytes
+}
+
+// Log is an append-only event log with a replay cursor.
+type Log struct {
+	events []Event
+	cursor int // next event to consume during replay
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append records an event during live execution.
+func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+
+// Len returns the number of logged events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Cursor returns the current replay cursor.
+func (l *Log) Cursor() int { return l.cursor }
+
+// SetCursor positions the replay cursor (used by rollback, which rewinds the
+// cursor to the value captured at checkpoint time).
+func (l *Log) SetCursor(c int) {
+	if c < 0 {
+		c = 0
+	}
+	if c > len(l.events) {
+		c = len(l.events)
+	}
+	l.cursor = c
+}
+
+// TruncateAt discards every event at or after index n. Recovery uses it after
+// the replayed execution diverges permanently from the logged one (the
+// remaining log entries no longer describe the new execution).
+func (l *Log) TruncateAt(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(l.events) {
+		return
+	}
+	l.events = l.events[:n]
+	if l.cursor > n {
+		l.cursor = n
+	}
+}
+
+// Next consumes and returns the next event of the given kind during replay,
+// skipping events of other kinds. It returns ok=false when the log is
+// exhausted (the replayed execution has caught up with live execution).
+func (l *Log) Next(kind EventKind) (Event, bool) {
+	for l.cursor < len(l.events) {
+		e := l.events[l.cursor]
+		l.cursor++
+		if e.Kind == kind {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Peek returns the next event of the given kind without consuming anything.
+func (l *Log) Peek(kind EventKind) (Event, bool) {
+	for i := l.cursor; i < len(l.events); i++ {
+		if l.events[i].Kind == kind {
+			return l.events[i], true
+		}
+	}
+	return Event{}, false
+}
+
+// Events returns a copy of all logged events (for inspection and tests).
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// EventsSince returns a copy of the events logged at or after index n.
+func (l *Log) EventsSince(n int) []Event {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(l.events) {
+		n = len(l.events)
+	}
+	out := make([]Event, len(l.events)-n)
+	copy(out, l.events[n:])
+	return out
+}
+
+// RequestsSince returns the IDs of requests delivered at or after event index n.
+func (l *Log) RequestsSince(n int) []int {
+	var ids []int
+	for _, e := range l.EventsSince(n) {
+		if e.Kind == EventRequest {
+			ids = append(ids, e.RequestID)
+		}
+	}
+	return ids
+}
+
+// OutputsFor returns the logged output bytes produced while serving the given
+// request, concatenated in order. The output-commit check compares replayed
+// outputs against these.
+func (l *Log) OutputsFor(requestID int) []byte {
+	var out []byte
+	for _, e := range l.events {
+		if e.Kind == EventOutput && e.RequestID == requestID {
+			out = append(out, e.Data...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package vm
+
+import "fmt"
+
+// FaultKind classifies hardware-level faults raised by the machine itself.
+type FaultKind uint8
+
+// Fault kinds. PageFault corresponds to a segmentation fault in the paper's
+// terminology (the primary signal used by address-space randomisation);
+// BadPC is a control transfer to an address outside the code segment;
+// HeapCorruption models glibc aborting inside free() on corrupted metadata.
+const (
+	FaultNone FaultKind = iota
+	FaultPage
+	FaultBadPC
+	FaultDivZero
+	FaultStackOverflow
+	FaultHeapCorruption
+	FaultBadSyscall
+	FaultInstrLimit
+)
+
+var faultNames = [...]string{
+	FaultNone:           "none",
+	FaultPage:           "segmentation fault",
+	FaultBadPC:          "invalid program counter",
+	FaultDivZero:        "division by zero",
+	FaultStackOverflow:  "stack overflow",
+	FaultHeapCorruption: "heap corruption",
+	FaultBadSyscall:     "invalid syscall",
+	FaultInstrLimit:     "instruction limit exceeded",
+}
+
+// String returns a human readable name for the fault kind.
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return fmt.Sprintf("fault?%d", uint8(k))
+}
+
+// Fault describes a machine fault: what happened, where the faulting access
+// pointed, and which instruction raised it.
+type Fault struct {
+	Kind      FaultKind
+	Addr      uint32 // faulting data address (page fault) or bad target (bad PC)
+	PC        int    // instruction index that raised the fault
+	PCAddr    uint32 // address of that instruction
+	Sym       string // enclosing function symbol of the faulting instruction
+	IsWrite   bool   // for page faults: whether the access was a write
+	Detail    string // free-form detail (e.g. heap corruption reason)
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if f == nil {
+		return "<nil fault>"
+	}
+	return fmt.Sprintf("%s at pc=%#x (%s) addr=%#x: %s", f.Kind, f.PCAddr, f.Sym, f.Addr, f.Detail)
+}
+
+// ViolationKind classifies violations raised by attached analysis tools,
+// monitors or VSEFs (as opposed to hardware faults raised by the machine).
+type ViolationKind uint8
+
+// Violation kinds raised by instrumentation.
+const (
+	ViolationNone ViolationKind = iota
+	ViolationStackSmash
+	ViolationHeapOverflow
+	ViolationDoubleFree
+	ViolationDanglingPointer
+	ViolationTaintedControl
+	ViolationTaintedFree
+	ViolationNullDeref
+	ViolationBoundsCheck
+	ViolationReturnAddress
+	ViolationCanary
+	ViolationPolicy
+)
+
+var violationNames = [...]string{
+	ViolationNone:            "none",
+	ViolationStackSmash:      "stack smashing",
+	ViolationHeapOverflow:    "heap buffer overflow",
+	ViolationDoubleFree:      "double free",
+	ViolationDanglingPointer: "dangling pointer access",
+	ViolationTaintedControl:  "tainted control transfer",
+	ViolationTaintedFree:     "tainted free argument",
+	ViolationNullDeref:       "NULL pointer dereference",
+	ViolationBoundsCheck:     "bounds check failure",
+	ViolationReturnAddress:   "return address overwrite",
+	ViolationCanary:          "stack canary clobbered",
+	ViolationPolicy:          "policy violation",
+}
+
+// String returns a human readable name for the violation kind.
+func (k ViolationKind) String() string {
+	if int(k) < len(violationNames) {
+		return violationNames[k]
+	}
+	return fmt.Sprintf("violation?%d", uint8(k))
+}
+
+// Violation is raised by an attached tool (monitor, analysis tool, or VSEF)
+// through Machine.RaiseViolation. It stops execution like a fault but records
+// which tool detected it and what it detected.
+type Violation struct {
+	Kind   ViolationKind
+	Tool   string // name of the tool that raised it
+	PC     int    // instruction index at which it was raised
+	PCAddr uint32
+	Sym    string
+	Addr   uint32 // related data address, if any
+	Detail string
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	if v == nil {
+		return "<nil violation>"
+	}
+	return fmt.Sprintf("%s detected by %s at pc=%#x (%s) addr=%#x: %s",
+		v.Kind, v.Tool, v.PCAddr, v.Sym, v.Addr, v.Detail)
+}

@@ -1,0 +1,134 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegAndOpStrings(t *testing.T) {
+	if R0.String() != "r0" || SP.String() != "sp" || BP.String() != "bp" {
+		t.Error("register names wrong")
+	}
+	if !strings.Contains(Reg(200).String(), "?") {
+		t.Error("unknown register should be marked")
+	}
+	if OpAdd.String() != "add" || OpStoreW.String() != "storew" {
+		t.Error("opcode names wrong")
+	}
+	if !strings.Contains(Op(250).String(), "?") {
+		t.Error("unknown opcode should be marked")
+	}
+	// Every defined opcode has a name.
+	for op := OpNop; op < numOps; op++ {
+		if strings.Contains(op.String(), "?") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	branches := []Op{OpJmp, OpJz, OpJnz, OpJlt, OpJle, OpJgt, OpJge, OpJmpReg, OpCall, OpCallReg, OpRet}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	if OpAdd.IsBranch() || OpStoreB.IsBranch() {
+		t.Error("non-branches misclassified")
+	}
+	for _, op := range []Op{OpJz, OpJnz, OpJlt, OpJle, OpJgt, OpJge} {
+		if !op.IsCondBranch() {
+			t.Errorf("%v should be conditional", op)
+		}
+	}
+	if OpJmp.IsCondBranch() || OpCall.IsCondBranch() {
+		t.Error("unconditional branch misclassified as conditional")
+	}
+	if !OpLoadB.IsLoad() || !OpLoadW.IsLoad() || OpStoreB.IsLoad() {
+		t.Error("IsLoad wrong")
+	}
+	if !OpStoreB.IsStore() || !OpStoreW.IsStore() || OpLoadW.IsStore() {
+		t.Error("IsStore wrong")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := map[string]Instr{
+		"movi r1, 5":        {Op: OpMovI, Rd: R1, Imm: 5},
+		"mov r1, r2":        {Op: OpMov, Rd: R1, Rs: R2},
+		"loadw r3, [bp-4]":  {Op: OpLoadW, Rd: R3, Rs: BP, Imm: -4},
+		"storeb [r2+0], r4": {Op: OpStoreB, Rd: R2, Rs: R4, Imm: 0},
+		"add r1, r2":        {Op: OpAdd, Rd: R1, Rs: R2},
+		"addi r1, 7":        {Op: OpAddI, Rd: R1, Imm: 7},
+		"jmp @12":           {Op: OpJmp, Imm: 12},
+		"callr r5":          {Op: OpCallReg, Rd: R5},
+		"push r6":           {Op: OpPush, Rd: R6},
+		"pushi 3":           {Op: OpPushI, Imm: 3},
+		"ret":               {Op: OpRet},
+		"syscall":           {Op: OpSyscall},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("Instr.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFaultAndViolationStrings(t *testing.T) {
+	f := &Fault{Kind: FaultPage, Addr: 0x1234, PCAddr: 0x8048000, Sym: "strcat", Detail: "boom"}
+	if !strings.Contains(f.Error(), "segmentation fault") || !strings.Contains(f.Error(), "strcat") {
+		t.Errorf("fault error = %q", f.Error())
+	}
+	v := &Violation{Kind: ViolationDoubleFree, Tool: "t", Sym: "free", Detail: "d"}
+	if !strings.Contains(v.Error(), "double free") || !strings.Contains(v.Error(), "t") {
+		t.Errorf("violation error = %q", v.Error())
+	}
+	var nilF *Fault
+	var nilV *Violation
+	if nilF.Error() == "" || nilV.Error() == "" {
+		t.Error("nil errors should still describe themselves")
+	}
+	for k := FaultNone; k <= FaultInstrLimit; k++ {
+		if k.String() == "" {
+			t.Errorf("fault kind %d has no name", k)
+		}
+	}
+	for k := ViolationNone; k <= ViolationPolicy; k++ {
+		if k.String() == "" {
+			t.Errorf("violation kind %d has no name", k)
+		}
+	}
+	if !strings.Contains(FaultKind(99).String(), "?") || !strings.Contains(ViolationKind(99).String(), "?") {
+		t.Error("unknown kinds should be marked")
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	for r := StopNone; r <= StopInstrBudget; r++ {
+		if strings.Contains(r.String(), "?") {
+			t.Errorf("stop reason %d has no name", r)
+		}
+	}
+	if !strings.Contains(StopReason(99).String(), "?") {
+		t.Error("unknown stop reason should be marked")
+	}
+}
+
+func TestProgramSymbolHelpers(t *testing.T) {
+	p := &Program{
+		Code:    []Instr{{Op: OpNop, Sym: "main"}, {Op: OpHalt, Sym: "main"}},
+		Symbols: map[string]int{"main": 0},
+	}
+	if p.SymbolFor(0) != "main" {
+		t.Error("SymbolFor wrong")
+	}
+	if p.SymbolFor(99) == "" {
+		t.Error("SymbolFor out of range should still return something")
+	}
+	if idx, ok := p.EntryOf("main"); !ok || idx != 0 {
+		t.Error("EntryOf wrong")
+	}
+	if _, ok := p.EntryOf("nope"); ok {
+		t.Error("EntryOf should fail for unknown symbols")
+	}
+}

@@ -1,0 +1,803 @@
+package vm
+
+import (
+	"fmt"
+)
+
+// StopReason says why Machine.Run returned.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopNone StopReason = iota
+	StopHalt            // the guest executed halt or the exit syscall
+	StopWaitInput       // the guest asked for input and none is queued
+	StopFault           // a hardware fault (segfault, bad PC, ...)
+	StopViolation       // an attached tool raised a violation
+	StopInstrBudget     // the per-Run instruction budget was exhausted
+)
+
+var stopNames = [...]string{"none", "halt", "wait-input", "fault", "violation", "instr-budget"}
+
+// String returns a human readable name for the stop reason.
+func (r StopReason) String() string {
+	if int(r) < len(stopNames) {
+		return stopNames[r]
+	}
+	return fmt.Sprintf("stop?%d", uint8(r))
+}
+
+// StopInfo describes how and why execution stopped.
+type StopInfo struct {
+	Reason    StopReason
+	Fault     *Fault
+	Violation *Violation
+}
+
+// SyscallResult is returned by a SyscallHandler.
+type SyscallResult uint8
+
+// Syscall results. SysWaitInput leaves the PC on the syscall instruction so
+// that resuming the machine retries it once input is available.
+const (
+	SysOK SyscallResult = iota
+	SysWaitInput
+	SysHalt
+)
+
+// SyscallHandler services guest syscalls. Arguments are in R1..R3 and the
+// syscall number in R0; results are written back into R0. A returned fault
+// stops the machine as if the syscall instruction itself had faulted.
+type SyscallHandler interface {
+	Syscall(m *Machine, num uint32) (SyscallResult, *Fault)
+}
+
+// Probe is a targeted, per-instruction-address instrumentation callback: it
+// fires only when its instruction executes, so it imposes no cost on the rest
+// of the execution. VSEFs are implemented as probes, which is what makes them
+// "lightweight" in the paper's sense.
+type Probe interface {
+	Name() string
+	OnProbe(m *Machine, idx int, in Instr)
+}
+
+// Approximate virtual cycle costs. The virtual clock lets experiments measure
+// guest-perceived overhead (Figure 4, Figure 5, VSEF overhead) independently
+// of host speed.
+const (
+	// CyclesPerMicrosecond calibrates the virtual clock. The guest is slow
+	// (1 MHz) by design: it keeps a serving request in the millisecond range
+	// so that checkpoint intervals of 20-200 ms, analysis windows and
+	// recovery times land in the same regime as the paper's measurements.
+	CyclesPerMicrosecond = 1
+
+	cyclesALU     = 1
+	cyclesMem     = 3
+	cyclesMulDiv  = 5
+	cyclesBranch  = 2
+	cyclesSyscall = 80
+	// CyclesPerHook is charged for every full-instrumentation hook dispatch,
+	// modelling the 10x-1000x slowdowns of heavyweight dynamic analysis.
+	CyclesPerHook = 12
+	// CyclesPerProbe is charged when a targeted probe (VSEF) fires: a VSEF
+	// check is only "a handful of extra instructions".
+	CyclesPerProbe = 2
+)
+
+// Machine is a loaded guest program plus CPU and memory state.
+type Machine struct {
+	Mem   *Memory
+	Regs  [NumRegs]uint32
+	PC    int
+	Flags int
+
+	prog   *Program
+	code   []Instr // relocated copy of prog.Code
+	layout Layout
+
+	tools  toolSet
+	probes [][]Probe
+
+	sys SyscallHandler
+
+	cycles     uint64
+	instrCount uint64
+
+	stopped          bool
+	pendingViolation *Violation
+}
+
+// NewMachine loads prog at the given layout and returns a machine ready to
+// run. The syscall handler may be nil for pure-computation programs.
+func NewMachine(prog *Program, layout Layout, sys SyscallHandler) (*Machine, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	if len(prog.Code) == 0 {
+		return nil, fmt.Errorf("vm: program %q has no code", prog.Name)
+	}
+	m := &Machine{
+		Mem:    NewMemory(),
+		prog:   prog,
+		layout: layout,
+		sys:    sys,
+	}
+	// Relocate a private copy of the code.
+	m.code = make([]Instr, len(prog.Code))
+	copy(m.code, prog.Code)
+	for _, r := range prog.Relocs {
+		if r.InstrIndex < 0 || r.InstrIndex >= len(m.code) {
+			return nil, fmt.Errorf("vm: relocation for out-of-range instruction %d", r.InstrIndex)
+		}
+		switch r.Kind {
+		case RelocCode:
+			m.code[r.InstrIndex].Imm = int32(layout.CodeBase + r.Target*InstrSize)
+		case RelocData:
+			m.code[r.InstrIndex].Imm = int32(layout.DataBase + r.Target)
+		default:
+			return nil, fmt.Errorf("vm: unknown relocation kind %d", r.Kind)
+		}
+	}
+	m.probes = make([][]Probe, len(m.code))
+
+	// Map segments.
+	dataSize := uint32(len(prog.Data))
+	if dataSize < PageSize {
+		dataSize = PageSize
+	}
+	m.Mem.MapRegion(layout.DataBase, dataSize)
+	if len(prog.Data) > 0 {
+		m.Mem.WriteBytes(layout.DataBase, prog.Data)
+	}
+	m.Mem.MapRegion(layout.StackBase, layout.StackSize)
+	// The heap region is mapped lazily by the allocator.
+
+	m.PC = prog.Entry
+	m.Regs[SP] = layout.StackTop()
+	m.Regs[BP] = layout.StackTop()
+	return m, nil
+}
+
+// Program returns the loaded program image.
+func (m *Machine) Program() *Program { return m.prog }
+
+// Layout returns the address-space layout in effect for this machine.
+func (m *Machine) Layout() Layout { return m.layout }
+
+// Code returns the relocated instruction stream.
+func (m *Machine) Code() []Instr { return m.code }
+
+// InstrAt returns the instruction at index idx, or a Nop if out of range.
+func (m *Machine) InstrAt(idx int) Instr {
+	if idx < 0 || idx >= len(m.code) {
+		return Instr{Op: OpNop}
+	}
+	return m.code[idx]
+}
+
+// AddrOfIndex converts an instruction index to its loaded code address.
+func (m *Machine) AddrOfIndex(idx int) uint32 {
+	return m.layout.CodeBase + uint32(idx)*InstrSize
+}
+
+// IndexOfAddr converts a code address back into an instruction index.
+func (m *Machine) IndexOfAddr(addr uint32) (int, bool) {
+	if addr < m.layout.CodeBase {
+		return 0, false
+	}
+	off := addr - m.layout.CodeBase
+	if off%InstrSize != 0 {
+		return 0, false
+	}
+	idx := int(off / InstrSize)
+	if idx >= len(m.code) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// SymbolAt returns the function symbol containing instruction idx.
+func (m *Machine) SymbolAt(idx int) string {
+	if idx >= 0 && idx < len(m.code) && m.code[idx].Sym != "" {
+		return m.code[idx].Sym
+	}
+	return fmt.Sprintf("@%d", idx)
+}
+
+// Cycles returns the virtual cycle count consumed so far.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// AddCycles charges extra virtual cycles (used by the syscall handler and the
+// checkpoint manager to account for their own work).
+func (m *Machine) AddCycles(n uint64) { m.cycles += n }
+
+// SetCycles overrides the virtual clock. The Sweeper core uses it to account
+// analysis replays as out-of-band work (the analysis module re-executes
+// shadow state; the protected service's client-visible clock only advances by
+// detection, rollback and recovery re-execution). Callers must keep the clock
+// monotonic with respect to any timestamps they have already recorded.
+func (m *Machine) SetCycles(c uint64) { m.cycles = c }
+
+// NowMicros returns the virtual time in microseconds.
+func (m *Machine) NowMicros() uint64 { return m.cycles / CyclesPerMicrosecond }
+
+// NowMillis returns the virtual time in milliseconds.
+func (m *Machine) NowMillis() uint64 { return m.cycles / (CyclesPerMicrosecond * 1000) }
+
+// InstrCount returns the number of retired instructions.
+func (m *Machine) InstrCount() uint64 { return m.instrCount }
+
+// AttachTool attaches an instrumentation tool; it takes effect from the next
+// executed instruction.
+func (m *Machine) AttachTool(t Tool) { m.tools.attach(t) }
+
+// DetachTool removes the named tool. It reports whether the tool was attached.
+func (m *Machine) DetachTool(name string) bool { return m.tools.detach(name) }
+
+// DetachAllTools removes every attached tool.
+func (m *Machine) DetachAllTools() { m.tools.detachAll() }
+
+// FindTool returns the attached tool with the given name, or nil.
+func (m *Machine) FindTool(name string) Tool { return m.tools.find(name) }
+
+// Tools returns the names of all attached tools.
+func (m *Machine) Tools() []string {
+	names := make([]string, 0, len(m.tools.all))
+	for _, t := range m.tools.all {
+		names = append(names, t.Name())
+	}
+	return names
+}
+
+// AddProbe registers a targeted probe on instruction idx.
+func (m *Machine) AddProbe(idx int, p Probe) error {
+	if idx < 0 || idx >= len(m.code) {
+		return fmt.Errorf("vm: probe index %d out of range", idx)
+	}
+	m.probes[idx] = append(m.probes[idx], p)
+	return nil
+}
+
+// RemoveProbes removes every probe registered under the given name and
+// returns how many were removed.
+func (m *Machine) RemoveProbes(name string) int {
+	removed := 0
+	for i, list := range m.probes {
+		if len(list) == 0 {
+			continue
+		}
+		kept := list[:0]
+		for _, p := range list {
+			if p.Name() == name {
+				removed++
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		m.probes[i] = kept
+	}
+	return removed
+}
+
+// ProbeCount returns the total number of registered probes.
+func (m *Machine) ProbeCount() int {
+	n := 0
+	for _, list := range m.probes {
+		n += len(list)
+	}
+	return n
+}
+
+// RaiseViolation is called by tools, probes and monitors to stop execution.
+// When raised from a BeforeInstr hook or probe, the instruction is not
+// executed, so the violation also prevents the attack's effect.
+func (m *Machine) RaiseViolation(v *Violation) {
+	if v.PCAddr == 0 {
+		v.PC = m.PC
+		v.PCAddr = m.AddrOfIndex(m.PC)
+		v.Sym = m.SymbolAt(m.PC)
+	}
+	if m.pendingViolation == nil {
+		m.pendingViolation = v
+	}
+}
+
+// NotifyInput reports that untrusted input bytes were written to guest memory
+// (called by the syscall handler implementing recv).
+func (m *Machine) NotifyInput(addr uint32, data []byte, requestID int) {
+	for _, h := range m.tools.input {
+		m.cycles += CyclesPerHook
+		h.OnInput(m, addr, data, requestID)
+	}
+}
+
+// NotifyMalloc reports a heap allocation to attached tools.
+func (m *Machine) NotifyMalloc(addr uint32, size uint32) {
+	for _, h := range m.tools.alloc {
+		m.cycles += CyclesPerHook
+		h.OnMalloc(m, m.PC, addr, size)
+	}
+}
+
+// NotifyFree reports a heap free to attached tools.
+func (m *Machine) NotifyFree(addr uint32) {
+	for _, h := range m.tools.alloc {
+		m.cycles += CyclesPerHook
+		h.OnFree(m, m.PC, addr)
+	}
+}
+
+func (m *Machine) fault(kind FaultKind, addr uint32, isWrite bool, detail string) *StopInfo {
+	f := &Fault{
+		Kind:    kind,
+		Addr:    addr,
+		PC:      m.PC,
+		PCAddr:  m.AddrOfIndex(m.PC),
+		Sym:     m.SymbolAt(m.PC),
+		IsWrite: isWrite,
+		Detail:  detail,
+	}
+	for _, h := range m.tools.fault {
+		h.OnFault(m, f)
+	}
+	m.stopped = true
+	return &StopInfo{Reason: StopFault, Fault: f}
+}
+
+func (m *Machine) violationStop() *StopInfo {
+	v := m.pendingViolation
+	m.pendingViolation = nil
+	m.stopped = true
+	return &StopInfo{Reason: StopViolation, Violation: v}
+}
+
+func (m *Machine) readMem(addr uint32, size int) (uint32, bool) {
+	if size == 1 {
+		b, ok := m.Mem.ReadU8(addr)
+		return uint32(b), ok
+	}
+	return m.Mem.ReadWord(addr)
+}
+
+func (m *Machine) writeMem(addr uint32, size int, val uint32) bool {
+	if size == 1 {
+		return m.Mem.WriteU8(addr, byte(val))
+	}
+	return m.Mem.WriteWord(addr, val)
+}
+
+func (m *Machine) dispatchMemRead(idx int, addr uint32, size int, val uint32) {
+	for _, h := range m.tools.mem {
+		m.cycles += CyclesPerHook
+		h.OnMemRead(m, idx, addr, size, val)
+	}
+}
+
+func (m *Machine) dispatchMemWrite(idx int, addr uint32, size int, val uint32) {
+	for _, h := range m.tools.mem {
+		m.cycles += CyclesPerHook
+		h.OnMemWrite(m, idx, addr, size, val)
+	}
+}
+
+// push writes val at SP-4 and updates SP; it reports the address used.
+func (m *Machine) push(val uint32) (uint32, bool) {
+	sp := m.Regs[SP] - 4
+	if !m.Mem.WriteWord(sp, val) {
+		return sp, false
+	}
+	m.Regs[SP] = sp
+	return sp, true
+}
+
+// Step executes a single instruction. It returns nil if execution may
+// continue, or a StopInfo describing why it must stop.
+func (m *Machine) Step() *StopInfo {
+	if m.stopped {
+		return &StopInfo{Reason: StopHalt}
+	}
+	if m.PC < 0 || m.PC >= len(m.code) {
+		return m.fault(FaultBadPC, m.AddrOfIndex(m.PC), false, "program counter outside code segment")
+	}
+	idx := m.PC
+	in := m.code[idx]
+
+	// Full instrumentation hooks.
+	for _, h := range m.tools.instr {
+		m.cycles += CyclesPerHook
+		h.BeforeInstr(m, idx, in)
+	}
+	// Targeted probes (VSEFs).
+	if probes := m.probes[idx]; len(probes) > 0 {
+		for _, p := range probes {
+			m.cycles += CyclesPerProbe
+			p.OnProbe(m, idx, in)
+		}
+	}
+	if m.pendingViolation != nil {
+		return m.violationStop()
+	}
+
+	m.instrCount++
+	nextPC := idx + 1
+
+	switch in.Op {
+	case OpNop:
+		m.cycles += cyclesALU
+
+	case OpMovI:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] = uint32(in.Imm)
+	case OpMov:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] = m.Regs[in.Rs]
+	case OpLea:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] = m.Regs[in.Rs] + uint32(in.Imm)
+
+	case OpLoadB, OpLoadW:
+		m.cycles += cyclesMem
+		size := 4
+		if in.Op == OpLoadB {
+			size = 1
+		}
+		addr := m.Regs[in.Rs] + uint32(in.Imm)
+		val, ok := m.readMem(addr, size)
+		if !ok {
+			return m.fault(FaultPage, addr, false, "read from unmapped memory")
+		}
+		m.dispatchMemRead(idx, addr, size, val)
+		if m.pendingViolation != nil {
+			return m.violationStop()
+		}
+		m.Regs[in.Rd] = val
+
+	case OpStoreB, OpStoreW:
+		m.cycles += cyclesMem
+		size := 4
+		if in.Op == OpStoreB {
+			size = 1
+		}
+		addr := m.Regs[in.Rd] + uint32(in.Imm)
+		val := m.Regs[in.Rs]
+		if !m.writeMem(addr, size, val) {
+			return m.fault(FaultPage, addr, true, "write to unmapped memory")
+		}
+		m.dispatchMemWrite(idx, addr, size, val)
+		if m.pendingViolation != nil {
+			return m.violationStop()
+		}
+
+	case OpAdd:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] += m.Regs[in.Rs]
+	case OpSub:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] -= m.Regs[in.Rs]
+	case OpMul:
+		m.cycles += cyclesMulDiv
+		m.Regs[in.Rd] *= m.Regs[in.Rs]
+	case OpDiv:
+		m.cycles += cyclesMulDiv
+		if m.Regs[in.Rs] == 0 {
+			return m.fault(FaultDivZero, 0, false, "division by zero")
+		}
+		m.Regs[in.Rd] /= m.Regs[in.Rs]
+	case OpMod:
+		m.cycles += cyclesMulDiv
+		if m.Regs[in.Rs] == 0 {
+			return m.fault(FaultDivZero, 0, false, "modulo by zero")
+		}
+		m.Regs[in.Rd] %= m.Regs[in.Rs]
+	case OpAnd:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] &= m.Regs[in.Rs]
+	case OpOr:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] |= m.Regs[in.Rs]
+	case OpXor:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] ^= m.Regs[in.Rs]
+	case OpShl:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] <<= m.Regs[in.Rs] & 31
+	case OpShr:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] >>= m.Regs[in.Rs] & 31
+
+	case OpAddI:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] += uint32(in.Imm)
+	case OpSubI:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] -= uint32(in.Imm)
+	case OpMulI:
+		m.cycles += cyclesMulDiv
+		m.Regs[in.Rd] *= uint32(in.Imm)
+	case OpDivI:
+		m.cycles += cyclesMulDiv
+		if in.Imm == 0 {
+			return m.fault(FaultDivZero, 0, false, "division by zero immediate")
+		}
+		m.Regs[in.Rd] /= uint32(in.Imm)
+	case OpModI:
+		m.cycles += cyclesMulDiv
+		if in.Imm == 0 {
+			return m.fault(FaultDivZero, 0, false, "modulo by zero immediate")
+		}
+		m.Regs[in.Rd] %= uint32(in.Imm)
+	case OpAndI:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] &= uint32(in.Imm)
+	case OpOrI:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] |= uint32(in.Imm)
+	case OpXorI:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] ^= uint32(in.Imm)
+	case OpShlI:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] <<= uint32(in.Imm) & 31
+	case OpShrI:
+		m.cycles += cyclesALU
+		m.Regs[in.Rd] >>= uint32(in.Imm) & 31
+
+	case OpCmp:
+		m.cycles += cyclesALU
+		m.Flags = cmp32(int32(m.Regs[in.Rd]), int32(m.Regs[in.Rs]))
+	case OpCmpI:
+		m.cycles += cyclesALU
+		m.Flags = cmp32(int32(m.Regs[in.Rd]), in.Imm)
+
+	case OpJmp:
+		m.cycles += cyclesBranch
+		nextPC = int(in.Imm)
+	case OpJz:
+		m.cycles += cyclesBranch
+		if m.Flags == 0 {
+			nextPC = int(in.Imm)
+		}
+	case OpJnz:
+		m.cycles += cyclesBranch
+		if m.Flags != 0 {
+			nextPC = int(in.Imm)
+		}
+	case OpJlt:
+		m.cycles += cyclesBranch
+		if m.Flags < 0 {
+			nextPC = int(in.Imm)
+		}
+	case OpJle:
+		m.cycles += cyclesBranch
+		if m.Flags <= 0 {
+			nextPC = int(in.Imm)
+		}
+	case OpJgt:
+		m.cycles += cyclesBranch
+		if m.Flags > 0 {
+			nextPC = int(in.Imm)
+		}
+	case OpJge:
+		m.cycles += cyclesBranch
+		if m.Flags >= 0 {
+			nextPC = int(in.Imm)
+		}
+
+	case OpJmpReg:
+		m.cycles += cyclesBranch
+		target := m.Regs[in.Rd]
+		tIdx, ok := m.IndexOfAddr(target)
+		if !ok {
+			return m.fault(FaultBadPC, target, false, "indirect jump outside code segment")
+		}
+		nextPC = tIdx
+
+	case OpCall, OpCallReg:
+		m.cycles += cyclesBranch + cyclesMem
+		var targetIdx int
+		if in.Op == OpCall {
+			targetIdx = int(in.Imm)
+		} else {
+			target := m.Regs[in.Rd]
+			tIdx, ok := m.IndexOfAddr(target)
+			if !ok {
+				return m.fault(FaultBadPC, target, false, "indirect call outside code segment")
+			}
+			targetIdx = tIdx
+		}
+		retAddr := m.AddrOfIndex(idx + 1)
+		retSlot, ok := m.push(retAddr)
+		if !ok {
+			return m.fault(FaultPage, retSlot, true, "stack push failed during call")
+		}
+		m.dispatchMemWrite(idx, retSlot, 4, retAddr)
+		for _, h := range m.tools.call {
+			m.cycles += CyclesPerHook
+			h.OnCall(m, idx, targetIdx, retAddr, retSlot)
+		}
+		if m.pendingViolation != nil {
+			return m.violationStop()
+		}
+		nextPC = targetIdx
+
+	case OpRet:
+		m.cycles += cyclesBranch + cyclesMem
+		retSlot := m.Regs[SP]
+		retAddr, ok := m.Mem.ReadWord(retSlot)
+		if !ok {
+			return m.fault(FaultPage, retSlot, false, "stack read failed during return")
+		}
+		m.dispatchMemRead(idx, retSlot, 4, retAddr)
+		for _, h := range m.tools.call {
+			m.cycles += CyclesPerHook
+			h.OnRet(m, idx, retAddr, retSlot)
+		}
+		if m.pendingViolation != nil {
+			return m.violationStop()
+		}
+		m.Regs[SP] = retSlot + 4
+		tIdx, ok := m.IndexOfAddr(retAddr)
+		if !ok {
+			// A hijacked return address that does not land in mapped code:
+			// exactly what address-space randomisation turns attacks into.
+			return m.fault(FaultBadPC, retAddr, false, "return to address outside code segment")
+		}
+		nextPC = tIdx
+
+	case OpPush, OpPushI:
+		m.cycles += cyclesMem
+		val := m.Regs[in.Rd]
+		if in.Op == OpPushI {
+			val = uint32(in.Imm)
+		}
+		slot, ok := m.push(val)
+		if !ok {
+			return m.fault(FaultPage, slot, true, "stack push to unmapped memory")
+		}
+		m.dispatchMemWrite(idx, slot, 4, val)
+		if m.pendingViolation != nil {
+			return m.violationStop()
+		}
+
+	case OpPop:
+		m.cycles += cyclesMem
+		slot := m.Regs[SP]
+		val, ok := m.Mem.ReadWord(slot)
+		if !ok {
+			return m.fault(FaultPage, slot, false, "stack pop from unmapped memory")
+		}
+		m.dispatchMemRead(idx, slot, 4, val)
+		if m.pendingViolation != nil {
+			return m.violationStop()
+		}
+		m.Regs[in.Rd] = val
+		m.Regs[SP] = slot + 4
+
+	case OpSyscall:
+		m.cycles += cyclesSyscall
+		num := m.Regs[R0]
+		for _, h := range m.tools.syscall {
+			m.cycles += CyclesPerHook
+			h.BeforeSyscall(m, idx, num)
+		}
+		if m.pendingViolation != nil {
+			return m.violationStop()
+		}
+		if m.sys == nil {
+			return m.fault(FaultBadSyscall, num, false, "no syscall handler installed")
+		}
+		res, f := m.sys.Syscall(m, num)
+		if f != nil {
+			f.PC = idx
+			f.PCAddr = m.AddrOfIndex(idx)
+			f.Sym = m.SymbolAt(idx)
+			for _, h := range m.tools.fault {
+				h.OnFault(m, f)
+			}
+			m.stopped = true
+			return &StopInfo{Reason: StopFault, Fault: f}
+		}
+		if m.pendingViolation != nil {
+			return m.violationStop()
+		}
+		switch res {
+		case SysWaitInput:
+			// Leave PC on the syscall so that resuming retries it.
+			return &StopInfo{Reason: StopWaitInput}
+		case SysHalt:
+			m.stopped = true
+			return &StopInfo{Reason: StopHalt}
+		}
+
+	case OpHalt:
+		m.stopped = true
+		return &StopInfo{Reason: StopHalt}
+
+	default:
+		return m.fault(FaultBadPC, m.AddrOfIndex(idx), false, fmt.Sprintf("illegal opcode %d", in.Op))
+	}
+
+	if m.pendingViolation != nil {
+		return m.violationStop()
+	}
+	m.PC = nextPC
+	return nil
+}
+
+// Run executes instructions until the machine stops or the budget (number of
+// instructions; 0 means unlimited) is exhausted.
+func (m *Machine) Run(budget uint64) *StopInfo {
+	executed := uint64(0)
+	for {
+		if budget > 0 && executed >= budget {
+			return &StopInfo{Reason: StopInstrBudget}
+		}
+		if stop := m.Step(); stop != nil {
+			return stop
+		}
+		executed++
+	}
+}
+
+// Halted reports whether the machine has permanently stopped.
+func (m *Machine) Halted() bool { return m.stopped }
+
+// ClearStop clears a previous fault/halt condition so that execution can be
+// resumed after state has been externally repaired (used by rollback).
+func (m *Machine) ClearStop() { m.stopped = false; m.pendingViolation = nil }
+
+// RegSnapshot captures registers, PC, flags and clock for checkpointing.
+type RegSnapshot struct {
+	Regs       [NumRegs]uint32
+	PC         int
+	Flags      int
+	Cycles     uint64
+	InstrCount uint64
+}
+
+// SaveRegs captures the CPU register state.
+func (m *Machine) SaveRegs() RegSnapshot {
+	return RegSnapshot{Regs: m.Regs, PC: m.PC, Flags: m.Flags, Cycles: m.cycles, InstrCount: m.instrCount}
+}
+
+// RestoreRegs restores a previously captured CPU register state.
+func (m *Machine) RestoreRegs(s RegSnapshot) {
+	m.Regs = s.Regs
+	m.PC = s.PC
+	m.Flags = s.Flags
+	m.cycles = s.Cycles
+	m.instrCount = s.InstrCount
+	m.stopped = false
+	m.pendingViolation = nil
+}
+
+// EffectiveAddr computes the data address accessed by a load/store/push/pop
+// instruction given the current register state, for analysis tools that need
+// it before execution.
+func (m *Machine) EffectiveAddr(in Instr) (addr uint32, size int, isWrite bool, ok bool) {
+	switch in.Op {
+	case OpLoadB:
+		return m.Regs[in.Rs] + uint32(in.Imm), 1, false, true
+	case OpLoadW:
+		return m.Regs[in.Rs] + uint32(in.Imm), 4, false, true
+	case OpStoreB:
+		return m.Regs[in.Rd] + uint32(in.Imm), 1, true, true
+	case OpStoreW:
+		return m.Regs[in.Rd] + uint32(in.Imm), 4, true, true
+	case OpPush, OpPushI, OpCall, OpCallReg:
+		return m.Regs[SP] - 4, 4, true, true
+	case OpPop, OpRet:
+		return m.Regs[SP], 4, false, true
+	}
+	return 0, 0, false, false
+}
+
+func cmp32(a, b int32) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

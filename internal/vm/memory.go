@@ -1,0 +1,266 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the granularity of guest memory mapping and of copy-on-write
+// checkpointing.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+type page struct {
+	data [PageSize]byte
+}
+
+func (p *page) clone() *page {
+	np := &page{}
+	np.data = p.data
+	return np
+}
+
+// Memory is a sparse, paged, byte-addressable 32-bit guest address space with
+// copy-on-write snapshot support. Page zero is never mapped, so NULL pointer
+// dereferences fault.
+type Memory struct {
+	pages  map[uint32]*page
+	shared map[uint32]bool // pages shared with at least one live snapshot
+}
+
+// NewMemory returns an empty address space with no pages mapped.
+func NewMemory() *Memory {
+	return &Memory{
+		pages:  make(map[uint32]*page),
+		shared: make(map[uint32]bool),
+	}
+}
+
+// MemSnapshot is a copy-on-write snapshot of a Memory. It shares pages with
+// the live memory until the live side writes to them.
+type MemSnapshot struct {
+	pages map[uint32]*page
+}
+
+// Pages returns the number of pages captured by the snapshot.
+func (s *MemSnapshot) Pages() int { return len(s.pages) }
+
+func pageNum(addr uint32) uint32  { return addr >> PageShift }
+func pageOff(addr uint32) uint32  { return addr & (PageSize - 1) }
+func pageBase(addr uint32) uint32 { return addr &^ (PageSize - 1) }
+
+// MapRegion maps (and zeroes) all pages covering [base, base+size). Mapping an
+// already-mapped page leaves its contents intact.
+func (m *Memory) MapRegion(base, size uint32) {
+	if size == 0 {
+		return
+	}
+	first := pageNum(base)
+	last := pageNum(base + size - 1)
+	for pn := first; ; pn++ {
+		if _, ok := m.pages[pn]; !ok {
+			m.pages[pn] = &page{}
+		}
+		if pn == last {
+			break
+		}
+	}
+}
+
+// UnmapRegion removes all pages fully covered by [base, base+size).
+func (m *Memory) UnmapRegion(base, size uint32) {
+	if size == 0 {
+		return
+	}
+	first := pageNum(base)
+	last := pageNum(base + size - 1)
+	for pn := first; ; pn++ {
+		delete(m.pages, pn)
+		delete(m.shared, pn)
+		if pn == last {
+			break
+		}
+	}
+}
+
+// IsMapped reports whether the page containing addr is mapped.
+func (m *Memory) IsMapped(addr uint32) bool {
+	_, ok := m.pages[pageNum(addr)]
+	return ok
+}
+
+// MappedPages returns the number of mapped pages.
+func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// MappedPageBases returns the base addresses of all mapped pages in ascending
+// order. It is used by analysis tools that walk memory (heap walkers, core
+// dump analysis).
+func (m *Memory) MappedPageBases() []uint32 {
+	out := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn<<PageShift)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *Memory) pageFor(addr uint32) (*page, bool) {
+	p, ok := m.pages[pageNum(addr)]
+	return p, ok
+}
+
+// writablePage returns the page for addr, cloning it first if it is shared
+// with a snapshot (copy-on-write).
+func (m *Memory) writablePage(addr uint32) (*page, bool) {
+	pn := pageNum(addr)
+	p, ok := m.pages[pn]
+	if !ok {
+		return nil, false
+	}
+	if m.shared[pn] {
+		p = p.clone()
+		m.pages[pn] = p
+		delete(m.shared, pn)
+	}
+	return p, true
+}
+
+// ReadU8 reads one byte. ok is false if the page is unmapped.
+func (m *Memory) ReadU8(addr uint32) (byte, bool) {
+	p, ok := m.pageFor(addr)
+	if !ok {
+		return 0, false
+	}
+	return p.data[pageOff(addr)], true
+}
+
+// WriteU8 writes one byte. ok is false if the page is unmapped.
+func (m *Memory) WriteU8(addr uint32, v byte) bool {
+	p, ok := m.writablePage(addr)
+	if !ok {
+		return false
+	}
+	p.data[pageOff(addr)] = v
+	return true
+}
+
+// ReadWord reads a 32-bit little-endian word, possibly spanning pages.
+func (m *Memory) ReadWord(addr uint32) (uint32, bool) {
+	if pageOff(addr) <= PageSize-4 {
+		p, ok := m.pageFor(addr)
+		if !ok {
+			return 0, false
+		}
+		off := pageOff(addr)
+		d := p.data[off : off+4]
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, true
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		b, ok := m.ReadU8(addr + i)
+		if !ok {
+			return 0, false
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, true
+}
+
+// WriteWord writes a 32-bit little-endian word, possibly spanning pages.
+func (m *Memory) WriteWord(addr uint32, v uint32) bool {
+	if pageOff(addr) <= PageSize-4 {
+		p, ok := m.writablePage(addr)
+		if !ok {
+			return false
+		}
+		off := pageOff(addr)
+		p.data[off] = byte(v)
+		p.data[off+1] = byte(v >> 8)
+		p.data[off+2] = byte(v >> 16)
+		p.data[off+3] = byte(v >> 24)
+		return true
+	}
+	for i := uint32(0); i < 4; i++ {
+		if !m.WriteU8(addr+i, byte(v>>(8*i))) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, bool) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, ok := m.ReadU8(addr + uint32(i))
+		if !ok {
+			return nil, false
+		}
+		out[i] = b
+	}
+	return out, true
+}
+
+// WriteBytes copies data into guest memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, data []byte) bool {
+	for i, b := range data {
+		if !m.WriteU8(addr+uint32(i), b) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max bytes.
+func (m *Memory) ReadCString(addr uint32, max int) (string, bool) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b, ok := m.ReadU8(addr + uint32(i))
+		if !ok {
+			return "", false
+		}
+		if b == 0 {
+			return string(out), true
+		}
+		out = append(out, b)
+	}
+	return string(out), true
+}
+
+// Snapshot captures the current memory contents copy-on-write. The snapshot
+// stays valid until explicitly discarded; the live memory clones pages lazily
+// on its next write to each shared page.
+func (m *Memory) Snapshot() *MemSnapshot {
+	snap := &MemSnapshot{pages: make(map[uint32]*page, len(m.pages))}
+	for pn, p := range m.pages {
+		snap.pages[pn] = p
+		m.shared[pn] = true
+	}
+	return snap
+}
+
+// Restore replaces the live memory contents with the snapshot's. The snapshot
+// remains valid and may be restored again.
+func (m *Memory) Restore(s *MemSnapshot) {
+	m.pages = make(map[uint32]*page, len(s.pages))
+	m.shared = make(map[uint32]bool, len(s.pages))
+	for pn, p := range s.pages {
+		m.pages[pn] = p
+		m.shared[pn] = true
+	}
+}
+
+// CopyOnWritePending returns the number of live pages still shared with
+// snapshots. It is exported for tests and overhead accounting.
+func (m *Memory) CopyOnWritePending() int { return len(m.shared) }
+
+// Dump formats a small hex dump around addr, for diagnostics.
+func (m *Memory) Dump(addr uint32, n int) string {
+	bs, ok := m.ReadBytes(addr, n)
+	if !ok {
+		return fmt.Sprintf("<unmapped near %#x>", addr)
+	}
+	return fmt.Sprintf("% x", bs)
+}

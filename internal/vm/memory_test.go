@@ -1,0 +1,240 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryUnmappedAccess(t *testing.T) {
+	m := NewMemory()
+	if _, ok := m.ReadU8(0x1000); ok {
+		t.Error("read of unmapped page should fail")
+	}
+	if m.WriteU8(0x1000, 1) {
+		t.Error("write to unmapped page should fail")
+	}
+	if _, ok := m.ReadWord(0x1000); ok {
+		t.Error("word read of unmapped page should fail")
+	}
+	if m.WriteWord(0x1000, 1) {
+		t.Error("word write to unmapped page should fail")
+	}
+}
+
+func TestMemoryMapAndRW(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, 2*PageSize)
+	if !m.IsMapped(0x1000) || !m.IsMapped(0x1000+PageSize) {
+		t.Fatal("pages not mapped")
+	}
+	if m.IsMapped(0x1000 + 2*PageSize) {
+		t.Fatal("page beyond region should not be mapped")
+	}
+	if !m.WriteU8(0x1234, 0xAB) {
+		t.Fatal("write failed")
+	}
+	if b, _ := m.ReadU8(0x1234); b != 0xAB {
+		t.Errorf("read back %#x, want 0xAB", b)
+	}
+	if !m.WriteWord(0x1500, 0xDEADBEEF) {
+		t.Fatal("word write failed")
+	}
+	if w, _ := m.ReadWord(0x1500); w != 0xDEADBEEF {
+		t.Errorf("word read back %#x", w)
+	}
+}
+
+func TestMemoryWordLittleEndian(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x2000, PageSize)
+	m.WriteWord(0x2000, 0x04030201)
+	for i, want := range []byte{1, 2, 3, 4} {
+		if b, _ := m.ReadU8(0x2000 + uint32(i)); b != want {
+			t.Errorf("byte %d = %d, want %d", i, b, want)
+		}
+	}
+}
+
+func TestMemoryWordSpanningPages(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, 2*PageSize)
+	addr := uint32(0x1000 + PageSize - 2)
+	if !m.WriteWord(addr, 0xCAFEBABE) {
+		t.Fatal("cross-page word write failed")
+	}
+	if w, ok := m.ReadWord(addr); !ok || w != 0xCAFEBABE {
+		t.Errorf("cross-page word read = %#x, ok=%v", w, ok)
+	}
+}
+
+func TestMemoryBytesAndCString(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x3000, PageSize)
+	if !m.WriteBytes(0x3000, []byte("hello\x00world")) {
+		t.Fatal("WriteBytes failed")
+	}
+	bs, ok := m.ReadBytes(0x3000, 5)
+	if !ok || string(bs) != "hello" {
+		t.Errorf("ReadBytes = %q", bs)
+	}
+	s, ok := m.ReadCString(0x3000, 64)
+	if !ok || s != "hello" {
+		t.Errorf("ReadCString = %q", s)
+	}
+	if _, ok := m.ReadBytes(0x3000+PageSize-2, 8); ok {
+		t.Error("ReadBytes crossing into unmapped memory should fail")
+	}
+}
+
+func TestMemoryUnmapRegion(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x4000, 2*PageSize)
+	m.UnmapRegion(0x4000, PageSize)
+	if m.IsMapped(0x4000) {
+		t.Error("page should be unmapped")
+	}
+	if !m.IsMapped(0x4000 + PageSize) {
+		t.Error("second page should remain mapped")
+	}
+}
+
+func TestMemorySnapshotCopyOnWrite(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, PageSize)
+	m.WriteU8(0x1000, 1)
+
+	snap := m.Snapshot()
+	if m.CopyOnWritePending() == 0 {
+		t.Error("snapshot should leave pages in shared state")
+	}
+	// Mutate live memory after the snapshot.
+	m.WriteU8(0x1000, 2)
+	if m.CopyOnWritePending() != 0 {
+		t.Error("write should have broken sharing for that page")
+	}
+	if b, _ := m.ReadU8(0x1000); b != 2 {
+		t.Errorf("live value = %d, want 2", b)
+	}
+
+	// Restore: the pre-write value comes back.
+	m.Restore(snap)
+	if b, _ := m.ReadU8(0x1000); b != 1 {
+		t.Errorf("restored value = %d, want 1", b)
+	}
+
+	// The snapshot can be restored repeatedly.
+	m.WriteU8(0x1000, 7)
+	m.Restore(snap)
+	if b, _ := m.ReadU8(0x1000); b != 1 {
+		t.Errorf("second restore value = %d, want 1", b)
+	}
+}
+
+func TestMemoryMultipleSnapshots(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, PageSize)
+	m.WriteU8(0x1000, 10)
+	s1 := m.Snapshot()
+	m.WriteU8(0x1000, 20)
+	s2 := m.Snapshot()
+	m.WriteU8(0x1000, 30)
+
+	m.Restore(s1)
+	if b, _ := m.ReadU8(0x1000); b != 10 {
+		t.Errorf("restore s1 = %d, want 10", b)
+	}
+	m.Restore(s2)
+	if b, _ := m.ReadU8(0x1000); b != 20 {
+		t.Errorf("restore s2 = %d, want 20", b)
+	}
+}
+
+func TestMemorySnapshotNewPagesDisappearOnRestore(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, PageSize)
+	snap := m.Snapshot()
+	m.MapRegion(0x8000, PageSize)
+	m.WriteU8(0x8000, 5)
+	m.Restore(snap)
+	if m.IsMapped(0x8000) {
+		t.Error("pages mapped after the snapshot should vanish on restore")
+	}
+}
+
+func TestMemoryMappedPageBasesSorted(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x9000, PageSize)
+	m.MapRegion(0x1000, PageSize)
+	m.MapRegion(0x5000, PageSize)
+	bases := m.MappedPageBases()
+	if len(bases) != 3 {
+		t.Fatalf("got %d pages, want 3", len(bases))
+	}
+	for i := 1; i < len(bases); i++ {
+		if bases[i-1] >= bases[i] {
+			t.Errorf("bases not sorted: %v", bases)
+		}
+	}
+}
+
+// TestMemoryQuickReadBackWrites is a property test: any byte written to mapped
+// memory reads back identically, and snapshots never observe later writes.
+func TestMemoryQuickReadBackWrites(t *testing.T) {
+	const base = uint32(0x10000)
+	const size = uint32(4 * PageSize)
+	prop := func(offsets []uint16, values []byte) bool {
+		m := NewMemory()
+		m.MapRegion(base, size)
+		n := len(offsets)
+		if len(values) < n {
+			n = len(values)
+		}
+		written := make(map[uint32]byte)
+		for i := 0; i < n; i++ {
+			addr := base + uint32(offsets[i])%size
+			if !m.WriteU8(addr, values[i]) {
+				return false
+			}
+			written[addr] = values[i]
+		}
+		snap := m.Snapshot()
+		// Overwrite everything after the snapshot.
+		for addr := range written {
+			m.WriteU8(addr, 0xFF)
+		}
+		m.Restore(snap)
+		for addr, want := range written {
+			if got, ok := m.ReadU8(addr); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if pageNum(0) != 0 || pageNum(PageSize) != 1 || pageNum(PageSize-1) != 0 {
+		t.Error("pageNum incorrect")
+	}
+	if pageOff(PageSize+5) != 5 {
+		t.Error("pageOff incorrect")
+	}
+	if pageBase(PageSize+5) != PageSize {
+		t.Error("pageBase incorrect")
+	}
+}
+
+func TestMemoryDump(t *testing.T) {
+	m := NewMemory()
+	if s := m.Dump(0x1000, 4); s == "" {
+		t.Error("dump of unmapped memory should describe the situation")
+	}
+	m.MapRegion(0x1000, PageSize)
+	m.WriteBytes(0x1000, []byte{1, 2, 3, 4})
+	if s := m.Dump(0x1000, 4); s != "01 02 03 04" {
+		t.Errorf("dump = %q", s)
+	}
+}

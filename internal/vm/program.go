@@ -1,0 +1,112 @@
+package vm
+
+import "fmt"
+
+// RelocKind says what a relocation entry resolves against.
+type RelocKind uint8
+
+// Relocation kinds: code relocations patch an instruction immediate with the
+// absolute address of another instruction (function pointers); data
+// relocations patch it with the absolute address of a data-segment symbol.
+const (
+	RelocCode RelocKind = iota
+	RelocData
+)
+
+// Reloc is a load-time relocation: the immediate of Code[InstrIndex] is
+// replaced by the loaded absolute address of the target (an instruction index
+// for RelocCode, a data-segment offset for RelocData). Relocations are what
+// make address-space randomisation meaningful: correctly relocated code keeps
+// working wherever it is loaded, while absolute addresses baked into exploit
+// payloads do not.
+type Reloc struct {
+	InstrIndex int
+	Kind       RelocKind
+	Target     uint32
+}
+
+// Program is a loadable guest program image: decoded code, an initial data
+// segment, relocations and symbol tables.
+type Program struct {
+	Name        string
+	Code        []Instr
+	Data        []byte
+	Relocs      []Reloc
+	Symbols     map[string]int    // code label -> instruction index
+	DataSymbols map[string]uint32 // data label -> offset within Data
+	Entry       int               // entry instruction index
+}
+
+// SymbolFor returns the name of the function containing instruction idx,
+// falling back to the instruction's Sym annotation.
+func (p *Program) SymbolFor(idx int) string {
+	if idx >= 0 && idx < len(p.Code) && p.Code[idx].Sym != "" {
+		return p.Code[idx].Sym
+	}
+	return fmt.Sprintf("@%d", idx)
+}
+
+// EntryOf returns the instruction index of a named code symbol.
+func (p *Program) EntryOf(label string) (int, bool) {
+	idx, ok := p.Symbols[label]
+	return idx, ok
+}
+
+// Layout fixes where the program's segments land in the guest address space.
+// The monitor package produces randomised layouts (address-space
+// randomisation); DefaultLayout is the fixed layout an attacker would assume.
+type Layout struct {
+	CodeBase  uint32
+	DataBase  uint32
+	HeapBase  uint32
+	HeapSize  uint32
+	StackBase uint32 // lowest address of the stack region
+	StackSize uint32
+}
+
+// StackTop returns the initial stack pointer (the stack grows down).
+func (l Layout) StackTop() uint32 { return l.StackBase + l.StackSize }
+
+// DefaultLayout is the layout used when address-space randomisation is
+// disabled. Exploit payloads hard-code addresses computed against this layout,
+// exactly as real exploits hard-code addresses of a known binary build.
+func DefaultLayout() Layout {
+	return Layout{
+		CodeBase:  0x08048000,
+		DataBase:  0x08100000,
+		HeapBase:  0x08200000,
+		HeapSize:  1 << 20,
+		StackBase: 0xbff00000,
+		StackSize: 1 << 16,
+	}
+}
+
+// Validate checks that the layout's regions are non-overlapping, page aligned
+// and avoid the NULL page.
+func (l Layout) Validate() error {
+	type region struct {
+		name       string
+		base, size uint32
+	}
+	regions := []region{
+		{"code", l.CodeBase, 1},
+		{"data", l.DataBase, 1},
+		{"heap", l.HeapBase, l.HeapSize},
+		{"stack", l.StackBase, l.StackSize},
+	}
+	for _, r := range regions {
+		if r.base == 0 {
+			return fmt.Errorf("layout: %s region at NULL page", r.name)
+		}
+		if r.base%PageSize != 0 {
+			return fmt.Errorf("layout: %s base %#x not page aligned", r.name, r.base)
+		}
+		if r.base < PageSize {
+			return fmt.Errorf("layout: %s region overlaps NULL page", r.name)
+		}
+	}
+	if l.HeapSize == 0 || l.StackSize == 0 {
+		return fmt.Errorf("layout: heap and stack must have non-zero size")
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"sweeper/internal/epidemic"
+	"sweeper/internal/experiments"
+)
+
+// benchOnce maps every benchmark in this package to a function executing one
+// iteration of its body — the -benchtime=1x equivalent. TestBenchmarkSmoke
+// runs each on every plain `go test`, so the paper-table benchmarks cannot
+// silently rot, and TestBenchmarkRegistryComplete fails the moment a new
+// Benchmark function is added without a registry entry.
+var benchOnce = map[string]func(tb testing.TB){
+	"BenchmarkTable1BuildApplications": table1Once,
+	"BenchmarkTable2DefenseApache1":    func(tb testing.TB) { defenseOnce(tb, "apache1") },
+	"BenchmarkTable2DefenseApache2":    func(tb testing.TB) { defenseOnce(tb, "apache2") },
+	"BenchmarkTable2DefenseCVS":        func(tb testing.TB) { defenseOnce(tb, "cvs") },
+	"BenchmarkTable2DefenseSquid":      func(tb testing.TB) { defenseOnce(tb, "squid") },
+	"BenchmarkTable3AnalysisApache1":   func(tb testing.TB) { analysisTimesOnce(tb, "apache1") },
+	"BenchmarkTable3AnalysisSquid":     func(tb testing.TB) { analysisTimesOnce(tb, "squid") },
+	"BenchmarkTable3ParallelVsSequential": func(tb testing.TB) {
+		seq, par := engineComparisonOnce(tb)
+		if seq.antibodySec <= 0 || par.antibodySec <= 0 || seq.totalSec <= 0 || par.totalSec <= 0 {
+			tb.Fatalf("implausible analysis times: sequential %+v, parallel %+v", seq, par)
+		}
+	},
+	"BenchmarkFigure4CheckpointInterval20ms":  func(tb testing.TB) { figure4Once(tb, 20) },
+	"BenchmarkFigure4CheckpointInterval50ms":  func(tb testing.TB) { figure4Once(tb, 50) },
+	"BenchmarkFigure4CheckpointInterval100ms": func(tb testing.TB) { figure4Once(tb, 100) },
+	"BenchmarkFigure4CheckpointInterval200ms": func(tb testing.TB) { figure4Once(tb, 200) },
+	"BenchmarkVSEFOverhead":                   func(tb testing.TB) { vsefOverheadOnce(tb) },
+	"BenchmarkFigure5Recovery": func(tb testing.TB) {
+		recoveryGap, restartGap := figure5Once(tb)
+		if recoveryGap >= restartGap {
+			tb.Errorf("recovery gap %v ms not below restart gap %v ms", recoveryGap, restartGap)
+		}
+	},
+	"BenchmarkFigure6EpidemicSlammer": func(tb testing.TB) {
+		communityFigureOnce(0.1, 1.0, epidemic.Figure6Alphas(), 0.0001, 5)
+	},
+	"BenchmarkFigure7EpidemicHitlist1000": func(tb testing.TB) {
+		communityFigureOnce(1000, epidemic.DefaultRho, epidemic.Figure78Alphas(), 0.0001, 10)
+	},
+	"BenchmarkFigure8EpidemicHitlist4000": func(tb testing.TB) {
+		communityFigureOnce(4000, epidemic.DefaultRho, epidemic.Figure78Alphas(), 0.0001, 10)
+	},
+	"BenchmarkAblationProactiveProtection": func(tb testing.TB) {
+		with, without := proactiveAblationOnce()
+		if with >= without {
+			tb.Errorf("proactive protection did not reduce infection: with %v, without %v", with, without)
+		}
+	},
+	"BenchmarkAgentBasedCrossCheck": func(tb testing.TB) { agentCrossCheckOnce(tb, 1) },
+}
+
+// TestBenchmarkSmoke executes one iteration of every registered benchmark.
+func TestBenchmarkSmoke(t *testing.T) {
+	for name, fn := range benchOnce {
+		t.Run(name, func(t *testing.T) { fn(t) })
+	}
+}
+
+// TestBenchmarkRegistryComplete scans the package's test sources for
+// Benchmark functions and fails if any is missing from benchOnce (or if the
+// registry names a benchmark that no longer exists).
+func TestBenchmarkRegistryComplete(t *testing.T) {
+	files, err := filepath.Glob("*_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^func (Benchmark\w+)\(`)
+	inSource := make(map[string]bool)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+			inSource[m[1]] = true
+		}
+	}
+	if len(inSource) == 0 {
+		t.Fatal("no Benchmark functions found; scan is broken")
+	}
+	for name := range inSource {
+		if _, ok := benchOnce[name]; !ok {
+			t.Errorf("%s has no benchOnce registry entry; add one so the smoke test covers it", name)
+		}
+	}
+	for name := range benchOnce {
+		if !inSource[name] {
+			t.Errorf("benchOnce entry %s does not match any Benchmark function", name)
+		}
+	}
+}
+
+// TestParallelAnalysisIsFasterThanSequential guards the headline latency
+// claim behind the parallel engine: with the analyses running concurrently
+// on independent clones, the final antibody ships after max(membug, taint)
+// instead of their sum. The win requires actual parallel hardware, so the
+// assertion is skipped on single-CPU machines (where goroutines only
+// interleave), and each engine is timed best-of-3 to shed collector noise.
+func TestParallelAnalysisIsFasterThanSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	// Two CPUs are enough for membug∥taint in principle, but on small shared
+	// runners the ~10ms phase is within scheduler noise; require headroom.
+	if runtime.NumCPU() < 4 {
+		t.Skipf("timing comparison needs parallel hardware headroom; NumCPU=%d", runtime.NumCPU())
+	}
+	if _, err := experiments.RunDefense("squid", 8, 8, nil); err != nil {
+		t.Fatal(err) // warm-up
+	}
+	seq, par := engineComparisonOnce(t)
+	t.Logf("time to final antibody: sequential best %.2fms, parallel best %.2fms (totals %.2fms / %.2fms)",
+		seq.antibodySec*1e3, par.antibodySec*1e3, seq.totalSec*1e3, par.totalSec*1e3)
+	if par.antibodySec >= seq.antibodySec {
+		t.Errorf("parallel time-to-antibody (%.2fms) not below sequential (%.2fms)",
+			par.antibodySec*1e3, seq.antibodySec*1e3)
+	}
+}

@@ -1,19 +1,23 @@
-// Command sweeperd runs one of the evaluation servers under Sweeper
-// protection, drives a benign workload around a live exploit, and prints the
-// complete defence timeline: detection, each analysis step and its result,
-// the antibodies generated (and when), and the recovery outcome.
+// Command sweeperd runs a fleet of evaluation servers under Sweeper
+// protection — one goroutine per guest around a shared antibody store —
+// drives a benign workload around a live exploit aimed at one guest, and
+// prints the complete defence timeline: detection, each analysis step and its
+// result, the antibodies generated (and when), recovery, and how the shared
+// antibodies inoculate the rest of the fleet against the same worm.
 //
 // Examples:
 //
-//	sweeperd -app squid
-//	sweeperd -app apache1 -benign 50 -variants 2
+//	sweeperd -app squid -guests 4
+//	sweeperd -app apache1,cvs -benign 50 -variants 2
 //	sweeperd -app cvs -no-aslr -shadow-stack
+//	sweeperd -app squid -sequential
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"sweeper/internal/apps"
 	"sweeper/internal/core"
@@ -23,102 +27,154 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		appName     = flag.String("app", "squid", "application to protect: apache1, apache2, cvs, squid")
-		benign      = flag.Int("benign", 20, "benign requests before and after the attack")
-		variants    = flag.Int("variants", 1, "number of polymorphic exploit variants to launch")
-		interval    = flag.Uint64("checkpoint-ms", 200, "checkpoint interval in virtual milliseconds")
-		noASLR      = flag.Bool("no-aslr", false, "disable address-space randomisation")
-		shadowStack = flag.Bool("shadow-stack", false, "enable the shadow-stack lightweight monitor")
-		showAntibody = flag.Bool("show-antibody", false, "print the final antibody as JSON")
+		appNames     = flag.String("app", "squid", "comma-separated applications to protect: apache1, apache2, cvs, squid")
+		guests       = flag.Int("guests", 3, "number of protected guests per application")
+		benign       = flag.Int("benign", 20, "benign requests per guest before and after the attack")
+		variants     = flag.Int("variants", 1, "number of polymorphic exploit variants to launch at guest 0")
+		interval     = flag.Uint64("checkpoint-ms", 200, "checkpoint interval in virtual milliseconds")
+		noASLR       = flag.Bool("no-aslr", false, "disable address-space randomisation")
+		shadowStack  = flag.Bool("shadow-stack", false, "enable the shadow-stack lightweight monitor")
+		sequential   = flag.Bool("sequential", false, "run the heavyweight analyses sequentially instead of in parallel")
+		showAntibody = flag.Bool("show-antibody", false, "print each final antibody as JSON")
 	)
 	flag.Parse()
-
-	spec, err := apps.ByName(*appName)
-	if err != nil {
-		log.Fatalf("sweeperd: %v", err)
+	if *guests < 1 {
+		log.Fatalf("sweeperd: -guests must be at least 1")
 	}
-	cfg := core.DefaultConfig()
-	cfg.CheckpointIntervalMs = *interval
-	cfg.ASLR = !*noASLR
-	cfg.ShadowStack = *shadowStack
 
-	s, err := core.New(spec.Name, spec.Image, spec.Options, cfg)
-	if err != nil {
-		log.Fatalf("sweeperd: %v", err)
-	}
-	fmt.Printf("sweeperd: protecting %s (%s, %s)\n", spec.Program, spec.CVE, spec.BugType)
-	fmt.Printf("  layout: code=%#x data=%#x heap=%#x stack=%#x (ASLR %v)\n",
-		s.Layout().CodeBase, s.Layout().DataBase, s.Layout().HeapBase, s.Layout().StackBase, cfg.ASLR)
-	fmt.Printf("  checkpoints: every %d ms, keeping %d\n\n", cfg.CheckpointIntervalMs, cfg.MaxCheckpoints)
-
-	for i := 0; i < *benign; i++ {
-		s.Submit(exploit.Benign(spec.Name, i), "client", false)
-	}
-	for v := 0; v < *variants; v++ {
-		payload, err := exploit.ExploitVariant(spec, v)
+	fleet := core.NewFleet()
+	var specs []*apps.Spec
+	for _, name := range strings.Split(*appNames, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		spec, err := apps.ByName(strings.TrimSpace(name))
 		if err != nil {
-			log.Fatalf("sweeperd: building exploit: %v", err)
+			log.Fatalf("sweeperd: %v", err)
 		}
-		accepted := s.Submit(payload, "worm", true)
-		fmt.Printf("worm: exploit variant %d submitted (%d bytes), accepted by proxy: %v\n", v, len(payload), accepted)
-	}
-	for i := 0; i < *benign; i++ {
-		s.Submit(exploit.Benign(spec.Name, 1000+i), "client", false)
-	}
-
-	res, err := s.ServeAll()
-	if err != nil {
-		log.Fatalf("sweeperd: %v", err)
-	}
-
-	fmt.Printf("\nserved %d requests, handled %d attack(s), server halted: %v\n",
-		res.RequestsServed, res.AttacksHandled, res.Halted)
-	stats := s.Proxy().Stats()
-	fmt.Printf("proxy: %d submitted, %d filtered by input signatures, %d delivered\n\n",
-		stats.Submitted, stats.Filtered, stats.Delivered)
-
-	for _, r := range s.Attacks() {
-		fmt.Printf("=== attack %d (virtual t=%d ms) ===\n", r.Seq, r.DetectedAtMs)
-		fmt.Printf("detected : %s\n", r.Detection.Reason)
-		fmt.Printf("#1 memory state  (%v): %s\n", r.Steps[0].Duration.Round(10_000), r.CoreDump.Summary())
-		if r.InitialAntibody != nil && len(r.InitialAntibody.VSEFs) > 0 {
-			fmt.Printf("   initial VSEF after %v: %s\n", r.TimeToFirstVSEF.Round(10_000), r.InitialAntibody.VSEFs[0])
-		}
-		if len(r.MemBugFindings) > 0 {
-			fmt.Printf("#2 memory bug    : %s\n", r.MemBugFindings[0].Summary())
-		} else {
-			fmt.Printf("#2 memory bug    : no memory bug detected\n")
-		}
-		if r.RefinedAntibody != nil {
-			fmt.Printf("   refined VSEF after %v: %s\n", r.TimeToBestVSEF.Round(10_000), r.RefinedAntibody.VSEFs[len(r.RefinedAntibody.VSEFs)-1])
-		}
-		if r.CulpritRequestID >= 0 {
-			method := "taint analysis"
-			if r.IsolationUsed {
-				method = "request isolation"
+		specs = append(specs, spec)
+		for i := 0; i < *guests; i++ {
+			cfg := core.DefaultConfig()
+			cfg.CheckpointIntervalMs = *interval
+			cfg.ASLR = !*noASLR
+			// Every guest gets its own randomised layout, like distinct hosts.
+			cfg.ASLRSeed = 0x5eed + int64(i)*7919
+			cfg.ShadowStack = *shadowStack
+			cfg.ParallelAnalysis = !*sequential
+			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
+			if _, err := fleet.AddGuest(guestName, spec.Name, spec.Image, spec.Options, cfg); err != nil {
+				log.Fatalf("sweeperd: %v", err)
 			}
-			fmt.Printf("#3 input/taint   : exploit input = request %d (%d bytes) via %s\n",
-				r.CulpritRequestID, len(r.CulpritPayload), method)
-		} else {
-			fmt.Printf("#3 input/taint   : exploit input not identified\n")
+			fmt.Printf("sweeperd: protecting %s (%s, %s)\n", guestName, spec.CVE, spec.BugType)
 		}
-		fmt.Printf("#4 slicing       : %d dynamic instructions, consistent=%v\n", r.SliceNodes, r.SliceConsistent)
-		fmt.Printf("analysis times   : first VSEF %v, best VSEF %v, initial %v, total %v\n",
-			r.TimeToFirstVSEF.Round(10_000), r.TimeToBestVSEF.Round(10_000),
-			r.InitialAnalysisTime.Round(10_000), r.TotalAnalysisTime.Round(10_000))
-		fmt.Printf("recovery         : ok=%v in %v wall / %d ms virtual (diverged=%v)\n",
-			r.Recovered, r.RecoveryTime.Round(10_000), r.RecoveryVirtualMs, r.RecoveryDiverged)
-		if *showAntibody && r.FinalAntibody != nil {
-			data, err := r.FinalAntibody.Marshal()
-			if err == nil {
-				fmt.Printf("final antibody   : %s\n", data)
+	}
+	engine := "parallel"
+	if *sequential {
+		engine = "sequential"
+	}
+	fmt.Printf("  analysis engine: %s; checkpoints every %d ms\n\n", engine, *interval)
+	fleet.Start()
+
+	// Benign traffic to every guest, the worm's exploit variants at guest 0
+	// of each application, then more benign traffic.
+	exploits := make(map[string][]byte)
+	for _, spec := range specs {
+		for i := 0; i < *guests; i++ {
+			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
+			for r := 0; r < *benign; r++ {
+				fleet.Submit(guestName, exploit.Benign(spec.Name, r), "client", false)
 			}
 		}
-		fmt.Println()
+		for v := 0; v < *variants; v++ {
+			payload, err := exploit.ExploitVariant(spec, v)
+			if err != nil {
+				log.Fatalf("sweeperd: building exploit: %v", err)
+			}
+			if v == 0 {
+				exploits[spec.Name] = payload
+			}
+			accepted := fleet.Submit(spec.Name+"-0", payload, "worm", true)
+			fmt.Printf("worm: exploit variant %d submitted to %s-0 (%d bytes), accepted by proxy: %v\n",
+				v, spec.Name, len(payload), accepted)
+		}
+		for i := 0; i < *guests; i++ {
+			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
+			for r := 0; r < *benign; r++ {
+				fleet.Submit(guestName, exploit.Benign(spec.Name, 1000+r), "client", false)
+			}
+		}
 	}
+	fleet.Drain()
 
-	fmt.Printf("antibodies generated: %d\n", len(s.Antibodies()))
-	for _, a := range s.Antibodies() {
-		fmt.Printf("  %s\n", a)
+	// The worm now tries every guest in the fleet: the antibodies generated
+	// at guest 0 have been distributed through the shared store, so the
+	// exact-match input signature drops the exploit at every proxy.
+	fmt.Println()
+	for _, spec := range specs {
+		payload, launched := exploits[spec.Name]
+		if !launched {
+			continue // -variants 0: no exploit was ever launched
+		}
+		for i := 0; i < *guests; i++ {
+			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
+			accepted := fleet.Submit(guestName, payload, "worm", true)
+			fmt.Printf("worm: replayed exploit against %s: accepted=%v (inoculated=%v)\n",
+				guestName, accepted, !accepted)
+		}
+	}
+	fleet.Stop()
+
+	fmt.Printf("\n=== fleet metrics ===\n")
+	for _, st := range fleet.Metrics().All() {
+		fmt.Printf("%-12s served=%-4d attacks=%d recovered=%d generated=%d adopted=%d filtered=%d halted=%v\n",
+			st.Guest, st.RequestsServed, st.AttacksHandled, st.Recovered,
+			st.AntibodiesGenerated, st.AntibodiesAdopted, st.FilteredInputs, st.Halted)
+	}
+	totals := fleet.Metrics().Totals()
+	fmt.Printf("%-12s served=%-4d attacks=%d recovered=%d generated=%d adopted=%d filtered=%d\n",
+		"TOTAL", totals.RequestsServed, totals.AttacksHandled, totals.Recovered,
+		totals.AntibodiesGenerated, totals.AntibodiesAdopted, totals.FilteredInputs)
+	fmt.Printf("shared store: %d antibodies\n", fleet.Store().Len())
+
+	for _, g := range fleet.Guests() {
+		s := g.Sweeper()
+		for _, r := range s.Attacks() {
+			fmt.Printf("\n=== attack %d on %s (virtual t=%d ms, %s engine) ===\n",
+				r.Seq, g.Name(), r.DetectedAtMs, map[bool]string{true: "parallel", false: "sequential"}[r.Parallel])
+			fmt.Printf("detected : %s\n", r.Detection.Reason)
+			fmt.Printf("#1 memory state  (%v): %s\n", r.Steps[0].Duration.Round(10_000), r.CoreDump.Summary())
+			if r.InitialAntibody != nil && len(r.InitialAntibody.VSEFs) > 0 {
+				fmt.Printf("   initial VSEF after %v: %s\n", r.TimeToFirstVSEF.Round(10_000), r.InitialAntibody.VSEFs[0])
+			}
+			if len(r.MemBugFindings) > 0 {
+				fmt.Printf("#2 memory bug    : %s\n", r.MemBugFindings[0].Summary())
+			} else {
+				fmt.Printf("#2 memory bug    : no memory bug detected\n")
+			}
+			if r.RefinedAntibody != nil {
+				fmt.Printf("   refined VSEF after %v: %s\n", r.TimeToBestVSEF.Round(10_000), r.RefinedAntibody.VSEFs[len(r.RefinedAntibody.VSEFs)-1])
+			}
+			if r.CulpritRequestID >= 0 {
+				method := "taint analysis"
+				if r.IsolationUsed {
+					method = "request isolation"
+				}
+				fmt.Printf("#3 input/taint   : exploit input = request %d (%d bytes) via %s\n",
+					r.CulpritRequestID, len(r.CulpritPayload), method)
+			} else {
+				fmt.Printf("#3 input/taint   : exploit input not identified\n")
+			}
+			fmt.Printf("#4 slicing       : %d dynamic instructions, consistent=%v\n", r.SliceNodes, r.SliceConsistent)
+			fmt.Printf("analysis times   : first VSEF %v, best VSEF %v, initial %v, total %v\n",
+				r.TimeToFirstVSEF.Round(10_000), r.TimeToBestVSEF.Round(10_000),
+				r.InitialAnalysisTime.Round(10_000), r.TotalAnalysisTime.Round(10_000))
+			fmt.Printf("recovery         : ok=%v in %v wall / %d ms virtual (diverged=%v)\n",
+				r.Recovered, r.RecoveryTime.Round(10_000), r.RecoveryVirtualMs, r.RecoveryDiverged)
+			if *showAntibody && r.FinalAntibody != nil {
+				if data, err := r.FinalAntibody.Marshal(); err == nil {
+					fmt.Printf("final antibody   : %s\n", data)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,3 @@
+module sweeper
+
+go 1.22

@@ -222,12 +222,12 @@ func (d *Detector) checkHeapAccess(m *vm.Machine, idx int, addr uint32, size int
 				kind = KindDanglingWrite
 			}
 			d.record(m, Finding{
-				Kind:     kind,
-				InstrIdx: idx,
-				Sym:      m.SymbolAt(idx),
-				Addr:     addr,
+				Kind:      kind,
+				InstrIdx:  idx,
+				Sym:       m.SymbolAt(idx),
+				Addr:      addr,
 				ChunkAddr: c.addr,
-				Detail:   "access to freed heap chunk",
+				Detail:    "access to freed heap chunk",
 			}, vkind)
 			return
 		}

@@ -77,11 +77,11 @@ func TestBackwardSliceThroughMemory(t *testing.T) {
 	// The value flows through a store/load pair on the stack.
 	sl, _ := runSliced(t, slicing.Options{}, func(b *asm.Builder) {
 		b.Func("main")
-		b.MovI(vm.R1, 42)     // 0: source
-		b.Push(vm.R1)         // 1: store to stack
-		b.MovI(vm.R1, 0)      // 2: clobber the register (not a dependence of the load)
-		b.Pop(vm.R2)          // 3: load back
-		b.Mov(vm.R3, vm.R2)   // 4: sink
+		b.MovI(vm.R1, 42)   // 0: source
+		b.Push(vm.R1)       // 1: store to stack
+		b.MovI(vm.R1, 0)    // 2: clobber the register (not a dependence of the load)
+		b.Pop(vm.R2)        // 3: load back
+		b.Mov(vm.R3, vm.R2) // 4: sink
 		b.Halt()
 	})
 	slice, err := sl.BackwardSlice(sl.LastSeqOf(4))
@@ -98,10 +98,10 @@ func TestBackwardSliceThroughMemory(t *testing.T) {
 func TestControlDependenceCapturedWhenEnabled(t *testing.T) {
 	build := func(b *asm.Builder) {
 		b.Func("main")
-		b.MovI(vm.R1, 0)  // 0
-		b.CmpI(vm.R1, 0)  // 1
-		b.Jnz("skip")     // 2
-		b.MovI(vm.R2, 7)  // 3: executed because the branch fell through
+		b.MovI(vm.R1, 0) // 0
+		b.CmpI(vm.R1, 0) // 1
+		b.Jnz("skip")    // 2
+		b.MovI(vm.R2, 7) // 3: executed because the branch fell through
 		b.Label("skip")
 		b.Mov(vm.R3, vm.R2) // 4: sink
 		b.Halt()

@@ -161,11 +161,11 @@ func TestHeapBoundsVSEFStopsSquidExploit(t *testing.T) {
 		exploit.SquidExploit(),
 	)
 	v := &antibody.VSEF{
-		Kind:     antibody.VSEFHeapBounds,
-		Program:  "squid",
-		Name:     "squid-heap-vsef",
-		InstrIdx: spec.VulnIndex(),
-		InstrSym: "strcat",
+		Kind:      antibody.VSEFHeapBounds,
+		Program:   "squid",
+		Name:      "squid-heap-vsef",
+		InstrIdx:  spec.VulnIndex(),
+		InstrSym:  "strcat",
 		CallerIdx: -1,
 	}
 	applied, err := v.Apply(p)
@@ -194,10 +194,10 @@ func TestReturnGuardVSEFStopsApache1HijackAtDefaultLayout(t *testing.T) {
 	}
 	p, _, _ := newProcess(t, "apache1", exploit.Apache1Benign(0), payload)
 	v := &antibody.VSEF{
-		Kind:    antibody.VSEFReturnGuard,
-		Program: "apache1",
-		Name:    "apache1-ret-guard",
-		FuncSym: "try_alias_list",
+		Kind:      antibody.VSEFReturnGuard,
+		Program:   "apache1",
+		Name:      "apache1-ret-guard",
+		FuncSym:   "try_alias_list",
 		CallerIdx: -1,
 	}
 	if _, err := v.Apply(p); err != nil {
@@ -220,11 +220,11 @@ func TestDoubleFreeVSEFStopsCVSExploit(t *testing.T) {
 	spec, _ := apps.ByName("cvs")
 	p, _, _ := newProcess(t, "cvs", []byte("Directory src/lib\n"), exploit.CVSExploit())
 	v := &antibody.VSEF{
-		Kind:     antibody.VSEFDoubleFree,
-		Program:  "cvs",
-		Name:     "cvs-dfree-guard",
-		InstrIdx: spec.Image.Symbols["dirswitch.second_free"],
-		InstrSym: "dirswitch",
+		Kind:      antibody.VSEFDoubleFree,
+		Program:   "cvs",
+		Name:      "cvs-dfree-guard",
+		InstrIdx:  spec.Image.Symbols["dirswitch.second_free"],
+		InstrSym:  "dirswitch",
 		CallerIdx: -1,
 	}
 	if _, err := v.Apply(p); err != nil {
@@ -240,11 +240,11 @@ func TestNullCheckVSEFStopsApache2Exploit(t *testing.T) {
 	spec, _ := apps.ByName("apache2")
 	p, _, _ := newProcess(t, "apache2", exploit.Apache2Benign(1), exploit.Apache2Exploit())
 	v := &antibody.VSEF{
-		Kind:     antibody.VSEFNullCheck,
-		Program:  "apache2",
-		Name:     "apache2-null-guard",
-		InstrIdx: spec.Image.Symbols["is_ip.load"],
-		InstrSym: "is_ip",
+		Kind:      antibody.VSEFNullCheck,
+		Program:   "apache2",
+		Name:      "apache2-null-guard",
+		InstrIdx:  spec.Image.Symbols["is_ip.load"],
+		InstrSym:  "is_ip",
 		CallerIdx: -1,
 	}
 	if _, err := v.Apply(p); err != nil {

@@ -1,0 +1,91 @@
+package antibody
+
+import "sync"
+
+// Store is a thread-safe, deduplicating registry of antibodies shared by a
+// fleet of protected guests. A guest that generates an antibody publishes it
+// here; every subscriber (typically the fleet's distribution loop) is told
+// about each antibody exactly once, so an antibody generated for one guest
+// can inoculate all others — the paper's community-defence flow inside one
+// daemon.
+type Store struct {
+	mu    sync.Mutex
+	byID  map[string]*Antibody
+	order []*Antibody
+	subs  []func(*Antibody)
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byID: make(map[string]*Antibody)}
+}
+
+// Publish adds the antibody to the store and notifies subscribers. It
+// reports whether the antibody was new; an already-known ID is ignored, so
+// guests may republish received antibodies without causing loops.
+func (st *Store) Publish(a *Antibody) bool {
+	st.mu.Lock()
+	if _, dup := st.byID[a.ID]; dup {
+		st.mu.Unlock()
+		return false
+	}
+	st.byID[a.ID] = a
+	st.order = append(st.order, a)
+	var subs []func(*Antibody)
+	subs = append(subs, st.subs...)
+	st.mu.Unlock()
+	// Notify outside the lock so subscribers may publish or query freely.
+	for _, fn := range subs {
+		fn(a)
+	}
+	return true
+}
+
+// Subscribe registers fn to be called for every subsequently published
+// antibody, and immediately replays every antibody already stored (so a
+// late-joining guest is inoculated against everything the fleet has learned).
+func (st *Store) Subscribe(fn func(*Antibody)) {
+	st.mu.Lock()
+	st.subs = append(st.subs, fn)
+	replay := append([]*Antibody(nil), st.order...)
+	st.mu.Unlock()
+	for _, a := range replay {
+		fn(a)
+	}
+}
+
+// Get returns the stored antibody with the given ID.
+func (st *Store) Get(id string) (*Antibody, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a, ok := st.byID[id]
+	return a, ok
+}
+
+// All returns every stored antibody in publication order.
+func (st *Store) All() []*Antibody {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]*Antibody(nil), st.order...)
+}
+
+// ForProgram returns every stored antibody generated for the given program,
+// in publication order.
+func (st *Store) ForProgram(program string) []*Antibody {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []*Antibody
+	for _, a := range st.order {
+		if a.Program == program {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Len returns the number of stored antibodies.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.order)
+}

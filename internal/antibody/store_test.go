@@ -1,0 +1,67 @@
+package antibody
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStorePublishDedupAndForProgram(t *testing.T) {
+	st := NewStore()
+	a1 := &Antibody{ID: "a-attack1-initial", Program: "squid", Stage: StageInitial}
+	a2 := &Antibody{ID: "a-attack1-final", Program: "squid", Stage: StageFinal}
+	b1 := &Antibody{ID: "b-attack1-final", Program: "cvs", Stage: StageFinal}
+	if !st.Publish(a1) || !st.Publish(a2) || !st.Publish(b1) {
+		t.Fatal("fresh antibodies were rejected")
+	}
+	if st.Publish(a1) {
+		t.Error("duplicate ID was accepted")
+	}
+	if st.Len() != 3 {
+		t.Fatalf("store holds %d antibodies, want 3", st.Len())
+	}
+	if got := st.ForProgram("squid"); len(got) != 2 || got[0] != a1 || got[1] != a2 {
+		t.Errorf("ForProgram(squid) = %v", got)
+	}
+	if _, ok := st.Get("b-attack1-final"); !ok {
+		t.Error("Get missed a stored antibody")
+	}
+}
+
+func TestStoreSubscribeReplaysAndNotifies(t *testing.T) {
+	st := NewStore()
+	st.Publish(&Antibody{ID: "early", Program: "squid"})
+	var seen []string
+	st.Subscribe(func(a *Antibody) { seen = append(seen, a.ID) })
+	st.Publish(&Antibody{ID: "late", Program: "squid"})
+	st.Publish(&Antibody{ID: "late", Program: "squid"}) // dup: no second notify
+	if len(seen) != 2 || seen[0] != "early" || seen[1] != "late" {
+		t.Fatalf("subscriber saw %v, want [early late]", seen)
+	}
+}
+
+func TestStoreConcurrentPublishers(t *testing.T) {
+	st := NewStore()
+	var notified sync.Map
+	st.Subscribe(func(a *Antibody) { notified.Store(a.ID, true) })
+	var wg sync.WaitGroup
+	const publishers, each = 8, 50
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				st.Publish(&Antibody{ID: fmt.Sprintf("p%d-%d", p, i), Program: "squid"})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if st.Len() != publishers*each {
+		t.Fatalf("store holds %d antibodies, want %d", st.Len(), publishers*each)
+	}
+	count := 0
+	notified.Range(func(_, _ any) bool { count++; return true })
+	if count != publishers*each {
+		t.Fatalf("subscriber saw %d antibodies, want %d", count, publishers*each)
+	}
+}

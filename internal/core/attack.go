@@ -6,7 +6,6 @@ import (
 
 	"sweeper/internal/analysis/coredump"
 	"sweeper/internal/analysis/membug"
-	"sweeper/internal/analysis/slicing"
 	"sweeper/internal/analysis/taint"
 	"sweeper/internal/antibody"
 	"sweeper/internal/monitor"
@@ -30,15 +29,17 @@ type AttackReport struct {
 	Seq          int
 	DetectedAtMs uint64
 	Detection    monitor.Detection
+	// Parallel records which analysis engine handled the attack.
+	Parallel bool
 
 	// Analysis results.
-	CoreDump        *coredump.Report
-	MemBugFindings  []membug.Finding
-	TaintFindings   []taint.Finding
-	TaintDetected   bool
-	SliceNodes      int
-	SliceInstrs     int
-	SliceConsistent bool
+	CoreDump         *coredump.Report
+	MemBugFindings   []membug.Finding
+	TaintFindings    []taint.Finding
+	TaintDetected    bool
+	SliceNodes       int
+	SliceInstrs      int
+	SliceConsistent  bool
 	MissingFromSlice []int
 
 	// Exploit input identification.
@@ -55,6 +56,10 @@ type AttackReport struct {
 	TimeToFirstVSEF     time.Duration
 	TimeToBestVSEF      time.Duration
 	InitialAnalysisTime time.Duration
+	// TimeToFinalAntibody is when the final antibody (VSEFs + input
+	// signature + exploit input) was published. It excludes the slicing
+	// cross-check, which the antibody does not depend on.
+	TimeToFinalAntibody time.Duration
 	TotalAnalysisTime   time.Duration
 	Steps               []StepTiming
 
@@ -79,7 +84,11 @@ func (r *AttackReport) BestVSEF() *antibody.VSEF {
 }
 
 func (s *Sweeper) newAntibodyID(stage antibody.Stage) string {
-	return fmt.Sprintf("%s-attack%d-%s", s.name, s.attackSeq, stage)
+	owner := s.name
+	if s.cfg.InstanceID != "" {
+		owner = s.cfg.InstanceID
+	}
+	return fmt.Sprintf("%s-attack%d-%s", owner, s.attackSeq, stage)
 }
 
 func (s *Sweeper) publish(a *antibody.Antibody) {
@@ -116,7 +125,6 @@ func (s *Sweeper) snapshotForAnalysis() *proc.Snapshot {
 func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *AttackReport {
 	s.attackSeq++
 	t0 := time.Now()
-	detectCycles := s.proc.Machine.Cycles()
 	report := &AttackReport{
 		Seq:              s.attackSeq,
 		DetectedAtMs:     s.proc.Machine.NowMillis(),
@@ -156,18 +164,22 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 		return report
 	}
 
-	// --- Step 2: dynamic memory-bug detection during replay. ---
-	var membugPrimary *membug.Finding
+	// --- Steps 2-4: the heavyweight rollback-and-replay analyses. Each runs
+	// on its own copy-on-write clone of the checkpoint (concurrently when
+	// cfg.ParallelAnalysis is set); the live process is never rolled back for
+	// analysis, only for recovery below. Each analysis is joined exactly when
+	// its result is needed, so every antibody stage ships as early as its
+	// inputs allow.
+	run := s.startReplayAnalyses(snap)
+	res := run.res
+	report.Parallel = s.cfg.ParallelAnalysis
+
+	// --- Step 2 results: memory-bug detection and the refined antibody. ---
+	run.waitMemBug()
+	report.MemBugFindings = res.memBugFindings
+	membugPrimary := res.membugPrimary
 	if s.cfg.EnableMemBug {
-		t = time.Now()
-		s.proc.Rollback(snap, proc.ModeReplay, false)
-		det := membug.New(s.proc, true)
-		s.proc.Machine.AttachTool(det)
-		s.proc.Run(s.cfg.ReplayBudget)
-		s.proc.Machine.DetachTool(det.Name())
-		report.MemBugFindings = det.Findings()
-		membugPrimary = det.Primary()
-		step("memory-bug", t)
+		report.Steps = append(report.Steps, StepTiming{Name: "memory-bug", Duration: res.membugStep})
 	}
 	refinedVSEF := antibody.FromMemBug(s.newAntibodyID("refined")+"-vsef", s.name, membugPrimary)
 	if refinedVSEF != nil {
@@ -185,28 +197,23 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 			refined.Notes = append(refined.Notes, membugPrimary.Summary())
 		}
 		report.RefinedAntibody = refined
-		report.TimeToBestVSEF = time.Since(t0)
 		s.publish(refined)
+		report.TimeToBestVSEF = time.Since(t0)
 	} else {
 		report.TimeToBestVSEF = report.TimeToFirstVSEF
 	}
 
-	// --- Step 3: dynamic taint analysis and exploit-input identification. ---
+	// --- Step 3 results: taint analysis and exploit-input identification. ---
+	run.waitTaint(s.cfg.EnableTaint)
 	var taintVSEF *antibody.VSEF
 	if s.cfg.EnableTaint {
-		t = time.Now()
-		s.proc.Rollback(snap, proc.ModeReplay, false)
-		tr := taint.New(true)
-		s.proc.Machine.AttachTool(tr)
-		s.proc.Run(s.cfg.ReplayBudget)
-		s.proc.Machine.DetachTool(tr.Name())
-		report.TaintFindings = tr.Findings()
-		report.TaintDetected = tr.Detected()
-		if id, ok := tr.ResponsibleRequest(); ok {
-			report.CulpritRequestID = id
+		report.TaintFindings = res.taintFindings
+		report.TaintDetected = res.taintDetected
+		report.CulpritRequestID = res.taintCulprit
+		if res.taintTracker != nil {
+			taintVSEF = antibody.FromTaint(s.newAntibodyID("taint")+"-vsef", s.name, res.taintTracker)
 		}
-		taintVSEF = antibody.FromTaint(s.newAntibodyID("taint")+"-vsef", s.name, tr)
-		step("input-taint", t)
+		report.Steps = append(report.Steps, StepTiming{Name: "input-taint", Duration: res.taintStep})
 	}
 	if report.CulpritRequestID < 0 {
 		t = time.Now()
@@ -219,25 +226,9 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 	}
 	report.InitialAnalysisTime = time.Since(t0)
 
-	// --- Step 4: dynamic backward slicing (sanity check of the other steps). ---
-	if s.cfg.EnableSlicing {
-		t = time.Now()
-		s.proc.Rollback(snap, proc.ModeReplay, false)
-		sl := slicing.New(slicing.Options{IncludeControlDeps: true})
-		s.proc.Machine.AttachTool(sl)
-		s.proc.Run(s.cfg.ReplayBudget)
-		s.proc.Machine.DetachTool(sl.Name())
-		if slice, err := sl.BackwardSliceFromLast(); err == nil {
-			report.SliceNodes = slice.Size()
-			report.SliceInstrs = len(slice.InstrSet)
-			report.MissingFromSlice = slice.Verify(s.implicatedInstrs(report)...)
-			report.SliceConsistent = len(report.MissingFromSlice) == 0
-		}
-		step("slicing", t)
-	}
-	report.TotalAnalysisTime = time.Since(t0)
-
-	// --- Final antibody: best VSEFs + input signature + exploit input. ---
+	// --- Final antibody: best VSEFs + input signature + exploit input. It
+	// ships before the slicing cross-check completes: slicing contributes
+	// nothing to the antibody, so hosts should not wait for it. ---
 	final := &antibody.Antibody{
 		ID:          s.newAntibodyID(antibody.StageFinal),
 		Program:     s.name,
@@ -260,14 +251,26 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 	}
 	report.FinalAntibody = final
 	s.publish(final)
+	report.TimeToFinalAntibody = time.Since(t0)
+
+	// --- Step 4 results: backward slicing (sanity check of the other steps). ---
+	run.finishSlicing()
+	if s.cfg.EnableSlicing {
+		if res.slice != nil {
+			report.SliceNodes = res.sliceNodes
+			report.SliceInstrs = res.sliceInstrs
+			report.MissingFromSlice = res.slice.Verify(s.implicatedInstrs(report)...)
+			report.SliceConsistent = len(report.MissingFromSlice) == 0
+		}
+		report.Steps = append(report.Steps, StepTiming{Name: "slicing", Duration: res.sliceStep})
+	}
+	report.TotalAnalysisTime = time.Since(t0)
 
 	// --- Step 5: recovery by rollback and re-execution without the attack. ---
-	// The analysis replays above ran against shadow state; their cost is
-	// reported as wall-clock analysis time, not as client-visible service
-	// time. The service clock resumes from the moment of detection and only
-	// advances by the rollback and re-execution below (this is what Figure 5
-	// measures as the recovery gap).
-	s.proc.Machine.SetCycles(detectCycles)
+	// The analysis replays above ran on shadow clones, so the live process's
+	// clock still reads the moment of detection; the client-visible service
+	// gap only advances by the rollback and re-execution below (this is what
+	// Figure 5 measures as the recovery gap).
 	t = time.Now()
 	recoveryStartMs := s.proc.Machine.NowMillis()
 	s.proc.Rollback(snap, proc.ModeReplay, false)
@@ -302,37 +305,6 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 	report.RecoveryDiverged, report.RecoveryDivergence = s.proc.Diverged()
 	step("recovery", t)
 	return report
-}
-
-// isolateInput identifies the exploit request by replaying the requests
-// received since the checkpoint one at a time and seeing which one reproduces
-// the failure (the fallback the paper also uses when taint analysis alone
-// cannot name the input).
-func (s *Sweeper) isolateInput(snap *proc.Snapshot) int {
-	candidates := s.proc.Log.RequestsSince(snap.LogLen)
-	if len(candidates) == 0 {
-		return -1
-	}
-	if len(candidates) == 1 {
-		return candidates[0]
-	}
-	defer s.proc.ClearDropped()
-	for _, candidate := range candidates {
-		s.proc.Rollback(snap, proc.ModeReplay, false)
-		s.proc.ClearDropped()
-		var others []int
-		for _, id := range candidates {
-			if id != candidate {
-				others = append(others, id)
-			}
-		}
-		s.proc.DropRequests(others...)
-		stop := s.proc.Run(s.cfg.ReplayBudget)
-		if stop.Reason == vm.StopFault || stop.Reason == vm.StopViolation {
-			return candidate
-		}
-	}
-	return -1
 }
 
 // payloadOf returns the payload of a logged request.

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sweeper/internal/antibody"
+	"sweeper/internal/exploit"
+)
+
+// runFullCycle drives the complete detect → analyze → inoculate → recover
+// cycle for one app under the given engine and returns the Sweeper.
+func runFullCycle(t *testing.T, appName string, parallel bool) *Sweeper {
+	t.Helper()
+	s, spec := newSweeperFor(t, appName, func(c *Config) { c.ParallelAnalysis = parallel })
+	payload, err := exploit.Exploit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const before, after = 8, 8
+	submitBenign(s, appName, 0, before)
+	if !s.Submit(payload, "worm", true) {
+		t.Fatal("exploit was filtered before any antibody existed")
+	}
+	submitBenign(s, appName, before, after)
+	if _, err := s.ServeAll(); err != nil {
+		t.Fatalf("ServeAll: %v", err)
+	}
+	if len(s.Attacks()) != 1 {
+		t.Fatalf("attacks = %d, want 1", len(s.Attacks()))
+	}
+	return s
+}
+
+func marshalAll(t *testing.T, abs []*antibody.Antibody) []string {
+	t.Helper()
+	out := make([]string, len(abs))
+	for i, a := range abs {
+		data, err := a.Marshal()
+		if err != nil {
+			t.Fatalf("marshalling antibody %s: %v", a.ID, err)
+		}
+		out[i] = string(data)
+	}
+	return out
+}
+
+// TestParallelAndSequentialEnginesProduceIdenticalAntibodies is the
+// cross-check the sequential engine is kept for: both engines replay the
+// same attack window from the same checkpoint, so every antibody (initial,
+// refined, final — VSEFs, signatures, exploit input and all) must be
+// byte-identical, for every evaluation application.
+func TestParallelAndSequentialEnginesProduceIdenticalAntibodies(t *testing.T) {
+	for _, appName := range []string{"apache1", "apache2", "cvs", "squid"} {
+		t.Run(appName, func(t *testing.T) {
+			seq := runFullCycle(t, appName, false)
+			par := runFullCycle(t, appName, true)
+
+			if seq.Attacks()[0].Parallel {
+				t.Fatal("sequential run reported the parallel engine")
+			}
+			if !par.Attacks()[0].Parallel {
+				t.Fatal("parallel run reported the sequential engine")
+			}
+
+			seqAbs := marshalAll(t, seq.Antibodies())
+			parAbs := marshalAll(t, par.Antibodies())
+			if len(seqAbs) != len(parAbs) {
+				t.Fatalf("antibody count differs: sequential %d, parallel %d", len(seqAbs), len(parAbs))
+			}
+			for i := range seqAbs {
+				if seqAbs[i] != parAbs[i] {
+					t.Errorf("antibody %d differs:\nsequential: %s\nparallel:   %s", i, seqAbs[i], parAbs[i])
+				}
+			}
+
+			// The analyses must have reached the same conclusions, not just
+			// the same artifacts.
+			sr, pr := seq.Attacks()[0], par.Attacks()[0]
+			if sr.CulpritRequestID != pr.CulpritRequestID {
+				t.Errorf("culprit differs: sequential %d, parallel %d", sr.CulpritRequestID, pr.CulpritRequestID)
+			}
+			if !bytes.Equal(sr.CulpritPayload, pr.CulpritPayload) {
+				t.Error("culprit payload differs between engines")
+			}
+			if len(sr.MemBugFindings) != len(pr.MemBugFindings) {
+				t.Errorf("membug findings differ: sequential %d, parallel %d", len(sr.MemBugFindings), len(pr.MemBugFindings))
+			}
+			if sr.TaintDetected != pr.TaintDetected {
+				t.Error("taint detection differs between engines")
+			}
+			if sr.SliceNodes != pr.SliceNodes || sr.SliceInstrs != pr.SliceInstrs {
+				t.Errorf("slice differs: sequential %d/%d, parallel %d/%d",
+					sr.SliceNodes, sr.SliceInstrs, pr.SliceNodes, pr.SliceInstrs)
+			}
+			if sr.SliceConsistent != pr.SliceConsistent {
+				t.Error("slice consistency differs between engines")
+			}
+		})
+	}
+}
+
+// TestFullCycleBothEngines runs the complete defence cycle under each engine
+// and asserts the pipeline outcome (detection, analysis, inoculation and
+// recovery) end to end for all four apps.
+func TestFullCycleBothEngines(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		for _, appName := range []string{"apache1", "apache2", "cvs", "squid"} {
+			name := fmt.Sprintf("%s/sequential", appName)
+			if parallel {
+				name = fmt.Sprintf("%s/parallel", appName)
+			}
+			t.Run(name, func(t *testing.T) {
+				s := runFullCycle(t, appName, parallel)
+				r := s.Attacks()[0]
+				if !r.Recovered {
+					t.Error("recovery did not complete")
+				}
+				if s.Halted() {
+					t.Error("protected server halted")
+				}
+				if r.CulpritRequestID < 0 {
+					t.Error("exploit input was not identified")
+				}
+				if r.FinalAntibody == nil || len(r.FinalAntibody.VSEFs) == 0 {
+					t.Fatal("no final antibody / VSEFs generated")
+				}
+				if len(r.FinalAntibody.Sigs) == 0 {
+					t.Error("no input signature generated")
+				}
+				if !r.SliceConsistent {
+					t.Errorf("backward slice missing implicated instructions: %v", r.MissingFromSlice)
+				}
+				// Inoculation: the identical exploit must now be filtered.
+				if s.Submit(r.CulpritPayload, "worm", true) {
+					t.Error("identical exploit not filtered after recovery")
+				}
+			})
+		}
+	}
+}

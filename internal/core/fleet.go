@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"sweeper/internal/antibody"
+	"sweeper/internal/metrics"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// Fleet protects many guest server processes at once, one goroutine per
+// guest, around a shared antibody store: an antibody generated for one guest
+// inoculates every other guest running the same program, without that guest
+// ever being attacked — the paper's community-defence flow inside a single
+// daemon.
+type Fleet struct {
+	store *antibody.Store
+	rec   *metrics.FleetRecorder
+
+	mu      sync.Mutex
+	guests  map[string]*Guest
+	order   []*Guest
+	started bool
+	wg      sync.WaitGroup
+}
+
+// Guest is one protected process inside a Fleet. Its Sweeper is owned by the
+// guest's serving goroutine while the fleet runs; use the accessors only
+// after Drain or Stop.
+type Guest struct {
+	name    string
+	program string
+	fleet   *Fleet
+	s       *Sweeper
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []*antibody.Antibody
+	pending bool
+	busy    bool
+	stopped bool
+
+	// applied maps an antibody family (owner-attackN) to the currently
+	// installed refinement stage, so a refined antibody replaces the initial
+	// one instead of stacking probes.
+	applied map[string]*antibody.AppliedAntibody
+	adopted map[string]bool
+
+	serveErr error
+}
+
+// NewFleet returns an empty fleet with a fresh shared antibody store.
+func NewFleet() *Fleet {
+	return &Fleet{
+		store:  antibody.NewStore(),
+		rec:    metrics.NewFleetRecorder(),
+		guests: make(map[string]*Guest),
+	}
+}
+
+// Store returns the shared antibody store.
+func (f *Fleet) Store() *antibody.Store { return f.store }
+
+// Metrics returns the per-guest counters.
+func (f *Fleet) Metrics() *metrics.FleetRecorder { return f.rec }
+
+// AddGuest creates a Sweeper-protected guest named guestName running the
+// given program and registers it with the fleet. Antibodies already in the
+// shared store for the same program are queued for application, so a
+// late-joining guest starts out inoculated. If the fleet is already started
+// the guest's serving goroutine launches immediately.
+func (f *Fleet) AddGuest(guestName, program string, image *vm.Program, opts proc.Options, cfg Config) (*Guest, error) {
+	cfg.InstanceID = guestName
+	s, err := New(program, image, opts, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: guest %s: %w", guestName, err)
+	}
+	g := &Guest{
+		name:    guestName,
+		program: program,
+		fleet:   f,
+		s:       s,
+		applied: make(map[string]*antibody.AppliedAntibody),
+		adopted: make(map[string]bool),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	// Publications happen on g's goroutine during attack handling; the fleet
+	// forwards them to the store and from there to all other guests.
+	s.OnAntibody = func(a *antibody.Antibody) { f.publishFrom(g, a) }
+
+	f.mu.Lock()
+	if _, dup := f.guests[guestName]; dup {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: duplicate guest name %q", guestName)
+	}
+	f.guests[guestName] = g
+	f.order = append(f.order, g)
+	started := f.started
+	f.mu.Unlock()
+
+	f.rec.Register(guestName, program)
+	for _, a := range f.store.ForProgram(program) {
+		g.enqueueAntibody(a)
+	}
+	if started {
+		f.wg.Add(1)
+		go g.loop()
+	}
+	return g, nil
+}
+
+// Guest returns the named guest.
+func (f *Fleet) Guest(name string) (*Guest, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g, ok := f.guests[name]
+	return g, ok
+}
+
+// Guests returns the guests in the order they were added.
+func (f *Fleet) Guests() []*Guest {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Guest(nil), f.order...)
+}
+
+// Start launches the serving goroutines. It is idempotent.
+func (f *Fleet) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return
+	}
+	f.started = true
+	for _, g := range f.order {
+		f.wg.Add(1)
+		go g.loop()
+	}
+}
+
+// Submit offers a request to the named guest through its filtering proxy and
+// wakes the guest's serving goroutine. It reports whether the request was
+// accepted (false when an input-signature antibody filtered it out, or the
+// guest does not exist).
+func (f *Fleet) Submit(guest string, payload []byte, src string, malicious bool) bool {
+	g, ok := f.Guest(guest)
+	if !ok {
+		return false
+	}
+	accepted := g.s.Submit(payload, src, malicious)
+	f.rec.Update(g.name, func(st *metrics.GuestStats) {
+		st.FilteredInputs = g.s.Proxy().Stats().Filtered
+	})
+	if accepted {
+		g.mu.Lock()
+		g.pending = true
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+	return accepted
+}
+
+// Drain blocks until every guest is quiescent: no queued requests, no
+// pending antibody applications, no attack analysis in flight. It must not
+// race with Submit calls.
+func (f *Fleet) Drain() {
+	for {
+		waited := false
+		for _, g := range f.Guests() {
+			g.mu.Lock()
+			for !g.stopped && (g.busy || g.pending || len(g.inbox) > 0) {
+				waited = true
+				g.cond.Wait()
+			}
+			g.mu.Unlock()
+		}
+		if !waited {
+			return
+		}
+	}
+}
+
+// Stop drains outstanding work, terminates every guest goroutine and waits
+// for them to exit.
+func (f *Fleet) Stop() {
+	f.Drain()
+	for _, g := range f.Guests() {
+		g.mu.Lock()
+		g.stopped = true
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+	f.wg.Wait()
+}
+
+// publishFrom records a guest-generated antibody in the shared store and
+// forwards it to every other guest running the same program.
+func (f *Fleet) publishFrom(origin *Guest, a *antibody.Antibody) {
+	if !f.store.Publish(a) {
+		return
+	}
+	f.rec.Update(origin.name, func(st *metrics.GuestStats) { st.AntibodiesGenerated++ })
+	for _, g := range f.Guests() {
+		if g == origin || g.program != a.Program {
+			continue
+		}
+		g.enqueueAntibody(a)
+	}
+}
+
+// Name returns the guest's fleet-unique name.
+func (g *Guest) Name() string { return g.name }
+
+// Program returns the name of the program the guest runs.
+func (g *Guest) Program() string { return g.program }
+
+// Sweeper returns the guest's Sweeper. Only use it while the fleet is
+// drained or stopped; the serving goroutine owns it otherwise.
+func (g *Guest) Sweeper() *Sweeper { return g.s }
+
+// ServeError returns the last error the serving loop encountered (e.g. a
+// failed recovery).
+func (g *Guest) ServeError() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.serveErr
+}
+
+func (g *Guest) enqueueAntibody(a *antibody.Antibody) {
+	g.mu.Lock()
+	g.inbox = append(g.inbox, a)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// antibodyFamily groups the piecemeal stages of one attack's antibody
+// (initial, refined, final share the "owner-attackN" ID prefix).
+func antibodyFamily(id string) string {
+	if i := strings.LastIndex(id, "-"); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// adopt installs a received antibody on the guest: VSEF probes on the
+// process, input signatures on the proxy. A more refined stage of the same
+// attack's antibody replaces the earlier one — the new stage is applied
+// first and the old one removed only on success, so a failed application
+// never leaves the guest less protected than before. Runs on the guest's
+// goroutine.
+func (g *Guest) adopt(a *antibody.Antibody) {
+	if g.adopted[a.ID] {
+		return
+	}
+	g.adopted[a.ID] = true
+	ap, err := a.Apply(g.s.Process(), g.s.Proxy())
+	if err != nil {
+		return
+	}
+	family := antibodyFamily(a.ID)
+	if prev, ok := g.applied[family]; ok {
+		prev.Remove()
+	}
+	g.applied[family] = ap
+	g.fleet.rec.Update(g.name, func(st *metrics.GuestStats) { st.AntibodiesAdopted++ })
+}
+
+// loop is the guest's serving goroutine: apply queued antibodies, serve
+// queued requests (handling any attacks inline), publish metrics, repeat.
+func (g *Guest) loop() {
+	defer g.fleet.wg.Done()
+	for {
+		g.mu.Lock()
+		for !g.stopped && !g.pending && len(g.inbox) == 0 {
+			g.cond.Wait()
+		}
+		if g.stopped {
+			g.mu.Unlock()
+			return
+		}
+		inbox := g.inbox
+		g.inbox = nil
+		serve := g.pending
+		g.pending = false
+		g.busy = true
+		g.mu.Unlock()
+
+		for _, a := range inbox {
+			g.adopt(a)
+		}
+		if serve && !g.s.Halted() {
+			_, err := g.s.ServeAll()
+			if err != nil {
+				g.mu.Lock()
+				g.serveErr = err
+				g.mu.Unlock()
+			}
+		}
+		g.updateMetrics()
+
+		g.mu.Lock()
+		g.busy = false
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// updateMetrics publishes the guest's absolute counters to the recorder.
+func (g *Guest) updateMetrics() {
+	recovered := 0
+	for _, r := range g.s.Attacks() {
+		if r.Recovered {
+			recovered++
+		}
+	}
+	g.fleet.rec.Update(g.name, func(st *metrics.GuestStats) {
+		st.RequestsServed = g.s.Process().ServedRequests()
+		st.AttacksHandled = len(g.s.Attacks())
+		st.Recovered = recovered
+		st.FilteredInputs = g.s.Proxy().Stats().Filtered
+		st.Halted = g.s.Halted()
+	})
+}

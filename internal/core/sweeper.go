@@ -44,6 +44,13 @@ type Config struct {
 	EnableTaint   bool
 	EnableSlicing bool
 
+	// ParallelAnalysis runs the enabled heavyweight analyses concurrently,
+	// each replaying the attack window on its own copy-on-write clone of the
+	// rollback checkpoint, instead of one after another on the live process.
+	// The sequential path is kept as a cross-check; both engines produce
+	// byte-identical antibodies.
+	ParallelAnalysis bool
+
 	// AlwaysOnTaint attaches full dynamic taint analysis during normal
 	// execution (the TaintCheck/Vigilante-style baseline Sweeper argues
 	// against); used only for overhead comparisons.
@@ -56,6 +63,12 @@ type Config struct {
 
 	// RandSeed seeds the guest-visible RNG.
 	RandSeed uint32
+
+	// InstanceID distinguishes this Sweeper instance when several protect
+	// guests of the same program (a fleet): it prefixes generated antibody
+	// IDs so antibodies from different guests never collide in a shared
+	// store. Empty means the program name is used.
+	InstanceID string
 }
 
 // DefaultConfig returns the configuration used in the paper's experiments:
@@ -69,6 +82,7 @@ func DefaultConfig() Config {
 		EnableMemBug:         true,
 		EnableTaint:          true,
 		EnableSlicing:        true,
+		ParallelAnalysis:     true,
 		ReplayBudget:         200_000_000,
 		ServeBudget:          0,
 	}

@@ -59,8 +59,8 @@ func (p Params) Validate() error {
 
 // Point is one sample of the propagation time series.
 type Point struct {
-	Time     float64
-	Infected float64
+	Time      float64
+	Infected  float64
 	Producers float64 // producers contacted by at least one infection attempt
 }
 

@@ -53,10 +53,10 @@ func Figure8() []FigureSeries {
 // claim that the reactive antibody pipeline alone cannot stop a hit-list worm
 // but the combination can.
 type ProactiveAblationRow struct {
-	Beta            float64
-	Gamma           float64
-	Alpha           float64
-	WithProactive   float64
+	Beta             float64
+	Gamma            float64
+	Alpha            float64
+	WithProactive    float64
 	WithoutProactive float64
 }
 
@@ -82,12 +82,12 @@ func ProactiveAblation(beta float64) []ProactiveAblationRow {
 // refined VSEF (γ grows by the memory-bug analysis time), the trade-off the
 // paper discusses under Table 3.
 type ResponseTimeAblationRow struct {
-	Beta          float64
-	Alpha         float64
-	GammaInitial  float64
-	GammaRefined  float64
-	RatioInitial  float64
-	RatioRefined  float64
+	Beta         float64
+	Alpha        float64
+	GammaInitial float64
+	GammaRefined float64
+	RatioInitial float64
+	RatioRefined float64
 }
 
 // ResponseTimeAblation compares infection ratios for the two dissemination

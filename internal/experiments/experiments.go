@@ -135,14 +135,14 @@ func RunDefense(appName string, benignBefore, benignAfter int, mutate func(*core
 // Table2Row is one row of Table 2: what each analysis step concluded for one
 // exploit, and the VSEFs generated.
 type Table2Row struct {
-	App            string
-	ResultSummary  []string
-	MemoryState    string
+	App             string
+	ResultSummary   []string
+	MemoryState     string
 	MemoryStateVSEF string
-	MemoryBug      string
-	MemoryBugVSEF  string
-	InputTaint     string
-	Slicing        string
+	MemoryBug       string
+	MemoryBugVSEF   string
+	InputTaint      string
+	Slicing         string
 }
 
 // Table2 runs the defence for each named application and summarises the
@@ -410,14 +410,14 @@ func vsefProbeCount(ab *antibody.Antibody) int {
 // Figure5Result is the throughput-over-time data for one attack, with and
 // without Sweeper recovery (the restart baseline).
 type Figure5Result struct {
-	BucketMs       uint64
-	Sweeper        metrics.Series
-	Restart        metrics.Series
-	AttackAtMs     uint64
-	RecoveryGapMs  uint64
-	RestartGapMs   uint64
-	SweeperServed  int
-	RestartServed  int
+	BucketMs      uint64
+	Sweeper       metrics.Series
+	Restart       metrics.Series
+	AttackAtMs    uint64
+	RecoveryGapMs uint64
+	RestartGapMs  uint64
+	SweeperServed int
+	RestartServed int
 }
 
 // RestartPenaltyMs models the paper's observation that restarting Squid takes

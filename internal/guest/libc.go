@@ -13,23 +13,23 @@ import (
 // Names of the library entry points added by AddLibc. Applications call them
 // with the standard convention: arguments in R1..R3, result in R0.
 const (
-	FnRecv    = "recv"
-	FnSend    = "send"
-	FnExit    = "exit"
-	FnMalloc  = "malloc"
-	FnFree    = "free"
-	FnTime    = "timeofday"
-	FnRand    = "random"
-	FnLogMsg  = "logmsg"
-	FnStrlen  = "strlen"
-	FnStrcpy  = "strcpy"
-	FnStrcat  = "strcat"
-	FnMemcpy  = "memcpy"
-	FnMemset  = "memset"
-	FnStreq   = "streq"
-	FnPrefix  = "hasprefix"
-	FnStrstr  = "strstr"
-	FnStrchr  = "strchr"
+	FnRecv   = "recv"
+	FnSend   = "send"
+	FnExit   = "exit"
+	FnMalloc = "malloc"
+	FnFree   = "free"
+	FnTime   = "timeofday"
+	FnRand   = "random"
+	FnLogMsg = "logmsg"
+	FnStrlen = "strlen"
+	FnStrcpy = "strcpy"
+	FnStrcat = "strcat"
+	FnMemcpy = "memcpy"
+	FnMemset = "memset"
+	FnStreq  = "streq"
+	FnPrefix = "hasprefix"
+	FnStrstr = "strstr"
+	FnStrchr = "strchr"
 )
 
 // StrcatStoreLabel names the store instruction inside strcat that performs

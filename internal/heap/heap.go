@@ -132,6 +132,10 @@ func (a *Allocator) SetMmapThreshold(t uint32) {
 	a.threshold = t
 }
 
+// MmapThreshold returns the current large-object threshold (process cloning
+// uses it to recreate an allocator with identical placement policy).
+func (a *Allocator) MmapThreshold() uint32 { return a.threshold }
+
 // Base returns the lowest heap address.
 func (a *Allocator) Base() uint32 { return a.main.base }
 

@@ -60,9 +60,9 @@ type DetectionSource uint8
 
 // Detection sources.
 const (
-	SourceNone DetectionSource = iota
-	SourceFault                 // hardware fault (ASLR-induced segfault, heap corruption, ...)
-	SourceViolation              // an attached monitor/VSEF raised a violation
+	SourceNone      DetectionSource = iota
+	SourceFault                     // hardware fault (ASLR-induced segfault, heap corruption, ...)
+	SourceViolation                 // an attached monitor/VSEF raised a violation
 )
 
 // Detection is the lightweight monitor's verdict on a stopped execution.

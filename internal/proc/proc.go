@@ -434,6 +434,48 @@ func (p *Process) Snapshot(seq int) *Snapshot {
 	return s
 }
 
+// Clone derives an independent replay process from a checkpoint of this one.
+// The clone shares memory pages copy-on-write with the snapshot (cheap fork)
+// and consumes a private cursor over the shared event log, so several clones
+// can re-execute the same attack window concurrently, each under its own
+// analysis tool, without touching the live process, its proxy or each other.
+//
+// The clone starts in pure replay mode: once its event log view is exhausted
+// it blocks at the next recv instead of falling through to live input. Its
+// machine carries no tools or probes; callers attach what they need.
+func (p *Process) Clone(s *Snapshot) (*Process, error) {
+	clone := &Process{
+		Name:          p.Name,
+		Log:           p.Log.CloneForReplay(s.LogLen),
+		proxy:         netproxy.New(),
+		mode:          ModeReplay,
+		skip:          make(map[int]bool, len(p.skip)),
+		excised:       make(map[int]bool, len(p.excised)),
+		currentReqID:  s.CurrentReqID,
+		servedCount:   s.ServedCount,
+		rng:           s.Rng,
+		syscallCycles: p.syscallCycles,
+	}
+	for id := range p.skip {
+		clone.skip[id] = true
+	}
+	for id := range p.excised {
+		clone.excised[id] = true
+	}
+	m, err := vm.NewMachine(p.Machine.Program(), p.Machine.Layout(), clone)
+	if err != nil {
+		return nil, fmt.Errorf("proc: cloning %s: %w", p.Name, err)
+	}
+	m.Mem.Restore(s.Mem)
+	m.RestoreRegs(s.Regs)
+	clone.Machine = m
+	layout := p.Machine.Layout()
+	clone.Alloc = heap.New(m.Mem, layout.HeapBase, layout.HeapSize)
+	clone.Alloc.SetMmapThreshold(p.Alloc.MmapThreshold())
+	clone.Alloc.Restore(s.Alloc)
+	return clone, nil
+}
+
 // Rollback reinstates the process state captured in s and switches the
 // process into the requested mode. After a rollback for analysis the event
 // log's cursor points at the first event logged after the checkpoint, so the

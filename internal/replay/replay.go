@@ -68,6 +68,18 @@ func (l *Log) SetCursor(c int) {
 	l.cursor = c
 }
 
+// CloneForReplay returns an independent view of the log for a replay-only
+// consumer, with its own cursor positioned at the given index. The clone
+// shares the already-logged events read-only with the original (the capacity
+// is clamped, so an append to either side copies rather than overwriting the
+// shared tail); several clones may therefore replay concurrently from their
+// own goroutines while the original keeps appending live events.
+func (l *Log) CloneForReplay(cursor int) *Log {
+	nl := &Log{events: l.events[:len(l.events):len(l.events)]}
+	nl.SetCursor(cursor)
+	return nl
+}
+
 // TruncateAt discards every event at or after index n. Recovery uses it after
 // the replayed execution diverges permanently from the logged one (the
 // remaining log entries no longer describe the new execution).

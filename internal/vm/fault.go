@@ -42,13 +42,13 @@ func (k FaultKind) String() string {
 // Fault describes a machine fault: what happened, where the faulting access
 // pointed, and which instruction raised it.
 type Fault struct {
-	Kind      FaultKind
-	Addr      uint32 // faulting data address (page fault) or bad target (bad PC)
-	PC        int    // instruction index that raised the fault
-	PCAddr    uint32 // address of that instruction
-	Sym       string // enclosing function symbol of the faulting instruction
-	IsWrite   bool   // for page faults: whether the access was a write
-	Detail    string // free-form detail (e.g. heap corruption reason)
+	Kind    FaultKind
+	Addr    uint32 // faulting data address (page fault) or bad target (bad PC)
+	PC      int    // instruction index that raised the fault
+	PCAddr  uint32 // address of that instruction
+	Sym     string // enclosing function symbol of the faulting instruction
+	IsWrite bool   // for page faults: whether the access was a write
+	Detail  string // free-form detail (e.g. heap corruption reason)
 }
 
 // Error implements the error interface.

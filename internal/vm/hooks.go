@@ -55,14 +55,14 @@ type FaultHook interface {
 // toolSet caches tools by the hook interfaces they implement so the hot
 // interpreter loop does not perform interface type assertions per instruction.
 type toolSet struct {
-	all      []Tool
-	instr    []InstrHook
-	mem      []MemHook
-	call     []CallHook
-	alloc    []AllocHook
-	input    []InputHook
-	syscall  []SyscallHook
-	fault    []FaultHook
+	all     []Tool
+	instr   []InstrHook
+	mem     []MemHook
+	call    []CallHook
+	alloc   []AllocHook
+	input   []InputHook
+	syscall []SyscallHook
+	fault   []FaultHook
 }
 
 func (ts *toolSet) rebuild() {

@@ -110,7 +110,7 @@ const (
 )
 
 var opNames = [...]string{
-	OpNop: "nop",
+	OpNop:  "nop",
 	OpMovI: "movi", OpMov: "mov", OpLea: "lea",
 	OpLoadB: "loadb", OpLoadW: "loadw", OpStoreB: "storeb", OpStoreW: "storew",
 	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
@@ -166,9 +166,9 @@ const InstrSize = 4
 // has a unique address usable in VSEFs and stored return addresses.
 type Instr struct {
 	Op  Op
-	Rd  Reg   // destination / base register
-	Rs  Reg   // source register
-	Imm int32 // immediate, displacement or branch target (instruction index)
+	Rd  Reg    // destination / base register
+	Rs  Reg    // source register
+	Imm int32  // immediate, displacement or branch target (instruction index)
 	Sym string // enclosing function symbol, for diagnostics and VSEF context
 }
 

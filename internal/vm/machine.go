@@ -9,12 +9,12 @@ type StopReason uint8
 
 // Stop reasons.
 const (
-	StopNone StopReason = iota
-	StopHalt            // the guest executed halt or the exit syscall
-	StopWaitInput       // the guest asked for input and none is queued
-	StopFault           // a hardware fault (segfault, bad PC, ...)
-	StopViolation       // an attached tool raised a violation
-	StopInstrBudget     // the per-Run instruction budget was exhausted
+	StopNone        StopReason = iota
+	StopHalt                   // the guest executed halt or the exit syscall
+	StopWaitInput              // the guest asked for input and none is queued
+	StopFault                  // a hardware fault (segfault, bad PC, ...)
+	StopViolation              // an attached tool raised a violation
+	StopInstrBudget            // the per-Run instruction budget was exhausted
 )
 
 var stopNames = [...]string{"none", "halt", "wait-input", "fault", "violation", "instr-budget"}

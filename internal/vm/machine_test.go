@@ -57,7 +57,7 @@ func TestImmediateALUAndShifts(t *testing.T) {
 	m, stop := buildAndRun(t, func(b *asm.Builder) {
 		b.Func("main")
 		b.MovI(vm.R1, 0x0F)
-		b.OrI(vm.R1, 0xF0)  // 0xFF
+		b.OrI(vm.R1, 0xF0) // 0xFF
 		b.MovI(vm.R2, 0xFF)
 		b.AndI(vm.R2, 0x0F) // 0x0F
 		b.MovI(vm.R3, 1)
@@ -105,8 +105,8 @@ func TestLoopSum(t *testing.T) {
 	// Sum 1..10 with a loop.
 	m, _ := buildAndRun(t, func(b *asm.Builder) {
 		b.Func("main")
-		b.MovI(vm.R1, 1)  // i
-		b.MovI(vm.R2, 0)  // sum
+		b.MovI(vm.R1, 1) // i
+		b.MovI(vm.R2, 0) // sum
 		b.Label("loop")
 		b.CmpI(vm.R1, 10)
 		b.Jgt("done")
@@ -315,10 +315,14 @@ func (r *recordingTool) BeforeInstr(m *vm.Machine, idx int, in vm.Instr) {
 		m.RaiseViolation(&vm.Violation{Kind: r.raisedKind, Tool: r.name, Detail: "test"})
 	}
 }
-func (r *recordingTool) OnMemRead(m *vm.Machine, idx int, addr uint32, size int, val uint32)  { r.reads++ }
-func (r *recordingTool) OnMemWrite(m *vm.Machine, idx int, addr uint32, size int, val uint32) { r.writes++ }
-func (r *recordingTool) OnCall(m *vm.Machine, idx, target int, retAddr, retSlot uint32)       { r.calls++ }
-func (r *recordingTool) OnRet(m *vm.Machine, idx int, retAddr, retSlot uint32)                { r.rets++ }
+func (r *recordingTool) OnMemRead(m *vm.Machine, idx int, addr uint32, size int, val uint32) {
+	r.reads++
+}
+func (r *recordingTool) OnMemWrite(m *vm.Machine, idx int, addr uint32, size int, val uint32) {
+	r.writes++
+}
+func (r *recordingTool) OnCall(m *vm.Machine, idx, target int, retAddr, retSlot uint32) { r.calls++ }
+func (r *recordingTool) OnRet(m *vm.Machine, idx int, retAddr, retSlot uint32)          { r.rets++ }
 
 func TestToolHooksDispatch(t *testing.T) {
 	b := asm.New("hooks")
@@ -382,7 +386,7 @@ type countingProbe struct {
 	fired int
 }
 
-func (p *countingProbe) Name() string                                 { return p.name }
+func (p *countingProbe) Name() string                                { return p.name }
 func (p *countingProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) { p.fired++ }
 
 func TestProbesFireOnlyAtTheirInstruction(t *testing.T) {

@@ -40,6 +40,14 @@ func NewMemory() *Memory {
 
 // MemSnapshot is a copy-on-write snapshot of a Memory. It shares pages with
 // the live memory until the live side writes to them.
+//
+// Page sharing is goroutine-safe by construction: a page referenced by a
+// snapshot is never written in place. Every Memory holding such a page marks
+// it shared (Snapshot marks the snapshotted memory's pages, Restore and Fork
+// mark the receiving memory's pages), so any write first clones the page into
+// memory private to the writer. Concurrent Forks/Restores of one snapshot and
+// concurrent execution of the resulting Memories — each confined to its own
+// goroutine — therefore only ever read the shared pages.
 type MemSnapshot struct {
 	pages map[uint32]*page
 }
@@ -250,6 +258,17 @@ func (m *Memory) Restore(s *MemSnapshot) {
 		m.pages[pn] = p
 		m.shared[pn] = true
 	}
+}
+
+// Fork derives a new, independent Memory whose contents equal the snapshot's.
+// All pages start out shared copy-on-write with the snapshot (and with every
+// other Memory derived from it); the forked memory clones pages lazily as it
+// writes. The fork may be used from a different goroutine than the snapshot's
+// origin Memory, which is what lets analysis clones replay concurrently.
+func (s *MemSnapshot) Fork() *Memory {
+	m := NewMemory()
+	m.Restore(s)
+	return m
 }
 
 // CopyOnWritePending returns the number of live pages still shared with

@@ -1,0 +1,88 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMemSnapshotForkIsIndependent(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, 3*PageSize)
+	m.WriteBytes(0x1000, []byte{1, 2, 3, 4})
+	snap := m.Snapshot()
+
+	fork := snap.Fork()
+	if got, _ := fork.ReadU8(0x1000); got != 1 {
+		t.Fatalf("fork read %d, want 1", got)
+	}
+	// Writes on either side stay invisible to the other and to the snapshot.
+	m.WriteU8(0x1000, 0x11)
+	fork.WriteU8(0x1000, 0x22)
+	if got, _ := m.ReadU8(0x1000); got != 0x11 {
+		t.Errorf("live read %#x, want 0x11", got)
+	}
+	if got, _ := fork.ReadU8(0x1000); got != 0x22 {
+		t.Errorf("fork read %#x, want 0x22", got)
+	}
+	second := snap.Fork()
+	if got, _ := second.ReadU8(0x1000); got != 1 {
+		t.Errorf("second fork read %d, want the snapshot's original 1", got)
+	}
+	if fork.MappedPages() != m.MappedPages() {
+		t.Errorf("fork maps %d pages, live maps %d", fork.MappedPages(), m.MappedPages())
+	}
+}
+
+// TestMemSnapshotConcurrentForks exercises the goroutine-safety invariant of
+// COW page sharing: many forks of one snapshot reading and writing the same
+// shared pages concurrently (run under -race in CI), while the origin memory
+// keeps mutating its own COW view.
+func TestMemSnapshotConcurrentForks(t *testing.T) {
+	const pages = 16
+	m := NewMemory()
+	m.MapRegion(0x1000, pages*PageSize)
+	for i := 0; i < pages; i++ {
+		m.WriteU8(uint32(0x1000+i*PageSize), byte(i))
+	}
+	snap := m.Snapshot()
+
+	var wg sync.WaitGroup
+	const forks = 8
+	for f := 0; f < forks; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			fork := snap.Fork()
+			for i := 0; i < pages; i++ {
+				addr := uint32(0x1000 + i*PageSize)
+				if got, ok := fork.ReadU8(addr); !ok || got != byte(i) {
+					t.Errorf("fork %d page %d: read %d (ok=%v), want %d", f, i, got, ok, i)
+					return
+				}
+				fork.WriteU8(addr, byte(f)+100)
+			}
+			for i := 0; i < pages; i++ {
+				addr := uint32(0x1000 + i*PageSize)
+				if got, _ := fork.ReadU8(addr); got != byte(f)+100 {
+					t.Errorf("fork %d page %d: read %d after write, want %d", f, i, got, byte(f)+100)
+					return
+				}
+			}
+		}(f)
+	}
+	// The origin concurrently overwrites its own view of every shared page.
+	for i := 0; i < pages; i++ {
+		m.WriteU8(uint32(0x1000+i*PageSize), 0xEE)
+	}
+	wg.Wait()
+
+	for i := 0; i < pages; i++ {
+		addr := uint32(0x1000 + i*PageSize)
+		if got, _ := m.ReadU8(addr); got != 0xEE {
+			t.Errorf("live page %d: read %#x, want 0xEE", i, got)
+		}
+		if got, _ := snap.Fork().ReadU8(addr); got != byte(i) {
+			t.Errorf("snapshot page %d corrupted: read %d, want %d", i, got, i)
+		}
+	}
+}

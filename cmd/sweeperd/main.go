@@ -5,24 +5,53 @@
 // result, the antibodies generated (and when), recovery, and how the shared
 // antibodies inoculate the rest of the fleet against the same worm.
 //
+// With -listen and -peers, several sweeperd daemons federate their antibody
+// stores over HTTP+JSON: each daemon pushes what it publishes, polls what
+// pushes missed, and replays a peer's full store on join. Federated daemons
+// do not trust each other — every received antibody is re-verified by
+// replaying its attached exploit input in a clone sandbox before adoption
+// (disable with -verify-adopt=false to see why that would be a bad idea).
+//
 // Examples:
 //
 //	sweeperd -app squid -guests 4
 //	sweeperd -app apache1,cvs -benign 50 -variants 2
 //	sweeperd -app cvs -no-aslr -shadow-stack
 //	sweeperd -app squid -sequential
+//
+//	# a federated pair: a producer that gets attacked and a consumer that
+//	# only ever sees the antibody arrive over the wire
+//	sweeperd -app squid -listen 127.0.0.1:7070 -linger 3s
+//	sweeperd -app squid -listen 127.0.0.1:7071 -peers 127.0.0.1:7070 -variants 0 -linger 3s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"strings"
+	"time"
 
 	"sweeper/internal/apps"
 	"sweeper/internal/core"
 	"sweeper/internal/exploit"
+	"sweeper/internal/federate"
+	"sweeper/internal/metrics"
 )
+
+// flagWasSet reports whether the named flag was given explicitly on the
+// command line (as opposed to holding its default value).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,10 +65,22 @@ func main() {
 		shadowStack  = flag.Bool("shadow-stack", false, "enable the shadow-stack lightweight monitor")
 		sequential   = flag.Bool("sequential", false, "run the heavyweight analyses sequentially instead of in parallel")
 		showAntibody = flag.Bool("show-antibody", false, "print each final antibody as JSON")
+		listen       = flag.String("listen", "", "serve the antibody store to federation peers on this address (e.g. 127.0.0.1:7070)")
+		peers        = flag.String("peers", "", "comma-separated federation peers to gossip antibodies with (host:port)")
+		verifyAdopt  = flag.Bool("verify-adopt", false, "replay each received antibody's exploit in a sandbox before adoption (default on when -listen or -peers is set)")
+		pollMs       = flag.Int("poll-ms", 25, "federation poll interval in milliseconds")
+		linger       = flag.Duration("linger", 0, "keep the daemon alive this long after the scripted workload, serving peers and absorbing gossip")
 	)
 	flag.Parse()
 	if *guests < 1 {
 		log.Fatalf("sweeperd: -guests must be at least 1")
+	}
+	federated := *listen != "" || *peers != ""
+	verify := *verifyAdopt
+	if federated && !flagWasSet("verify-adopt") {
+		// Untrusting by default across daemon boundaries: a listen-only
+		// daemon still accepts pushes from arbitrary peers.
+		verify = true
 	}
 
 	fleet := core.NewFleet()
@@ -61,6 +102,7 @@ func main() {
 			cfg.ASLRSeed = 0x5eed + int64(i)*7919
 			cfg.ShadowStack = *shadowStack
 			cfg.ParallelAnalysis = !*sequential
+			cfg.VerifyAdoption = verify
 			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
 			if _, err := fleet.AddGuest(guestName, spec.Name, spec.Image, spec.Options, cfg); err != nil {
 				log.Fatalf("sweeperd: %v", err)
@@ -72,13 +114,50 @@ func main() {
 	if *sequential {
 		engine = "sequential"
 	}
-	fmt.Printf("  analysis engine: %s; checkpoints every %d ms\n\n", engine, *interval)
+	fmt.Printf("  analysis engine: %s; checkpoints every %d ms; verify-before-adopt: %v\n", engine, *interval, verify)
+
+	// Federation: serve our store to peers and gossip with theirs.
+	fedRec := metrics.NewFederationRecorder()
+	var node *federate.Node
+	if *listen != "" {
+		lis, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatalf("sweeperd: -listen %s: %v", *listen, err)
+		}
+		srv := &http.Server{Handler: federate.NewServer(fleet.Store(), fedRec)}
+		go srv.Serve(lis)
+		defer srv.Close()
+		fmt.Printf("  federation: serving antibodies on %s\n", lis.Addr())
+	}
+	if *peers != "" {
+		node = federate.NewNode(fleet.Store(), fedRec, federate.Config{
+			Name:         "sweeperd@" + *listen,
+			PollInterval: time.Duration(*pollMs) * time.Millisecond,
+		})
+		defer node.Close()
+		for _, addr := range strings.Split(*peers, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if err := node.AddPeer(addr); err != nil {
+				log.Fatalf("sweeperd: %v", err)
+			}
+			fmt.Printf("  federation: peered with %s\n", addr)
+		}
+	}
+	fmt.Println()
 	fleet.Start()
 
 	// Benign traffic to every guest, the worm's exploit variants at guest 0
 	// of each application, then more benign traffic.
 	exploits := make(map[string][]byte)
 	for _, spec := range specs {
+		payload0, err := exploit.ExploitVariant(spec, 0)
+		if err != nil {
+			log.Fatalf("sweeperd: building exploit: %v", err)
+		}
+		exploits[spec.Name] = payload0
 		for i := 0; i < *guests; i++ {
 			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
 			for r := 0; r < *benign; r++ {
@@ -86,12 +165,12 @@ func main() {
 			}
 		}
 		for v := 0; v < *variants; v++ {
-			payload, err := exploit.ExploitVariant(spec, v)
-			if err != nil {
-				log.Fatalf("sweeperd: building exploit: %v", err)
-			}
-			if v == 0 {
-				exploits[spec.Name] = payload
+			payload := payload0
+			if v > 0 {
+				payload, err = exploit.ExploitVariant(spec, v)
+				if err != nil {
+					log.Fatalf("sweeperd: building exploit: %v", err)
+				}
 			}
 			accepted := fleet.Submit(spec.Name+"-0", payload, "worm", true)
 			fmt.Printf("worm: exploit variant %d submitted to %s-0 (%d bytes), accepted by proxy: %v\n",
@@ -106,15 +185,29 @@ func main() {
 	}
 	fleet.Drain()
 
+	// Linger: keep serving federation peers and absorbing their gossip (a
+	// consumer daemon receives, verifies and adopts antibodies during this
+	// window; a producer keeps answering pulls).
+	if *linger > 0 {
+		fmt.Printf("\nlingering %v for federation traffic...\n", *linger)
+		lingerUntil := time.Now().Add(*linger)
+		for time.Now().Before(lingerUntil) {
+			time.Sleep(50 * time.Millisecond)
+			fleet.Drain() // let guests verify/adopt whatever just arrived
+		}
+	}
+
 	// The worm now tries every guest in the fleet: the antibodies generated
-	// at guest 0 have been distributed through the shared store, so the
-	// exact-match input signature drops the exploit at every proxy.
+	// at guest 0 — or, with -variants 0 in a federated consumer, received
+	// from peers and verified — have been distributed through the shared
+	// store, so the exact-match input signature drops the exploit at every
+	// proxy.
 	fmt.Println()
 	for _, spec := range specs {
-		payload, launched := exploits[spec.Name]
-		if !launched {
-			continue // -variants 0: no exploit was ever launched
+		if *variants == 0 && !federated {
+			continue // no exploit was ever launched and none could arrive
 		}
+		payload := exploits[spec.Name]
 		for i := 0; i < *guests; i++ {
 			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
 			accepted := fleet.Submit(guestName, payload, "worm", true)
@@ -126,15 +219,22 @@ func main() {
 
 	fmt.Printf("\n=== fleet metrics ===\n")
 	for _, st := range fleet.Metrics().All() {
-		fmt.Printf("%-12s served=%-4d attacks=%d recovered=%d generated=%d adopted=%d filtered=%d halted=%v\n",
+		fmt.Printf("%-12s served=%-4d attacks=%d recovered=%d generated=%d adopted=%d verified=%d rejected=%d filtered=%d halted=%v\n",
 			st.Guest, st.RequestsServed, st.AttacksHandled, st.Recovered,
-			st.AntibodiesGenerated, st.AntibodiesAdopted, st.FilteredInputs, st.Halted)
+			st.AntibodiesGenerated, st.AntibodiesAdopted, st.AntibodiesVerified,
+			st.AntibodiesRejected, st.FilteredInputs, st.Halted)
 	}
 	totals := fleet.Metrics().Totals()
-	fmt.Printf("%-12s served=%-4d attacks=%d recovered=%d generated=%d adopted=%d filtered=%d\n",
+	fmt.Printf("%-12s served=%-4d attacks=%d recovered=%d generated=%d adopted=%d verified=%d rejected=%d filtered=%d\n",
 		"TOTAL", totals.RequestsServed, totals.AttacksHandled, totals.Recovered,
-		totals.AntibodiesGenerated, totals.AntibodiesAdopted, totals.FilteredInputs)
+		totals.AntibodiesGenerated, totals.AntibodiesAdopted, totals.AntibodiesVerified,
+		totals.AntibodiesRejected, totals.FilteredInputs)
 	fmt.Printf("shared store: %d antibodies\n", fleet.Store().Len())
+	if federated {
+		fs := fedRec.Snapshot()
+		fmt.Printf("federation  : peers=%d pushed=%d received=%d duplicates=%d polls=%d push-errors=%d\n",
+			fs.Peers, fs.Pushed, fs.Received, fs.Duplicates, fs.Polls, fs.PushErrors)
+	}
 
 	for _, g := range fleet.Guests() {
 		s := g.Sweeper()

@@ -126,6 +126,20 @@ func (t *Tracker) Propagators() []int {
 // TaintedBytes returns how many guest memory bytes are currently tainted.
 func (t *Tracker) TaintedBytes() int { return len(t.mem) }
 
+// ResetShadow drops all shadow taint (memory labels and register taint)
+// while keeping recorded findings and propagators. The instrumented process
+// calls it when it rolls back to a checkpoint: everything currently tainted
+// was tainted by an execution that no longer exists, and replayed requests
+// re-introduce their taint through OnInput.
+func (t *Tracker) ResetShadow() {
+	t.mem = make(map[uint32]Label)
+	t.regs = [vm.NumRegs]regTaint{}
+}
+
+// OnRollback implements vm.RollbackHook for trackers attached as tools
+// (always-on taint analysis).
+func (t *Tracker) OnRollback(m *vm.Machine) { t.ResetShadow() }
+
 func (t *Tracker) record(m *vm.Machine, f Finding) {
 	t.findings = append(t.findings, f)
 	if t.stopOnFirst {

@@ -71,6 +71,9 @@ type AppliedAntibody struct {
 	proxy    *netproxy.Proxy
 }
 
+// Antibody returns the antibody this handle installed.
+func (ap *AppliedAntibody) Antibody() *Antibody { return ap.antibody }
+
 // Remove uninstalls the antibody's VSEF probes and proxy filters.
 func (ap *AppliedAntibody) Remove() {
 	for _, v := range ap.vsefs {

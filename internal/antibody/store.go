@@ -69,6 +69,23 @@ func (st *Store) All() []*Antibody {
 	return append([]*Antibody(nil), st.order...)
 }
 
+// Since returns the antibodies published at or after the given publication
+// cursor, plus the cursor to pass next time. A federated peer polls with the
+// returned cursor to stream the store incrementally: Since(0) is the
+// full-store replay a joining peer performs, and an up-to-date peer gets an
+// empty slice back.
+func (st *Store) Since(cursor int) ([]*Antibody, int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(st.order) {
+		cursor = len(st.order)
+	}
+	return append([]*Antibody(nil), st.order[cursor:]...), len(st.order)
+}
+
 // ForProgram returns every stored antibody generated for the given program,
 // in publication order.
 func (st *Store) ForProgram(program string) []*Antibody {

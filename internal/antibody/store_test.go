@@ -40,6 +40,168 @@ func TestStoreSubscribeReplaysAndNotifies(t *testing.T) {
 	}
 }
 
+// TestStoreEdgeCases is a table of edge behaviours the federation layer
+// depends on: republish dedup (first publication wins, no re-notification),
+// replay-on-subscribe ordering, and Since-cursor clamping.
+func TestStoreEdgeCases(t *testing.T) {
+	mk := func(ids ...string) []*Antibody {
+		out := make([]*Antibody, len(ids))
+		for i, id := range ids {
+			out[i] = &Antibody{ID: id, Program: "squid"}
+		}
+		return out
+	}
+	cases := []struct {
+		name  string
+		run   func(st *Store) []string // returns what a subscriber saw
+		want  []string                 // expected notification sequence
+		len   int                      // expected final store size
+		check func(t *testing.T, st *Store)
+	}{
+		{
+			name: "republish keeps the first antibody and stays silent",
+			run: func(st *Store) []string {
+				first := &Antibody{ID: "dup", Program: "squid", Stage: StageInitial}
+				imposter := &Antibody{ID: "dup", Program: "squid", Stage: StageFinal}
+				var seen []string
+				st.Subscribe(func(a *Antibody) { seen = append(seen, a.ID) })
+				if !st.Publish(first) {
+					panic("fresh antibody rejected")
+				}
+				if st.Publish(imposter) {
+					panic("duplicate ID accepted")
+				}
+				return seen
+			},
+			want: []string{"dup"},
+			len:  1,
+			check: func(t *testing.T, st *Store) {
+				got, _ := st.Get("dup")
+				if got.Stage != StageInitial {
+					t.Errorf("republish replaced the stored antibody: stage %s", got.Stage)
+				}
+			},
+		},
+		{
+			name: "subscribe replays existing antibodies in publication order",
+			run: func(st *Store) []string {
+				for _, a := range mk("a", "b", "c") {
+					st.Publish(a)
+				}
+				var seen []string
+				st.Subscribe(func(a *Antibody) { seen = append(seen, a.ID) })
+				st.Publish(mk("d")[0])
+				return seen
+			},
+			want: []string{"a", "b", "c", "d"},
+			len:  4,
+		},
+		{
+			name: "since cursor clamps and pages",
+			run: func(st *Store) []string {
+				for _, a := range mk("a", "b", "c") {
+					st.Publish(a)
+				}
+				var seen []string
+				if abs, next := st.Since(-5); len(abs) != 3 || next != 3 {
+					seen = append(seen, fmt.Sprintf("negative cursor: %d abs, next %d", len(abs), next))
+				}
+				if abs, next := st.Since(2); len(abs) != 1 || abs[0].ID != "c" || next != 3 {
+					seen = append(seen, "mid cursor wrong")
+				}
+				if abs, next := st.Since(99); len(abs) != 0 || next != 3 {
+					seen = append(seen, "overshoot cursor wrong")
+				}
+				return seen
+			},
+			want: nil,
+			len:  3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := NewStore()
+			seen := tc.run(st)
+			if len(seen) != len(tc.want) {
+				t.Fatalf("subscriber saw %v, want %v", seen, tc.want)
+			}
+			for i := range tc.want {
+				if seen[i] != tc.want[i] {
+					t.Fatalf("subscriber saw %v, want %v", seen, tc.want)
+				}
+			}
+			if st.Len() != tc.len {
+				t.Errorf("store holds %d antibodies, want %d", st.Len(), tc.len)
+			}
+			if tc.check != nil {
+				tc.check(t, st)
+			}
+		})
+	}
+}
+
+// TestStoreSubscribeDuringPublishStorm registers subscribers while publishes
+// are in full flight (run under -race in CI): no matter how registration
+// interleaves with publication, every subscriber must see every antibody
+// exactly once — replay-on-subscribe and live notification must never both
+// deliver the same antibody, and none may fall between the two.
+func TestStoreSubscribeDuringPublishStorm(t *testing.T) {
+	const publishers, each, subscribers = 4, 100, 6
+	st := NewStore()
+
+	type tally struct {
+		mu   sync.Mutex
+		seen map[string]int
+	}
+	tallies := make([]*tally, subscribers)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < each; i++ {
+				st.Publish(&Antibody{ID: fmt.Sprintf("p%d-%d", p, i), Program: "squid"})
+			}
+		}(p)
+	}
+	for sIdx := 0; sIdx < subscribers; sIdx++ {
+		wg.Add(1)
+		go func(sIdx int) {
+			defer wg.Done()
+			<-start
+			tl := &tally{seen: make(map[string]int)}
+			tallies[sIdx] = tl
+			st.Subscribe(func(a *Antibody) {
+				tl.mu.Lock()
+				tl.seen[a.ID]++
+				tl.mu.Unlock()
+			})
+		}(sIdx)
+	}
+	close(start)
+	wg.Wait()
+
+	total := publishers * each
+	if st.Len() != total {
+		t.Fatalf("store holds %d antibodies, want %d", st.Len(), total)
+	}
+	for sIdx, tl := range tallies {
+		tl.mu.Lock()
+		if len(tl.seen) != total {
+			t.Errorf("subscriber %d saw %d distinct antibodies, want %d", sIdx, len(tl.seen), total)
+		}
+		for id, n := range tl.seen {
+			if n != 1 {
+				t.Errorf("subscriber %d saw %s %d times, want exactly once", sIdx, id, n)
+			}
+		}
+		tl.mu.Unlock()
+	}
+}
+
 func TestStoreConcurrentPublishers(t *testing.T) {
 	st := NewStore()
 	var notified sync.Map

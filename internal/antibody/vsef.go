@@ -306,6 +306,12 @@ type returnGuardProbe struct {
 
 func (p *returnGuardProbe) Name() string { return p.name }
 
+// OnRollback drops return addresses saved by the abandoned execution; the
+// replay re-enters every guarded function from checkpoint state and saves
+// fresh copies. Stale entries could otherwise pair with a replayed return at
+// the same stack slot and mis-fire.
+func (p *returnGuardProbe) OnRollback(m *vm.Machine) { p.saved = p.saved[:0] }
+
 func (p *returnGuardProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {
 	if in.Op != vm.OpRet {
 		// Function entry: the caller's return address sits at [SP].
@@ -481,6 +487,11 @@ func (p *taintProbe) Name() string { return p.name }
 func (p *taintProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {
 	p.tracker.Propagate(m, idx, in)
 }
+
+// OnRollback clears the tracker's shadow taint: labels introduced by the
+// abandoned execution (often the excised attack request itself) must not
+// survive into the replay.
+func (p *taintProbe) OnRollback(m *vm.Machine) { p.tracker.ResetShadow() }
 
 // taintSource feeds request bytes into a restricted tracker; it implements
 // only the input hook, so it adds no per-instruction cost.

@@ -1,0 +1,58 @@
+package antibody
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The wire types below are the HTTP+JSON vocabulary federated stores speak:
+// a daemon pushes freshly published antibodies to its peers as a
+// PushEnvelope, and pulls a peer's store incrementally (or in full, when
+// joining) as PullPages. Antibodies travel in their ordinary JSON encoding,
+// exploit input included, so the receiving host can re-verify each one by
+// replaying the attached exploit before adoption.
+
+// PushEnvelope is the body of a publish push between federated stores.
+type PushEnvelope struct {
+	// From names the sending daemon (diagnostics only; receivers must not
+	// trust it any more than the antibodies themselves).
+	From       string      `json:"from,omitempty"`
+	Antibodies []*Antibody `json:"antibodies"`
+}
+
+// PushResult reports how a push was absorbed.
+type PushResult struct {
+	// Accepted counts antibodies that were new to the receiving store;
+	// duplicates (already-known IDs) are dropped silently, which is what makes
+	// gossip loops terminate.
+	Accepted int `json:"accepted"`
+}
+
+// PullPage is the response to a cursor pull: the antibodies published at or
+// after the requested cursor and the cursor to poll with next.
+type PullPage struct {
+	Next       int         `json:"next"`
+	Antibodies []*Antibody `json:"antibodies"`
+}
+
+// EncodePush encodes a push envelope for the wire.
+func EncodePush(e *PushEnvelope) ([]byte, error) { return json.Marshal(e) }
+
+// DecodePush decodes a push envelope received from a peer.
+func DecodePush(data []byte) (*PushEnvelope, error) {
+	var e PushEnvelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("antibody: decoding push: %w", err)
+	}
+	return &e, nil
+}
+
+// DecodePull decodes a pull page received from a peer (the serving side
+// encodes pages with a plain JSON encoder).
+func DecodePull(data []byte) (*PullPage, error) {
+	var p PullPage
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("antibody: decoding pull page: %w", err)
+	}
+	return &p, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"sweeper/internal/analysis/coredump"
@@ -69,6 +70,14 @@ type AttackReport struct {
 	RecoveryVirtualMs  uint64
 	RecoveryDiverged   bool
 	RecoveryDivergence string
+	// BadProbesRemoved lists filters that raised violations while the known
+	// benign history replayed during recovery. A filter that fires on
+	// requests which previously completed service is wrong by definition
+	// (incorrect — or malicious, since VSEF-only antibodies from peers are
+	// applied before any exploit-replay verification is possible), so
+	// recovery uninstalls it and retries rather than letting it take the
+	// service down.
+	BadProbesRemoved []string
 }
 
 // BestVSEF returns the most refined VSEF available (refined if the memory-bug
@@ -273,32 +282,52 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 	// Figure 5 measures as the recovery gap).
 	t = time.Now()
 	recoveryStartMs := s.proc.Machine.NowMillis()
-	s.proc.Rollback(snap, proc.ModeReplay, false)
 	s.proc.ClearDropped()
 	if report.CulpritRequestID >= 0 {
 		s.proc.ExciseRequests(report.CulpritRequestID)
-	}
-	if applied, err := final.Apply(s.proc, s.proxy); err == nil {
-		s.applied = append(s.applied, applied)
 	}
 	// Re-execute the logged, non-malicious requests in the sandbox; once the
 	// log is exhausted the process is back in a safe, up-to-date state and is
 	// switched to live mode so the ServeAll loop can continue serving queued
 	// and future requests (each of which is now covered by the new VSEFs and
-	// input filters).
-	replayStop := s.proc.Run(s.cfg.ReplayBudget)
-	switch replayStop.Reason {
-	case vm.StopWaitInput:
-		report.Recovered = true
-		s.proc.SetMode(proc.ModeLive, false)
-		// Start the post-recovery epoch from a fresh checkpoint so later
-		// analyses never need to replay across the excised attack.
-		s.ckpt.Checkpoint(s.proc)
-	default:
-		// The replayed benign traffic itself faulted or ran away (should not
-		// happen); treat recovery as failed so the caller can fall back to a
-		// restart.
-		report.Recovered = false
+	// input filters). The replayed history is known benign — every request in
+	// it completed service before — so a probe that raises a violation during
+	// this replay is itself faulty: it is uninstalled and the replay retried
+	// (bounded), instead of a bad filter taking the service down.
+	const maxBadProbeRemovals = 3
+	for {
+		s.proc.Rollback(snap, proc.ModeReplay, false)
+		if len(report.BadProbesRemoved) == 0 {
+			// Probes survive rollbacks; the antibody is installed once.
+			if applied, err := final.Apply(s.proc, s.proxy); err == nil {
+				s.applied = append(s.applied, applied)
+			}
+		}
+		replayStop := s.proc.Run(s.cfg.ReplayBudget)
+		if replayStop.Reason == vm.StopViolation && replayStop.Violation != nil &&
+			len(report.BadProbesRemoved) < maxBadProbeRemovals {
+			owner := strings.TrimSuffix(replayStop.Violation.Tool, ".tracker")
+			removed := s.proc.Machine.RemoveProbes(owner)
+			s.proc.Machine.DetachTool(owner + ".source")
+			if removed > 0 {
+				report.BadProbesRemoved = append(report.BadProbesRemoved, owner)
+				continue
+			}
+		}
+		switch replayStop.Reason {
+		case vm.StopWaitInput:
+			report.Recovered = true
+			s.proc.SetMode(proc.ModeLive, false)
+			// Start the post-recovery epoch from a fresh checkpoint so later
+			// analyses never need to replay across the excised attack.
+			s.ckpt.Checkpoint(s.proc)
+		default:
+			// The replayed benign traffic itself faulted or ran away (should
+			// not happen); treat recovery as failed so the caller can fall
+			// back to a restart.
+			report.Recovered = false
+		}
+		break
 	}
 	report.RecoveryTime = time.Since(t)
 	report.RecoveryVirtualMs = s.proc.Machine.NowMillis() - recoveryStartMs

@@ -45,20 +45,32 @@ type Guest struct {
 
 	// applied maps an antibody family (owner-attackN) to the currently
 	// installed refinement stage, so a refined antibody replaces the initial
-	// one instead of stacking probes.
-	applied map[string]*antibody.AppliedAntibody
-	adopted map[string]bool
+	// one instead of stacking probes; appliedRank remembers how refined the
+	// installed stage is, so an earlier stage delivered late (store
+	// notifications from concurrent publishers may arrive out of order) can
+	// never displace a more refined one.
+	applied     map[string]*antibody.AppliedAntibody
+	appliedRank map[string]int
+	adopted     map[string]bool
+	// verifyRetries counts re-runs of verifications whose sandbox failed
+	// transiently; after the bounded retries the rejection becomes final.
+	verifyRetries map[string]int
 
 	serveErr error
 }
 
-// NewFleet returns an empty fleet with a fresh shared antibody store.
+// NewFleet returns an empty fleet with a fresh shared antibody store. The
+// fleet subscribes to its own store: every antibody entering the store — from
+// a guest's analysis pipeline or published by an external actor such as the
+// federation layer — is fanned out to every guest running that program.
 func NewFleet() *Fleet {
-	return &Fleet{
+	f := &Fleet{
 		store:  antibody.NewStore(),
 		rec:    metrics.NewFleetRecorder(),
 		guests: make(map[string]*Guest),
 	}
+	f.store.Subscribe(f.distribute)
+	return f
 }
 
 // Store returns the shared antibody store.
@@ -79,12 +91,14 @@ func (f *Fleet) AddGuest(guestName, program string, image *vm.Program, opts proc
 		return nil, fmt.Errorf("fleet: guest %s: %w", guestName, err)
 	}
 	g := &Guest{
-		name:    guestName,
-		program: program,
-		fleet:   f,
-		s:       s,
-		applied: make(map[string]*antibody.AppliedAntibody),
-		adopted: make(map[string]bool),
+		name:          guestName,
+		program:       program,
+		fleet:         f,
+		s:             s,
+		applied:       make(map[string]*antibody.AppliedAntibody),
+		appliedRank:   make(map[string]int),
+		adopted:       make(map[string]bool),
+		verifyRetries: make(map[string]int),
 	}
 	g.cond = sync.NewCond(&g.mu)
 	// Publications happen on g's goroutine during attack handling; the fleet
@@ -196,15 +210,26 @@ func (f *Fleet) Stop() {
 	f.wg.Wait()
 }
 
-// publishFrom records a guest-generated antibody in the shared store and
-// forwards it to every other guest running the same program.
+// publishFrom records a guest-generated antibody in the shared store; the
+// store subscription (distribute) fans it out from there. The origin marks
+// the antibody as its own first, so the fan-out does not re-apply what the
+// guest's recovery path already installed.
 func (f *Fleet) publishFrom(origin *Guest, a *antibody.Antibody) {
+	origin.markOwn(a.ID)
 	if !f.store.Publish(a) {
 		return
 	}
 	f.rec.Update(origin.name, func(st *metrics.GuestStats) { st.AntibodiesGenerated++ })
+}
+
+// distribute is the store-subscription callback: it queues a newly stored
+// antibody on every guest running the antibody's program. Guests that have
+// already seen the ID (including the generating guest itself) skip it in
+// adopt, so double delivery — e.g. the late-joiner replay racing a concurrent
+// publish — is harmless.
+func (f *Fleet) distribute(a *antibody.Antibody) {
 	for _, g := range f.Guests() {
-		if g == origin || g.program != a.Program {
+		if g.program != a.Program {
 			continue
 		}
 		g.enqueueAntibody(a)
@@ -245,26 +270,98 @@ func antibodyFamily(id string) string {
 	return id
 }
 
+// stageRank orders the piecemeal refinement stages; an unknown stage ranks
+// lowest so it can never displace anything.
+func stageRank(s antibody.Stage) int {
+	switch s {
+	case antibody.StageRefined:
+		return 1
+	case antibody.StageFinal:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// installedAntibodies returns every antibody currently protecting the guest:
+// the ones it adopted from the store and the ones its own recovery path
+// applied. Verification sandboxes re-apply their VSEF probes so exploits only
+// those probes can detect still reproduce. Runs on the guest's goroutine.
+func (g *Guest) installedAntibodies() []*antibody.Antibody {
+	out := make([]*antibody.Antibody, 0, len(g.applied)+len(g.s.applied))
+	for _, ap := range g.applied {
+		out = append(out, ap.Antibody())
+	}
+	for _, ap := range g.s.applied {
+		out = append(out, ap.Antibody())
+	}
+	return out
+}
+
+// markOwn records an antibody ID as generated by this guest, so the
+// store-driven fan-out does not re-adopt (or re-verify) what the guest's own
+// recovery path installs. Runs on the guest's goroutine, like adopt: both are
+// reached only from the serving loop.
+func (g *Guest) markOwn(id string) { g.adopted[id] = true }
+
 // adopt installs a received antibody on the guest: VSEF probes on the
-// process, input signatures on the proxy. A more refined stage of the same
-// attack's antibody replaces the earlier one — the new stage is applied
-// first and the old one removed only on success, so a failed application
-// never leaves the guest less protected than before. Runs on the guest's
-// goroutine.
+// process, input signatures on the proxy. With cfg.VerifyAdoption set, the
+// antibody is first re-verified by replaying its attached exploit input on a
+// clone sandbox (see Sweeper.VerifyAntibody) and rejected — counted, never
+// installed — if the exploit does not reproduce a violation here. A more
+// refined stage of the same attack's antibody replaces the earlier one — the
+// new stage is applied first and the old one removed only on success, so a
+// failed application never leaves the guest less protected than before. Runs
+// on the guest's goroutine.
 func (g *Guest) adopt(a *antibody.Antibody) {
 	if g.adopted[a.ID] {
 		return
 	}
 	g.adopted[a.ID] = true
+	family := antibodyFamily(a.ID)
+	rank := stageRank(a.Stage)
+	prev, replacing := g.applied[family]
+	if replacing && rank < g.appliedRank[family] {
+		// A more refined stage of this attack's antibody is already
+		// installed; an earlier stage delivered late must not strip it (and
+		// is not worth a verification sandbox run).
+		return
+	}
+	if g.s.cfg.VerifyAdoption {
+		const maxVerifyRetries = 3
+		dec := g.s.VerifyAntibody(a, g.installedAntibodies()...)
+		if dec.Transient && g.verifyRetries[a.ID] < maxVerifyRetries {
+			// The sandbox failed, proving nothing about the antibody:
+			// forget the ID and requeue it so the serving loop retries the
+			// verification. After the bounded retries the rejection below
+			// becomes final (and counted) instead of silently dropping an
+			// antibody the store still holds.
+			g.verifyRetries[a.ID]++
+			delete(g.adopted, a.ID)
+			g.enqueueAntibody(a)
+			return
+		}
+		g.fleet.rec.Update(g.name, func(st *metrics.GuestStats) {
+			if dec.Reproduced {
+				st.AntibodiesVerified++
+			}
+			if !dec.Adoptable {
+				st.AntibodiesRejected++
+			}
+		})
+		if !dec.Adoptable {
+			return
+		}
+	}
 	ap, err := a.Apply(g.s.Process(), g.s.Proxy())
 	if err != nil {
 		return
 	}
-	family := antibodyFamily(a.ID)
-	if prev, ok := g.applied[family]; ok {
+	if replacing {
 		prev.Remove()
 	}
 	g.applied[family] = ap
+	g.appliedRank[family] = rank
 	g.fleet.rec.Update(g.name, func(st *metrics.GuestStats) { st.AntibodiesAdopted++ })
 }
 

@@ -118,6 +118,65 @@ func TestFleetLateJoinerIsInoculatedFromStore(t *testing.T) {
 	}
 }
 
+// TestFleetAttackAfterAdoptionRecovers pins down a recovery bug the
+// concurrent stress test used to hit intermittently: a guest adopts a peer's
+// antibody (return guards, taint VSEFs), then is attacked itself with a
+// polymorphic variant that slips past the exact input signature. The adopted
+// probes detect the attack — and their internal shadow state (saved return
+// addresses, taint labels from the attack request) must be dropped when the
+// process rolls back for recovery, or the benign replay trips false
+// violations and recovery fails.
+func TestFleetAttackAfterAdoptionRecovers(t *testing.T) {
+	for _, appName := range []string{"apache1", "squid"} {
+		t.Run(appName, func(t *testing.T) {
+			f, spec := newFleetWith(t, appName, 2)
+			f.Start()
+			first, err := exploit.ExploitVariant(spec, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			variant, err := exploit.ExploitVariant(spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			names := []string{appName + "-0", appName + "-1"}
+			for _, n := range names {
+				for r := 0; r < 4; r++ {
+					f.Submit(n, exploit.Benign(appName, r), "client", false)
+				}
+			}
+			// Guest 0 is attacked and generates antibodies; guest 1 adopts.
+			f.Submit(names[0], first, "worm", true)
+			f.Drain()
+			st, _ := f.Metrics().Guest(names[1])
+			if st.AntibodiesAdopted == 0 {
+				t.Fatal("guest 1 adopted nothing; scenario not established")
+			}
+			// Now the variant hits guest 1: the exact signature misses it, the
+			// adopted VSEFs detect it, and recovery must succeed.
+			if !f.Submit(names[1], variant, "worm", true) {
+				t.Fatal("variant was filtered by the exact signature; test is vacuous")
+			}
+			for r := 0; r < 4; r++ {
+				f.Submit(names[1], exploit.Benign(appName, 100+r), "client", false)
+			}
+			f.Drain()
+			g1, _ := f.Guest(names[1])
+			if err := g1.ServeError(); err != nil {
+				t.Fatalf("guest 1 serve error: %v", err)
+			}
+			if g1.Sweeper().Halted() {
+				t.Fatal("guest 1 halted")
+			}
+			st, _ = f.Metrics().Guest(names[1])
+			if st.AttacksHandled != 1 || st.Recovered != 1 {
+				t.Errorf("guest 1 attacks=%d recovered=%d, want 1/1", st.AttacksHandled, st.Recovered)
+			}
+			f.Stop()
+		})
+	}
+}
+
 // TestFleetConcurrentAttacksRaceStress attacks every guest in a mixed-app
 // fleet simultaneously from concurrent workload goroutines. Run under
 // -race (CI does) this exercises the COW page sharing, the clone-based

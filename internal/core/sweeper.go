@@ -56,6 +56,16 @@ type Config struct {
 	// against); used only for overhead comparisons.
 	AlwaysOnTaint bool
 
+	// VerifyAdoption makes the guest re-verify every antibody it did not
+	// generate itself before adopting it: the antibody's attached exploit
+	// input is replayed on a copy-on-write clone of the latest checkpoint and
+	// the antibody is rejected unless the replay reproduces a detectable
+	// violation. This is the paper's community-defence trust boundary —
+	// antibodies from federated peers are untrusted by default — so sweeperd
+	// enables it whenever it peers with other daemons. Off by default: guests
+	// inside one daemon share a trust domain.
+	VerifyAdoption bool
+
 	// ReplayBudget bounds each analysis replay, in instructions.
 	ReplayBudget uint64
 	// ServeBudget bounds each slice of normal execution, in instructions.

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"sweeper/internal/analysis/taint"
+	"sweeper/internal/antibody"
+	"sweeper/internal/monitor"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// VerifyDecision is the outcome of verifying a received antibody before
+// adoption.
+type VerifyDecision struct {
+	// Adoptable says the antibody may be installed.
+	Adoptable bool
+	// Reproduced says an exploit replay ran and reproduced a detectable
+	// violation (VSEF-only antibodies are adoptable without one).
+	Reproduced bool
+	// Transient says the verdict proves nothing about the antibody: the
+	// sandbox could not be built or did not quiesce. The caller should retry
+	// rather than record the antibody as rejected-forever.
+	Transient bool
+	// Reason explains the decision.
+	Reason string
+}
+
+// VerifyAntibody decides whether an antibody received from an untrusted
+// publisher may be adopted, the paper's verify-before-adopt step:
+//
+//   - A VSEF-only antibody (no input signatures, no exploit input) is
+//     adoptable without verification — by their nature VSEFs cannot be
+//     harmful, an incorrect one only adds unnecessary checking.
+//   - Input signatures are different: a malicious signature silently censors
+//     whatever it matches. Signatures are therefore only adoptable alongside
+//     an exploit input that (a) every signature matches and (b) demonstrably
+//     reproduces a violation when replayed against this guest in a sandbox.
+//   - An antibody whose exploit input does not reproduce any violation —
+//     corrupted in transit, generated for a different program, or a benign
+//     payload masquerading as an exploit to poison the filters — is rejected.
+//
+// The optional installed antibodies are re-applied (VSEF probes only, no
+// input filters) to the sandbox, so an exploit that only the host's existing
+// filters can detect — e.g. a polymorphic variant the generating host caught
+// via an earlier antibody's probes — still reproduces.
+func (s *Sweeper) VerifyAntibody(a *antibody.Antibody, installed ...*antibody.Antibody) VerifyDecision {
+	if len(a.ExploitInput) == 0 {
+		if len(a.Sigs) > 0 {
+			return VerifyDecision{Reason: "input signatures without an exploit input to verify them"}
+		}
+		return VerifyDecision{Adoptable: true, Reason: "VSEF-only antibody; harmless by construction"}
+	}
+	for _, sig := range a.Sigs {
+		if !sig.Match(a.ExploitInput) {
+			return VerifyDecision{Reason: fmt.Sprintf("signature %s does not match the attached exploit input", sig.Name())}
+		}
+	}
+	reproduced, transient, reason := s.ReplayExploit(a.ExploitInput, installed)
+	return VerifyDecision{
+		Adoptable:  reproduced,
+		Reproduced: reproduced,
+		Transient:  transient,
+		Reason:     reason,
+	}
+}
+
+// replayBudgetSlices bounds how many ReplayBudget-sized slices each sandbox
+// run may take before the verification gives up.
+const replayBudgetSlices = 8
+
+// runToQuiescence drives a sandbox clone until it blocks for input, stops for
+// another reason, or exhausts the slice allowance.
+func (s *Sweeper) runToQuiescence(clone *proc.Process) *vm.StopInfo {
+	var stop *vm.StopInfo
+	for i := 0; i < replayBudgetSlices; i++ {
+		stop = clone.Run(s.cfg.ReplayBudget)
+		if stop.Reason != vm.StopInstrBudget {
+			break
+		}
+	}
+	return stop
+}
+
+// ReplayExploit replays an exploit candidate in a sandbox and reports whether
+// it reproduces a detectable violation. The sandbox is a copy-on-write clone
+// of the latest checkpoint: the clone first drains its logged replay window
+// to reach a quiescent, up-to-date state, then is switched live and fed the
+// candidate through its own fresh (filterless) proxy. The live process, its
+// proxy and its clock are never touched. transient=true means the sandbox
+// itself failed — the verdict proves nothing about the payload.
+func (s *Sweeper) ReplayExploit(payload []byte, installed []*antibody.Antibody) (reproduced, transient bool, reason string) {
+	snap := s.ckpt.Latest()
+	if snap == nil {
+		return false, true, "no checkpoint to build a verification sandbox from"
+	}
+	clone, err := s.proc.Clone(snap)
+	if err != nil {
+		return false, true, fmt.Sprintf("verification sandbox: %v", err)
+	}
+	// The sandbox must detect everything the live guest would: clones carry
+	// no tools or probes, so re-attach the configured lightweight monitors
+	// (the layout, and with it ASLR, is inherited) and re-apply the VSEF
+	// probes of the already-installed antibodies. Without these, an exploit
+	// the live guest catches via e.g. the shadow stack or an earlier
+	// antibody's probes would fail to "reproduce" on a bare clone and a
+	// genuine antibody would be rejected. Input filters are deliberately NOT
+	// installed on the sandbox proxy: they would swallow the candidate before
+	// it could prove anything.
+	if s.cfg.ShadowStack {
+		clone.Machine.AttachTool(monitor.NewShadowStack())
+	}
+	if s.cfg.AlwaysOnTaint {
+		clone.Machine.AttachTool(taint.New(true))
+	}
+	for _, inst := range installed {
+		if inst == nil {
+			continue
+		}
+		if _, err := inst.Apply(clone, nil); err != nil {
+			return false, true, fmt.Sprintf("verification sandbox: re-applying %s: %v", inst.ID, err)
+		}
+	}
+	if stop := s.runToQuiescence(clone); stop.Reason != vm.StopWaitInput {
+		return false, true, fmt.Sprintf("verification sandbox did not quiesce: %v", stop.Reason)
+	}
+	clone.SetMode(proc.ModeLive, false)
+	clone.Proxy().Submit(payload, "verifier", true)
+	stop := s.runToQuiescence(clone)
+	if det := monitor.Classify(stop); det.Suspicious {
+		return true, false, "exploit replay reproduced: " + det.Reason
+	}
+	// A payload that neither quiesces nor violates (e.g. runs the budget out
+	// or halts the sandbox) is deterministic: rejecting it is final.
+	return false, false, fmt.Sprintf("exploit replay did not reproduce a violation (stop: %v)", stop.Reason)
+}

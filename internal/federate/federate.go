@@ -1,0 +1,234 @@
+// Package federate peers antibody stores across sweeperd daemons over
+// HTTP+JSON, turning the single-process fleet into the paper's community of
+// untrusting hosts (Section 6). Each daemon runs a Server that exposes its
+// store to peers and a Node that gossips with them: freshly published
+// antibodies are pushed to every peer, a poll loop pulls what pushes missed,
+// and a joining node's first pull replays the peer's full store. Stores
+// deduplicate by antibody ID, so gossip loops terminate after one bounce.
+//
+// Federation moves antibodies between daemons but deliberately does not vouch
+// for them: a receiving daemon's guests re-verify each antibody by replaying
+// its attached exploit input in a sandbox before adoption (see
+// core.Config.VerifyAdoption), exactly because peers are untrusted.
+package federate
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sweeper/internal/antibody"
+	"sweeper/internal/metrics"
+)
+
+// Config controls a federation node.
+type Config struct {
+	// Name identifies this daemon in push envelopes (diagnostics only).
+	Name string
+	// PollInterval is how often each peer is polled for antibodies that a
+	// push did not deliver (default 25ms).
+	PollInterval time.Duration
+	// RequestTimeout bounds every HTTP call to a peer (default 5s).
+	RequestTimeout time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+}
+
+// Node connects a local antibody store to a set of peers. It subscribes to
+// the store (so locally generated antibodies — and antibodies imported from
+// one peer — are pushed to all the others) and runs one poll loop per peer as
+// the reliable catch-up path.
+type Node struct {
+	cfg   Config
+	store *antibody.Store
+	rec   *metrics.FederationRecorder
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*antibody.Antibody
+	peers    []*Peer
+	fromPeer map[string]*Peer // antibody ID -> peer it arrived from
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewNode returns a node gossiping the given store. The store subscription is
+// taken immediately, so antibodies already stored are offered to every peer
+// added later.
+func NewNode(store *antibody.Store, rec *metrics.FederationRecorder, cfg Config) *Node {
+	cfg.defaults()
+	n := &Node{
+		cfg:      cfg,
+		store:    store,
+		rec:      rec,
+		fromPeer: make(map[string]*Peer),
+		done:     make(chan struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	store.Subscribe(n.enqueue)
+	n.wg.Add(1)
+	go n.pushLoop()
+	return n
+}
+
+// Store returns the node's local store.
+func (n *Node) Store() *antibody.Store { return n.store }
+
+// AddPeer connects to the peer at addr ("host:port" or a full URL). The
+// first pull — the full-store replay a joining daemon performs — happens
+// synchronously so the caller learns immediately whether the peer is
+// reachable; the poll loop then keeps the stores converged.
+func (n *Node) AddPeer(addr string) error {
+	p := NewPeer(addr, n.cfg.RequestTimeout)
+	page, err := p.Pull(0)
+	if err != nil {
+		return fmt.Errorf("federate: joining peer %s: %w", p.URL(), err)
+	}
+	n.importFrom(p, page.Antibodies)
+	n.mu.Lock()
+	n.peers = append(n.peers, p)
+	peerCount := len(n.peers)
+	n.mu.Unlock()
+	n.rec.Update(func(s *metrics.FederationStats) { s.Peers = peerCount })
+	n.wg.Add(1)
+	go n.pollLoop(p, page.Next)
+	return nil
+}
+
+// Peers returns the URLs of the connected peers.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	urls := make([]string, len(n.peers))
+	for i, p := range n.peers {
+		urls[i] = p.URL()
+	}
+	return urls
+}
+
+// Close stops the push and poll loops after flushing queued pushes.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.done)
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// enqueue is the store-subscription callback: every antibody entering the
+// local store (generated locally or imported from a peer) is queued for push.
+func (n *Node) enqueue(a *antibody.Antibody) {
+	n.mu.Lock()
+	if !n.closed {
+		n.queue = append(n.queue, a)
+		n.cond.Broadcast()
+	}
+	n.mu.Unlock()
+}
+
+// importFrom publishes antibodies received from a peer into the local store.
+// Duplicates are dropped by the store (no subscriber fires, so nothing is
+// re-pushed: this ends the gossip loop); fresh ones are tagged with their
+// source peer so the push loop does not echo them straight back.
+func (n *Node) importFrom(p *Peer, abs []*antibody.Antibody) {
+	for _, a := range abs {
+		if a == nil || a.ID == "" {
+			continue
+		}
+		n.mu.Lock()
+		n.fromPeer[a.ID] = p
+		n.mu.Unlock()
+		if n.store.Publish(a) {
+			n.rec.Update(func(s *metrics.FederationStats) { s.Received++ })
+		} else {
+			// Duplicate: no subscriber fired, so the push loop will never
+			// consume (or clear) the source tag — drop it here.
+			n.mu.Lock()
+			delete(n.fromPeer, a.ID)
+			n.mu.Unlock()
+			n.rec.Update(func(s *metrics.FederationStats) { s.Duplicates++ })
+		}
+	}
+}
+
+// pushLoop drains the publish queue, pushing each batch to every peer except
+// an antibody's own source. Push failures are only counted: the receiving
+// side's poll loop recovers anything a push missed. Source tags are consumed
+// with the batch — an ID is pushed at most once (store dedup prevents
+// re-notification), so keeping tags longer would only leak memory.
+func (n *Node) pushLoop() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		for !n.closed && len(n.queue) == 0 {
+			n.cond.Wait()
+		}
+		if len(n.queue) == 0 && n.closed {
+			n.mu.Unlock()
+			return
+		}
+		batch := n.queue
+		n.queue = nil
+		peers := append([]*Peer(nil), n.peers...)
+		sources := make(map[string]*Peer, len(batch))
+		for _, a := range batch {
+			if p, ok := n.fromPeer[a.ID]; ok {
+				sources[a.ID] = p
+				delete(n.fromPeer, a.ID)
+			}
+		}
+		n.mu.Unlock()
+
+		for _, p := range peers {
+			var outgoing []*antibody.Antibody
+			for _, a := range batch {
+				if sources[a.ID] != p {
+					outgoing = append(outgoing, a)
+				}
+			}
+			if len(outgoing) == 0 {
+				continue
+			}
+			if _, err := p.Push(n.cfg.Name, outgoing); err != nil {
+				n.rec.Update(func(s *metrics.FederationStats) { s.PushErrors++ })
+			} else {
+				n.rec.Update(func(s *metrics.FederationStats) { s.Pushed += len(outgoing) })
+			}
+		}
+	}
+}
+
+// pollLoop periodically pulls the peer's store from the given cursor onward.
+func (n *Node) pollLoop(p *Peer, cursor int) {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+		page, err := p.Pull(cursor)
+		if err != nil {
+			continue
+		}
+		cursor = page.Next
+		n.importFrom(p, page.Antibodies)
+		n.rec.Update(func(s *metrics.FederationStats) { s.Polls++ })
+	}
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import "sync"
+
+// FederationStats are the counters of one daemon's federation node: how
+// antibodies moved between this daemon's store and its peers.
+type FederationStats struct {
+	// Peers is the number of peers this node is connected to.
+	Peers int
+	// Pushed counts antibodies pushed out to peers (per antibody, per peer).
+	Pushed int
+	// PushErrors counts failed push deliveries (the poll path recovers them).
+	PushErrors int
+	// Received counts antibodies accepted into the local store from peers,
+	// whether they arrived by push or by poll.
+	Received int
+	// Duplicates counts antibodies received from peers that the local store
+	// already held — the dedup that terminates gossip loops.
+	Duplicates int
+	// Polls counts completed poll rounds against peers.
+	Polls int
+}
+
+// FederationRecorder aggregates FederationStats. It is safe for concurrent
+// use by the node's push and poll goroutines and the peer-facing server.
+type FederationRecorder struct {
+	mu sync.Mutex
+	s  FederationStats
+}
+
+// NewFederationRecorder returns a zeroed recorder.
+func NewFederationRecorder() *FederationRecorder { return &FederationRecorder{} }
+
+// Update applies fn to the counters under the recorder lock.
+func (r *FederationRecorder) Update(fn func(*FederationStats)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(&r.s)
+}
+
+// Snapshot returns a copy of the counters.
+func (r *FederationRecorder) Snapshot() FederationStats {
+	if r == nil {
+		return FederationStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s
+}

@@ -152,3 +152,8 @@ func (s *ShadowStack) OnRet(m *vm.Machine, idx int, retAddr, retSlot uint32) {
 
 // Depth returns the current shadow-stack depth (exported for tests).
 func (s *ShadowStack) Depth() int { return len(s.entries) }
+
+// OnRollback implements vm.RollbackHook: entries pushed by the abandoned
+// execution describe frames that no longer exist after the process rolls
+// back to a checkpoint; the replay re-pushes frames as it re-enters them.
+func (s *ShadowStack) OnRollback(m *vm.Machine) { s.entries = s.entries[:0] }

@@ -145,6 +145,11 @@ func New(name string, prog *vm.Program, layout vm.Layout, proxy *netproxy.Proxy,
 // Mode returns the current execution mode.
 func (p *Process) Mode() Mode { return p.mode }
 
+// Proxy returns the proxy this process draws live requests from. A clone gets
+// a fresh, empty, filterless proxy: verification sandboxes use it to feed a
+// clone an exploit candidate after its replay window is drained.
+func (p *Process) Proxy() *netproxy.Proxy { return p.proxy }
+
 // SetMode switches between live and replay execution. replayThenLive only
 // matters in replay mode.
 func (p *Process) SetMode(mode Mode, replayThenLive bool) {
@@ -493,6 +498,10 @@ func (p *Process) Rollback(s *Snapshot, mode Mode, replayThenLive bool) {
 	p.Alloc.Restore(s.Alloc)
 	p.rng = s.Rng
 	p.Log.SetCursor(s.LogLen)
+	// Attached monitors and VSEF probes shadow the execution (saved return
+	// addresses, taint labels); their state from the abandoned execution must
+	// not leak into the replay or it raises false violations.
+	p.Machine.NotifyRollback()
 	// Outputs already delivered to clients are history that rollback cannot
 	// undo (the output-commit problem); the record of them is kept and
 	// replayed sends are compared against the log instead of being re-sent.

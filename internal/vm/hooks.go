@@ -47,6 +47,17 @@ type SyscallHook interface {
 	BeforeSyscall(m *Machine, idx int, num uint32)
 }
 
+// RollbackHook is implemented by tools and probes whose internal state
+// shadows the guest's execution (saved return addresses, shadow stacks,
+// taint labels). The machine invokes it when the process is rolled back to a
+// checkpoint: shadow state accumulated by the abandoned execution describes
+// memory that no longer exists, and letting it leak into the re-execution
+// produces false violations (e.g. an adopted taint VSEF still considering
+// bytes of the excised attack request tainted during recovery replay).
+type RollbackHook interface {
+	OnRollback(m *Machine)
+}
+
 // FaultHook receives a callback when the machine raises a hardware fault.
 type FaultHook interface {
 	OnFault(m *Machine, f *Fault)

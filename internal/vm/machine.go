@@ -288,6 +288,25 @@ func (m *Machine) ProbeCount() int {
 	return n
 }
 
+// NotifyRollback tells every attached tool and probe implementing
+// RollbackHook that the process has been rolled back to a checkpoint, so
+// execution-shadowing state must be dropped. A probe registered on several
+// instructions is notified once per registration; resets are idempotent.
+func (m *Machine) NotifyRollback() {
+	for _, t := range m.tools.all {
+		if h, ok := t.(RollbackHook); ok {
+			h.OnRollback(m)
+		}
+	}
+	for _, list := range m.probes {
+		for _, p := range list {
+			if h, ok := p.(RollbackHook); ok {
+				h.OnRollback(m)
+			}
+		}
+	}
+}
+
 // RaiseViolation is called by tools, probes and monitors to stop execution.
 // When raised from a BeforeInstr hook or probe, the instruction is not
 // executed, so the violation also prevents the attack's effect.

@@ -30,6 +30,15 @@ var benchOnce = map[string]func(tb testing.TB){
 			tb.Fatalf("implausible analysis times: sequential %+v, parallel %+v", seq, par)
 		}
 	},
+	"BenchmarkTable3PooledVsFreshClone": func(tb testing.TB) {
+		freshNs, pooledNs := pooledVsFreshOnce(tb)
+		if freshNs <= 0 || pooledNs <= 0 {
+			tb.Fatalf("implausible clone setup times: fresh %v ns, pooled %v ns", freshNs, pooledNs)
+		}
+		if pooledNs >= freshNs {
+			tb.Errorf("pooled clone setup (%.0f ns) not below fresh clone setup (%.0f ns)", pooledNs, freshNs)
+		}
+	},
 	"BenchmarkFigure4CheckpointInterval20ms":  func(tb testing.TB) { figure4Once(tb, 20) },
 	"BenchmarkFigure4CheckpointInterval50ms":  func(tb testing.TB) { figure4Once(tb, 50) },
 	"BenchmarkFigure4CheckpointInterval100ms": func(tb testing.TB) { figure4Once(tb, 100) },

@@ -18,11 +18,16 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"sweeper/internal/apps"
 	"sweeper/internal/core"
 	"sweeper/internal/epidemic"
 	"sweeper/internal/experiments"
+	"sweeper/internal/exploit"
+	"sweeper/internal/netproxy"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
 )
 
 // --- Table 1: the evaluated applications (program construction cost) ---
@@ -147,6 +152,83 @@ func BenchmarkTable3ParallelVsSequential(b *testing.B) {
 	b.ReportMetric(parTot/n*1e3, "ms-total-parallel")
 	if parAb > 0 {
 		b.ReportMetric(seqAb/parAb, "antibody-speedup-x")
+	}
+}
+
+// --- Table 3 variant: pooled vs fresh clone sandboxes ---
+
+// pooledVsFreshOnce measures per-attack analysis-sandbox setup cost on the
+// real Squid image: building a fresh Process.Clone (new Machine + page-map
+// copy) versus resetting a pooled shell (proc.ClonePool). Each mode is timed
+// best-of-3 over a batch of clones to shed collector noise.
+func pooledVsFreshOnce(tb testing.TB) (freshNs, pooledNs float64) {
+	spec, err := apps.ByName("squid")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	proxy := netproxy.New()
+	p, err := proc.New(spec.Name, spec.Image, vm.DefaultLayout(), proxy, spec.Options)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	snap := p.Snapshot(1)
+	for i := 0; i < 8; i++ {
+		proxy.Submit(exploit.Benign("squid", i), "client", false)
+	}
+	if stop := p.Run(0); stop.Reason != vm.StopWaitInput {
+		tb.Fatalf("squid did not quiesce: %v", stop.Reason)
+	}
+
+	const batch = 32
+	bestOf := func(f func()) float64 {
+		best := -1.0
+		for r := 0; r < 3; r++ {
+			runtime.GC()
+			start := time.Now()
+			f()
+			if ns := float64(time.Since(start).Nanoseconds()) / batch; best < 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	freshNs = bestOf(func() {
+		for i := 0; i < batch; i++ {
+			if _, err := p.Clone(snap); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	})
+	pool := proc.NewClonePool(p)
+	warm, err := pool.Get(snap)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pool.Put(warm)
+	pooledNs = bestOf(func() {
+		for i := 0; i < batch; i++ {
+			c, err := pool.Get(snap)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			pool.Put(c)
+		}
+	})
+	return freshNs, pooledNs
+}
+
+func BenchmarkTable3PooledVsFreshClone(b *testing.B) {
+	var freshNs, pooledNs float64
+	for i := 0; i < b.N; i++ {
+		f, p := pooledVsFreshOnce(b)
+		freshNs += f
+		pooledNs += p
+	}
+	n := float64(b.N)
+	b.ReportMetric(freshNs/n/1e3, "us-per-fresh-clone")
+	b.ReportMetric(pooledNs/n/1e3, "us-per-pooled-clone")
+	if pooledNs > 0 {
+		b.ReportMetric(freshNs/pooledNs, "pooled-speedup-x")
 	}
 }
 

@@ -64,6 +64,8 @@ func main() {
 		noASLR       = flag.Bool("no-aslr", false, "disable address-space randomisation")
 		shadowStack  = flag.Bool("shadow-stack", false, "enable the shadow-stack lightweight monitor")
 		sequential   = flag.Bool("sequential", false, "run the heavyweight analyses sequentially instead of in parallel")
+		analyses     = flag.String("analyses", "membug,taint,slicing", "comma-separated analyses to run after detection (registered: membug, taint, slicing)")
+		noPool       = flag.Bool("no-clone-pool", false, "build a fresh clone per analysis replay instead of reusing pooled shells")
 		showAntibody = flag.Bool("show-antibody", false, "print each final antibody as JSON")
 		listen       = flag.String("listen", "", "serve the antibody store to federation peers on this address (e.g. 127.0.0.1:7070)")
 		peers        = flag.String("peers", "", "comma-separated federation peers to gossip antibodies with (host:port)")
@@ -74,6 +76,15 @@ func main() {
 	flag.Parse()
 	if *guests < 1 {
 		log.Fatalf("sweeperd: -guests must be at least 1")
+	}
+	var selected []string
+	for _, name := range strings.Split(*analyses, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			selected = append(selected, name)
+		}
+	}
+	if selected == nil {
+		selected = []string{} // -analyses="" means: no heavyweight analyses
 	}
 	federated := *listen != "" || *peers != ""
 	verify := *verifyAdopt
@@ -102,6 +113,8 @@ func main() {
 			cfg.ASLRSeed = 0x5eed + int64(i)*7919
 			cfg.ShadowStack = *shadowStack
 			cfg.ParallelAnalysis = !*sequential
+			cfg.Analyses = selected
+			cfg.PoolClones = !*noPool
 			cfg.VerifyAdoption = verify
 			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
 			if _, err := fleet.AddGuest(guestName, spec.Name, spec.Image, spec.Options, cfg); err != nil {
@@ -114,7 +127,8 @@ func main() {
 	if *sequential {
 		engine = "sequential"
 	}
-	fmt.Printf("  analysis engine: %s; checkpoints every %d ms; verify-before-adopt: %v\n", engine, *interval, verify)
+	fmt.Printf("  analysis engine: %s; analyses: %s; checkpoints every %d ms; verify-before-adopt: %v\n",
+		engine, strings.Join(selected, ","), *interval, verify)
 
 	// Federation: serve our store to peers and gossip with theirs.
 	fedRec := metrics.NewFederationRecorder()
@@ -230,6 +244,19 @@ func main() {
 		totals.AntibodiesGenerated, totals.AntibodiesAdopted, totals.AntibodiesVerified,
 		totals.AntibodiesRejected, totals.FilteredInputs)
 	fmt.Printf("shared store: %d antibodies\n", fleet.Store().Len())
+	for _, g := range fleet.Guests() {
+		s := g.Sweeper()
+		lats := s.AnalyzerLatencies()
+		if len(lats) == 0 {
+			continue
+		}
+		created, reused := s.ClonePoolStats()
+		fmt.Printf("%-12s analyzer latency:", g.Name())
+		for _, l := range lats {
+			fmt.Printf(" %s mean=%v max=%v (%d runs)", l.Name, l.Mean().Round(10_000), l.Max.Round(10_000), l.Runs)
+		}
+		fmt.Printf("; sandboxes built=%d pooled=%d\n", created, reused)
+	}
 	if federated {
 		fs := fedRec.Snapshot()
 		fmt.Printf("federation  : peers=%d pushed=%d received=%d duplicates=%d polls=%d push-errors=%d\n",
@@ -239,6 +266,9 @@ func main() {
 	for _, g := range fleet.Guests() {
 		s := g.Sweeper()
 		for _, r := range s.Attacks() {
+			// Deferred analyses (the slicing cross-check) complete after a
+			// guest resumes service; join before printing their results.
+			r.Wait()
 			fmt.Printf("\n=== attack %d on %s (virtual t=%d ms, %s engine) ===\n",
 				r.Seq, g.Name(), r.DetectedAtMs, map[bool]string{true: "parallel", false: "sequential"}[r.Parallel])
 			fmt.Printf("detected : %s\n", r.Detection.Reason)
@@ -264,7 +294,14 @@ func main() {
 			} else {
 				fmt.Printf("#3 input/taint   : exploit input not identified\n")
 			}
-			fmt.Printf("#4 slicing       : %d dynamic instructions, consistent=%v\n", r.SliceNodes, r.SliceConsistent)
+			switch {
+			case r.FindingFor("slicing") != nil:
+				fmt.Printf("#4 slicing       : %d dynamic instructions, consistent=%v\n", r.SliceNodes, r.SliceConsistent)
+			case r.ErrorFor("slicing") != "":
+				fmt.Printf("#4 slicing       : FAILED: %s\n", r.ErrorFor("slicing"))
+			default:
+				fmt.Printf("#4 slicing       : not run (see -analyses)\n")
+			}
 			fmt.Printf("analysis times   : first VSEF %v, best VSEF %v, initial %v, total %v\n",
 				r.TimeToFirstVSEF.Round(10_000), r.TimeToBestVSEF.Round(10_000),
 				r.InitialAnalysisTime.Round(10_000), r.TotalAnalysisTime.Round(10_000))

@@ -64,6 +64,9 @@ func main() {
 	if _, err := sw.ServeAll(); err != nil {
 		log.Fatal(err)
 	}
+	// The slicing cross-check completes after recovery; join it before
+	// printing its fields.
+	sw.WaitAnalyses()
 	r := sw.Attacks()[0]
 	fmt.Printf("   lightweight monitor : %s\n", r.Detection.Reason)
 	fmt.Printf("   memory-state step   : %s\n", r.CoreDump.Summary())

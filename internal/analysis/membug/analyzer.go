@@ -1,0 +1,57 @@
+package membug
+
+import (
+	"sweeper/internal/analysis"
+)
+
+// AnalyzerName is the pipeline name of the memory-bug detection analyzer.
+const AnalyzerName = "membug"
+
+// Result is the membug analyzer's pipeline finding: every memory bug the
+// replay surfaced, with the primary (first) one singled out — that is the one
+// a refined VSEF is built from.
+type Result struct {
+	Findings []Finding
+	Primary  *Finding
+}
+
+// Analyzer implements analysis.Finding.
+func (r *Result) Analyzer() string { return AnalyzerName }
+
+// Summary implements analysis.Finding.
+func (r *Result) Summary() string {
+	if r.Primary == nil {
+		return "no memory bug detected"
+	}
+	return r.Primary.Summary()
+}
+
+// Analyzer adapts the memory-bug detector to the analysis.Analyzer API: it
+// replays the attack window under the detector and implicates the faulting
+// instruction (and, for frees, the call site) in the shared context so the
+// deferred tier can restrict itself to them.
+type Analyzer struct{}
+
+// Name implements analysis.Analyzer.
+func (Analyzer) Name() string { return AnalyzerName }
+
+// Cost implements analysis.Analyzer: memory-bug detection gates the refined
+// antibody, so it runs in the fast tier.
+func (Analyzer) Cost() analysis.Tier { return analysis.TierFast }
+
+// Run implements analysis.Analyzer.
+func (Analyzer) Run(ctx *analysis.Context, sb *analysis.Sandbox) (analysis.Finding, error) {
+	det := New(sb.Proc, true)
+	sb.Machine().AttachTool(det)
+	sb.Run()
+	res := &Result{Findings: det.Findings(), Primary: det.Primary()}
+	if len(res.Findings) > 0 {
+		f := res.Findings[0]
+		instrs := []int{f.InstrIdx}
+		if f.CallerIdx >= 0 {
+			instrs = append(instrs, f.CallerIdx)
+		}
+		ctx.Implicate(AnalyzerName, instrs...)
+	}
+	return res, nil
+}

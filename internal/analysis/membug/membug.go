@@ -57,7 +57,8 @@ type Finding struct {
 	// overwritten.
 	VictimSym string
 	// CallerIdx is, for free-related findings, the call-site instruction
-	// index (the paper's "0x808d7ac (dirswitch) should not double-free").
+	// index (the paper's "0x808d7ac (dirswitch) should not double-free");
+	// -1 for every other kind.
 	CallerIdx int
 	Detail    string
 }
@@ -186,6 +187,7 @@ func (d *Detector) OnMemWrite(m *vm.Machine, idx int, addr uint32, size int, val
 				Sym:       m.SymbolAt(idx),
 				Addr:      addr,
 				VictimSym: d.victimFor(m, fr),
+				CallerIdx: -1,
 				Detail:    fmt.Sprintf("store overwrites return address of %s", d.victimFor(m, fr)),
 			}, vm.ViolationStackSmash)
 			return
@@ -227,6 +229,7 @@ func (d *Detector) checkHeapAccess(m *vm.Machine, idx int, addr uint32, size int
 				Sym:       m.SymbolAt(idx),
 				Addr:      addr,
 				ChunkAddr: c.addr,
+				CallerIdx: -1,
 				Detail:    "access to freed heap chunk",
 			}, vkind)
 			return
@@ -255,6 +258,7 @@ func (d *Detector) checkHeapAccess(m *vm.Machine, idx int, addr uint32, size int
 		Sym:       m.SymbolAt(idx),
 		Addr:      addr,
 		ChunkAddr: overflowed,
+		CallerIdx: -1,
 		Detail:    "store outside any live heap chunk",
 	}, vm.ViolationHeapOverflow)
 }

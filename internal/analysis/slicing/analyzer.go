@@ -1,0 +1,113 @@
+package slicing
+
+import (
+	"fmt"
+
+	"sweeper/internal/analysis"
+)
+
+// AnalyzerName is the pipeline name of the backward-slicing analyzer.
+const AnalyzerName = "slicing"
+
+// Result is the slicing analyzer's pipeline finding: the consistency
+// cross-check of the other analyses ("anything they blame must be in the
+// backward slice from the failure").
+type Result struct {
+	// Slice is the materialised backward slice. It is nil in focused mode,
+	// where only the targeted reachability check runs.
+	Slice *Slice
+	// Nodes and Instrs count the dynamic and static instructions in the
+	// slice — or, in focused mode, the ones explored before every implicated
+	// instruction was found.
+	Nodes  int
+	Instrs int
+	// Missing lists the implicated static instructions NOT in the slice;
+	// Consistent is true when there are none.
+	Missing    []int
+	Consistent bool
+	// Restricted says the replay covered only the culprit request: the fast
+	// tier had already identified the attack input, so the dependence tracker
+	// skipped the benign requests in the window.
+	Restricted bool
+	// Focused says the check ran as a targeted backward reachability search
+	// (early exit once every implicated instruction was found) instead of
+	// materialising the full slice.
+	Focused bool
+}
+
+// Analyzer implements analysis.Finding.
+func (r *Result) Analyzer() string { return AnalyzerName }
+
+// Summary implements analysis.Finding.
+func (r *Result) Summary() string {
+	if !r.Consistent {
+		return fmt.Sprintf("INCONSISTENT: implicated instructions %v not in the backward slice", r.Missing)
+	}
+	mode := "full slice"
+	if r.Focused {
+		mode = "focused check"
+	}
+	return fmt.Sprintf("slice verifies the other analyses (%d dynamic / %d static instructions, %s)", r.Nodes, r.Instrs, mode)
+}
+
+// Analyzer adapts dynamic backward slicing to the analysis.Analyzer API. It
+// is the most expensive analysis, and it only sanity-checks the others, so it
+// runs in the deferred tier — after the antibody has shipped and recovery has
+// resumed service. When the fast tier produced both a memory-bug and a taint
+// implication (and named the culprit request), the dependence tracker is
+// restricted to the culprit's execution and the check runs as a targeted
+// reachability search over the implicated instructions, cutting the slicing
+// critical path without weakening the cross-check.
+type Analyzer struct{}
+
+// Name implements analysis.Analyzer.
+func (Analyzer) Name() string { return AnalyzerName }
+
+// Cost implements analysis.Analyzer.
+func (Analyzer) Cost() analysis.Tier { return analysis.TierDeferred }
+
+// Run implements analysis.Analyzer.
+func (Analyzer) Run(ctx *analysis.Context, sb *analysis.Sandbox) (analysis.Finding, error) {
+	focus := ctx.Implicated()
+	culprit, haveCulprit := ctx.Culprit()
+
+	// Restrict the replay to the culprit request only when both fast-tier
+	// analyses implicated instructions: with a single corroborating analysis
+	// the full window is kept, trading time for the stronger check.
+	res := &Result{}
+	if haveCulprit && ctx.HasImplication("membug") && ctx.HasImplication("taint") {
+		var others []int
+		for _, id := range sb.Proc.Log.RequestsSince(sb.Proc.Log.Cursor()) {
+			if id != culprit {
+				others = append(others, id)
+			}
+		}
+		if len(others) > 0 {
+			sb.Proc.DropRequests(others...)
+			res.Restricted = true
+		}
+	}
+
+	sl := New(Options{IncludeControlDeps: true})
+	sb.Machine().AttachTool(sl)
+	sb.Run()
+
+	if res.Restricted && len(focus) > 0 {
+		missing, nodes, instrs := sl.VerifyBackward(focus)
+		res.Focused = true
+		res.Missing = missing
+		res.Nodes = nodes
+		res.Instrs = instrs
+	} else {
+		slice, err := sl.BackwardSliceFromLast()
+		if err != nil {
+			return nil, err
+		}
+		res.Slice = slice
+		res.Nodes = slice.Size()
+		res.Instrs = len(slice.InstrSet)
+		res.Missing = slice.Verify(focus...)
+	}
+	res.Consistent = len(res.Missing) == 0
+	return res, nil
+}

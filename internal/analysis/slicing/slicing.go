@@ -334,3 +334,65 @@ func (sl *Slice) Verify(instrs ...int) (missing []int) {
 	}
 	return missing
 }
+
+// VerifyBackward answers the consistency cross-check without materialising
+// the slice: it explores the dependence graph backward from the most recently
+// recorded node (normally the faulting one) and reports which of the given
+// static instructions were NOT reached. The search stops as soon as every
+// instruction of interest has been found, so when the implicated instructions
+// sit near the failure — the common case — only a fraction of the graph is
+// visited and no slice node set is allocated. nodesExplored and
+// instrsExplored count the dynamic and static instructions visited; on early
+// exit they undercount the full slice by construction. Negative instruction
+// indices are ignored, like Slice.Verify.
+func (s *Slicer) VerifyBackward(instrs []int) (missing []int, nodesExplored, instrsExplored int) {
+	want := make(map[int]bool)
+	for _, idx := range instrs {
+		if idx >= 0 {
+			want[idx] = true
+		}
+	}
+	remaining := len(want)
+	if len(s.nodes) == 0 {
+		for idx := range want {
+			missing = append(missing, idx)
+		}
+		sort.Ints(missing)
+		return missing, 0, 0
+	}
+
+	visited := make([]bool, len(s.nodes))
+	instrSeen := make(map[int]bool)
+	start := len(s.nodes) - 1
+	visited[start] = true
+	queue := []int{start}
+	nodesExplored = 1
+	for len(queue) > 0 && remaining > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		idx := s.nodes[cur].InstrIdx
+		if !instrSeen[idx] {
+			instrSeen[idx] = true
+			if want[idx] {
+				remaining--
+				if remaining == 0 {
+					break
+				}
+			}
+		}
+		for _, d := range s.nodes[cur].Deps {
+			if !visited[d] {
+				visited[d] = true
+				nodesExplored++
+				queue = append(queue, d)
+			}
+		}
+	}
+	for idx := range want {
+		if !instrSeen[idx] {
+			missing = append(missing, idx)
+		}
+	}
+	sort.Ints(missing)
+	return missing, nodesExplored, len(instrSeen)
+}

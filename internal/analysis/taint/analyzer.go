@@ -1,0 +1,62 @@
+package taint
+
+import (
+	"fmt"
+
+	"sweeper/internal/analysis"
+)
+
+// AnalyzerName is the pipeline name of the taint-analysis analyzer.
+const AnalyzerName = "taint"
+
+// Result is the taint analyzer's pipeline finding. The Tracker is retained so
+// antibody generation can extract the propagation sites for a taint VSEF.
+type Result struct {
+	Tracker  *Tracker
+	Findings []Finding
+	Detected bool
+	// Culprit is the request the first finding's tainted data came from
+	// (-1 when taint analysis could not name one).
+	Culprit int
+}
+
+// Analyzer implements analysis.Finding.
+func (r *Result) Analyzer() string { return AnalyzerName }
+
+// Summary implements analysis.Finding.
+func (r *Result) Summary() string {
+	if !r.Detected {
+		return "no misuse of tainted data detected"
+	}
+	return fmt.Sprintf("%s (exploit input: request %d)", r.Findings[0].Summary(), r.Culprit)
+}
+
+// Analyzer adapts full dynamic taint analysis to the analysis.Analyzer API:
+// it replays the attack window under a fresh tracker, implicates the sink
+// instruction and records the responsible request as the culprit in the
+// shared context.
+type Analyzer struct{}
+
+// Name implements analysis.Analyzer.
+func (Analyzer) Name() string { return AnalyzerName }
+
+// Cost implements analysis.Analyzer: taint analysis identifies the exploit
+// input the final antibody's signature is built from, so it runs in the fast
+// tier.
+func (Analyzer) Cost() analysis.Tier { return analysis.TierFast }
+
+// Run implements analysis.Analyzer.
+func (Analyzer) Run(ctx *analysis.Context, sb *analysis.Sandbox) (analysis.Finding, error) {
+	tr := New(true)
+	sb.Machine().AttachTool(tr)
+	sb.Run()
+	res := &Result{Tracker: tr, Findings: tr.Findings(), Detected: tr.Detected(), Culprit: -1}
+	if id, ok := tr.ResponsibleRequest(); ok {
+		res.Culprit = id
+		ctx.SetCulprit(id)
+	}
+	if len(res.Findings) > 0 {
+		ctx.Implicate(AnalyzerName, res.Findings[0].InstrIdx)
+	}
+	return res, nil
+}

@@ -3,10 +3,14 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"sweeper/internal/analysis"
 	"sweeper/internal/analysis/coredump"
 	"sweeper/internal/analysis/membug"
+	"sweeper/internal/analysis/slicing"
 	"sweeper/internal/analysis/taint"
 	"sweeper/internal/antibody"
 	"sweeper/internal/monitor"
@@ -26,6 +30,16 @@ type StepTiming struct {
 // the detection event, the result of each analysis step, the antibodies
 // generated (and when), and the recovery outcome. Tables 2 and 3 are built
 // from these reports.
+//
+// A report is completed asynchronously: the deferred analysis tier (the
+// slicing cross-check) finishes after recovery has already resumed service,
+// so HandleAttack returns — and the guest serves traffic again — while the
+// deferred fields (SliceNodes, SliceInstrs, SliceConsistent,
+// MissingFromSlice, TotalAnalysisTime and the deferred Steps entries) are
+// still being filled in. Done is closed once the report is sealed — after
+// BOTH the attack-handling goroutine (analysis, antibodies, recovery) and
+// the deferred tier have finished — so every field read after Done (or
+// Wait) is stable.
 type AttackReport struct {
 	Seq          int
 	DetectedAtMs uint64
@@ -42,6 +56,10 @@ type AttackReport struct {
 	SliceInstrs      int
 	SliceConsistent  bool
 	MissingFromSlice []int
+	// SliceRestricted says the deferred slicing replay was restricted to the
+	// culprit request because both fast-tier analyses had implicated
+	// instructions (the cheap, focused cross-check).
+	SliceRestricted bool
 
 	// Exploit input identification.
 	CulpritRequestID int
@@ -58,11 +76,14 @@ type AttackReport struct {
 	TimeToBestVSEF      time.Duration
 	InitialAnalysisTime time.Duration
 	// TimeToFinalAntibody is when the final antibody (VSEFs + input
-	// signature + exploit input) was published. It excludes the slicing
-	// cross-check, which the antibody does not depend on.
+	// signature + exploit input) was published. It excludes the deferred
+	// tier, which the antibody does not depend on.
 	TimeToFinalAntibody time.Duration
-	TotalAnalysisTime   time.Duration
-	Steps               []StepTiming
+	// TotalAnalysisTime is when the last analysis (including the deferred
+	// tier, which overlaps recovery and resumed service) completed. Deferred;
+	// stable after Done.
+	TotalAnalysisTime time.Duration
+	Steps             []StepTiming
 
 	// Recovery.
 	Recovered          bool
@@ -78,6 +99,120 @@ type AttackReport struct {
 	// recovery uninstalls it and retries rather than letting it take the
 	// service down.
 	BadProbesRemoved []string
+
+	// mu seals the deferred-tier fields (and Steps, which both tiers append
+	// to) until done closes. parts counts the writers that must finish before
+	// the report seals: the attack-handling goroutine itself, plus the
+	// deferred-tier goroutine when one is launched; whichever finishes last
+	// closes done (the atomic decrements order their writes before the close).
+	mu       sync.Mutex
+	done     chan struct{}
+	parts    atomic.Int32
+	findings map[string]analysis.Finding
+	errs     map[string]string
+}
+
+func newAttackReport(seq int, detectedAtMs uint64, det monitor.Detection) *AttackReport {
+	r := &AttackReport{
+		Seq:              seq,
+		DetectedAtMs:     detectedAtMs,
+		Detection:        det,
+		CulpritRequestID: -1,
+		done:             make(chan struct{}),
+		findings:         make(map[string]analysis.Finding),
+		errs:             make(map[string]string),
+	}
+	r.parts.Store(1) // the attack-handling goroutine
+	return r
+}
+
+// Done returns a channel that is closed once every analysis — including the
+// deferred tier that completes after recovery — has finished and the report's
+// fields are final.
+func (r *AttackReport) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the report is complete.
+func (r *AttackReport) Wait() { <-r.done }
+
+// FindingFor returns the named analyzer's finding for this attack, or nil.
+// Deferred-tier findings are present only after Done.
+func (r *AttackReport) FindingFor(analyzer string) analysis.Finding {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.findings[analyzer]
+}
+
+// ErrorFor returns why the named analyzer produced no finding for this
+// attack — a sandbox-construction or Run error — or "" if it did not fail.
+// An analyzer that ran cleanly and found nothing has neither a finding nor
+// an error. Deferred-tier entries are present only after Done.
+func (r *AttackReport) ErrorFor(analyzer string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.errs[analyzer]
+}
+
+// finishPart retires one report writer; the last one seals the report.
+func (r *AttackReport) finishPart() {
+	if r.parts.Add(-1) == 0 {
+		close(r.done)
+	}
+}
+
+// addPart registers an additional report writer (the deferred-tier
+// goroutine). It must be called before the corresponding finishPart can run.
+func (r *AttackReport) addPart() { r.parts.Add(1) }
+
+// addStep appends a component timing under the report mutex (the recovery
+// step on the attack-handling goroutine races the deferred tier's entries
+// otherwise).
+func (r *AttackReport) addStep(name string, d time.Duration) {
+	r.mu.Lock()
+	r.Steps = append(r.Steps, StepTiming{Name: name, Duration: d})
+	r.mu.Unlock()
+}
+
+// StepDurations returns a copy of the per-component timings recorded so far.
+func (r *AttackReport) StepDurations() []StepTiming {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]StepTiming(nil), r.Steps...)
+}
+
+// recordFinding stores an analyzer's finding for FindingFor.
+func (r *AttackReport) recordFinding(name string, f analysis.Finding) {
+	if f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.findings[name] = f
+	r.mu.Unlock()
+}
+
+// recordRunOutcome stores one analyzer's finding and failure, if any, so a
+// failed analysis is distinguishable from one that found nothing.
+func (r *AttackReport) recordRunOutcome(ar *analyzerRun) {
+	r.recordFinding(ar.a.Name(), ar.finding)
+	if ar.err != nil {
+		r.mu.Lock()
+		r.errs[ar.a.Name()] = ar.err.Error()
+		r.mu.Unlock()
+	}
+}
+
+// recordAnalyzer folds one completed deferred analyzer into the report.
+func (r *AttackReport) recordAnalyzer(ar *analyzerRun) {
+	if res, ok := ar.finding.(*slicing.Result); ok {
+		r.mu.Lock()
+		r.SliceNodes = res.Nodes
+		r.SliceInstrs = res.Instrs
+		r.MissingFromSlice = res.Missing
+		r.SliceConsistent = res.Consistent
+		r.SliceRestricted = res.Restricted
+		r.mu.Unlock()
+	}
+	r.recordRunOutcome(ar)
+	r.addStep(ar.stepName, ar.dur)
 }
 
 // BestVSEF returns the most refined VSEF available (refined if the memory-bug
@@ -128,28 +263,22 @@ func (s *Sweeper) snapshotForAnalysis() *proc.Snapshot {
 }
 
 // HandleAttack runs the full post-detection pipeline: memory-state analysis,
-// iterative rollback/replay under the heavyweight tools, antibody generation
-// and distribution, and finally rollback/re-execution recovery with the
-// attack input dropped.
+// the fast analysis tier on pooled replay sandboxes (gating antibody
+// generation and distribution), and rollback/re-execution recovery with the
+// attack input dropped. The deferred analysis tier (the slicing cross-check)
+// is left running on its own goroutine: it completes after recovery has
+// resumed service and seals the returned report (AttackReport.Done).
 func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *AttackReport {
 	s.attackSeq++
 	t0 := time.Now()
-	report := &AttackReport{
-		Seq:              s.attackSeq,
-		DetectedAtMs:     s.proc.Machine.NowMillis(),
-		Detection:        det,
-		CulpritRequestID: -1,
-	}
-	step := func(name string, start time.Time) {
-		report.Steps = append(report.Steps, StepTiming{Name: name, Duration: time.Since(start)})
-	}
+	report := newAttackReport(s.attackSeq, s.proc.Machine.NowMillis(), det)
 
 	// --- Step 1: memory-state (core dump) analysis, no rollback needed. ---
 	t := time.Now()
 	cd := coredump.Analyze(s.proc, stop)
 	report.CoreDump = cd
 	initVSEF := antibody.FromCoreDump(s.newAntibodyID("initial")+"-vsef", s.name, cd)
-	step("memory-state", t)
+	report.addStep("memory-state", time.Since(t))
 
 	initial := &antibody.Antibody{
 		ID:          s.newAntibodyID(antibody.StageInitial),
@@ -170,25 +299,29 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 		// Nothing to roll back to: deploy what we have and give up on
 		// recovery (the caller will restart the service).
 		report.TotalAnalysisTime = time.Since(t0)
+		report.finishPart()
 		return report
 	}
 
-	// --- Steps 2-4: the heavyweight rollback-and-replay analyses. Each runs
-	// on its own copy-on-write clone of the checkpoint (concurrently when
-	// cfg.ParallelAnalysis is set); the live process is never rolled back for
-	// analysis, only for recovery below. Each analysis is joined exactly when
-	// its result is needed, so every antibody stage ships as early as its
-	// inputs allow.
-	run := s.startReplayAnalyses(snap)
-	res := run.res
-	report.Parallel = s.cfg.ParallelAnalysis
+	// --- Steps 2-4: the heavyweight rollback-and-replay analyses, scheduled
+	// by the pipeline. Each analyzer runs on its own (pooled) copy-on-write
+	// clone of the checkpoint — concurrently when cfg.ParallelAnalysis is set;
+	// the live process is never rolled back for analysis, only for recovery
+	// below. Each fast-tier analyzer is joined exactly when its result is
+	// needed, so every antibody stage ships as early as its inputs allow.
+	run := s.startAnalyses(snap)
+	run.ctx.Implicate("coredump", cd.FaultPC)
+	report.Parallel = run.parallel
 
 	// --- Step 2 results: memory-bug detection and the refined antibody. ---
-	run.waitMemBug()
-	report.MemBugFindings = res.memBugFindings
-	membugPrimary := res.membugPrimary
-	if s.cfg.EnableMemBug {
-		report.Steps = append(report.Steps, StepTiming{Name: "memory-bug", Duration: res.membugStep})
+	var membugPrimary *membug.Finding
+	if ar := run.wait(membug.AnalyzerName); ar != nil {
+		if res, ok := ar.finding.(*membug.Result); ok {
+			report.MemBugFindings = res.Findings
+			membugPrimary = res.Primary
+		}
+		report.recordRunOutcome(ar)
+		report.addStep(ar.stepName, ar.dur)
 	}
 	refinedVSEF := antibody.FromMemBug(s.newAntibodyID("refined")+"-vsef", s.name, membugPrimary)
 	if refinedVSEF != nil {
@@ -213,30 +346,45 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 	}
 
 	// --- Step 3 results: taint analysis and exploit-input identification. ---
-	run.waitTaint(s.cfg.EnableTaint)
 	var taintVSEF *antibody.VSEF
-	if s.cfg.EnableTaint {
-		report.TaintFindings = res.taintFindings
-		report.TaintDetected = res.taintDetected
-		report.CulpritRequestID = res.taintCulprit
-		if res.taintTracker != nil {
-			taintVSEF = antibody.FromTaint(s.newAntibodyID("taint")+"-vsef", s.name, res.taintTracker)
+	if ar := run.wait(taint.AnalyzerName); ar != nil {
+		if res, ok := ar.finding.(*taint.Result); ok {
+			report.TaintFindings = res.Findings
+			report.TaintDetected = res.Detected
+			report.CulpritRequestID = res.Culprit
+			if res.Tracker != nil {
+				taintVSEF = antibody.FromTaint(s.newAntibodyID("taint")+"-vsef", s.name, res.Tracker)
+			}
 		}
-		report.Steps = append(report.Steps, StepTiming{Name: "input-taint", Duration: res.taintStep})
+		report.recordRunOutcome(ar)
+		report.addStep(ar.stepName, ar.dur)
 	}
 	if report.CulpritRequestID < 0 {
 		t = time.Now()
 		report.CulpritRequestID = s.isolateInput(snap)
 		report.IsolationUsed = true
-		step("input-isolation", t)
+		report.addStep("input-isolation", time.Since(t))
 	}
 	if report.CulpritRequestID >= 0 {
 		report.CulpritPayload = s.payloadOf(report.CulpritRequestID)
+		// The deferred tier restricts itself to the culprit request; feed it
+		// the isolation fallback's answer too (SetCulprit keeps the first).
+		run.ctx.SetCulprit(report.CulpritRequestID)
+	}
+	// Join any remaining fast-tier analyzers (custom registrations): the
+	// final antibody must not ship before the tier that gates it. membug and
+	// taint were folded into the report above; fold the rest here.
+	run.waitFast()
+	for _, ar := range run.fast {
+		if name := ar.a.Name(); name != membug.AnalyzerName && name != taint.AnalyzerName {
+			report.recordRunOutcome(ar)
+			report.addStep(ar.stepName, ar.dur)
+		}
 	}
 	report.InitialAnalysisTime = time.Since(t0)
 
 	// --- Final antibody: best VSEFs + input signature + exploit input. It
-	// ships before the slicing cross-check completes: slicing contributes
+	// ships before the deferred cross-check completes: slicing contributes
 	// nothing to the antibody, so hosts should not wait for it. ---
 	final := &antibody.Antibody{
 		ID:          s.newAntibodyID(antibody.StageFinal),
@@ -262,20 +410,13 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 	s.publish(final)
 	report.TimeToFinalAntibody = time.Since(t0)
 
-	// --- Step 4 results: backward slicing (sanity check of the other steps). ---
-	run.finishSlicing()
-	if s.cfg.EnableSlicing {
-		if res.slice != nil {
-			report.SliceNodes = res.sliceNodes
-			report.SliceInstrs = res.sliceInstrs
-			report.MissingFromSlice = res.slice.Verify(s.implicatedInstrs(report)...)
-			report.SliceConsistent = len(report.MissingFromSlice) == 0
-		}
-		report.Steps = append(report.Steps, StepTiming{Name: "slicing", Duration: res.sliceStep})
-	}
-	report.TotalAnalysisTime = time.Since(t0)
+	// --- Step 4: the deferred tier (backward-slicing cross-check) leaves the
+	// client-visible path entirely: it completes on its own goroutine while
+	// recovery below — and the resumed service after it — proceeds, then
+	// seals the report. ---
+	run.finishDeferredAsync(report, t0)
 
-	// --- Step 5: recovery by rollback and re-execution without the attack. ---
+	// --- Step 5: recovery by rollback and re-execution without the attack.
 	// The analysis replays above ran on shadow clones, so the live process's
 	// clock still reads the moment of detection; the client-visible service
 	// gap only advances by the rollback and re-execution below (this is what
@@ -332,7 +473,8 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 	report.RecoveryTime = time.Since(t)
 	report.RecoveryVirtualMs = s.proc.Machine.NowMillis() - recoveryStartMs
 	report.RecoveryDiverged, report.RecoveryDivergence = s.proc.Diverged()
-	step("recovery", t)
+	report.addStep("recovery", report.RecoveryTime)
+	report.finishPart()
 	return report
 }
 
@@ -344,24 +486,4 @@ func (s *Sweeper) payloadOf(requestID int) []byte {
 		}
 	}
 	return nil
-}
-
-// implicatedInstrs collects the static instructions the earlier analysis
-// steps blamed, so the slice can confirm or refute them.
-func (s *Sweeper) implicatedInstrs(r *AttackReport) []int {
-	var out []int
-	if r.CoreDump != nil {
-		out = append(out, r.CoreDump.FaultPC)
-	}
-	if len(r.MemBugFindings) > 0 {
-		f := r.MemBugFindings[0]
-		out = append(out, f.InstrIdx)
-		if f.CallerIdx >= 0 {
-			out = append(out, f.CallerIdx)
-		}
-	}
-	if len(r.TaintFindings) > 0 {
-		out = append(out, r.TaintFindings[0].InstrIdx)
-	}
-	return out
 }

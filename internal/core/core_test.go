@@ -79,6 +79,10 @@ func TestEndToEndDefense(t *testing.T) {
 				t.Fatal("protected server halted")
 			}
 
+			// The report's deferred fields are read below; join the
+			// asynchronous completion first.
+			s.WaitAnalyses()
+
 			// All benign requests must have completed service despite the attack.
 			if got := s.Process().ServedRequests(); got < before+after {
 				t.Errorf("served %d requests, want at least %d", got, before+after)

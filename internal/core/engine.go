@@ -4,208 +4,17 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
-	"sweeper/internal/analysis/membug"
-	"sweeper/internal/analysis/slicing"
-	"sweeper/internal/analysis/taint"
 	"sweeper/internal/proc"
 	"sweeper/internal/vm"
 )
 
-// replayAnalysisResult aggregates what the heavyweight rollback-and-replay
-// analyses produced for one attack. Both engines (sequential and parallel)
-// fill it identically: every analysis re-executes the same attack window from
-// the same checkpoint on its own process clone, so the findings do not depend
-// on the order — or concurrency — of the replays.
-type replayAnalysisResult struct {
-	memBugFindings []membug.Finding
-	membugPrimary  *membug.Finding
-	taintTracker   *taint.Tracker
-	taintFindings  []taint.Finding
-	taintDetected  bool
-	taintCulprit   int
-
-	sliceNodes  int
-	sliceInstrs int
-	slice       *slicing.Slice
-
-	// Per-analysis wall-clock durations (Table 3's component diagnosis
-	// times). In parallel mode they overlap in real time.
-	membugStep time.Duration
-	taintStep  time.Duration
-	sliceStep  time.Duration
-}
-
-// runMemBugReplay replays the attack window on a fresh clone under the
-// dynamic memory-bug detector.
-func (s *Sweeper) runMemBugReplay(snap *proc.Snapshot) ([]membug.Finding, *membug.Finding) {
-	clone, err := s.proc.Clone(snap)
-	if err != nil {
-		return nil, nil
-	}
-	det := membug.New(clone, true)
-	clone.Machine.AttachTool(det)
-	clone.Run(s.cfg.ReplayBudget)
-	return det.Findings(), det.Primary()
-}
-
-// runTaintReplay replays the attack window on a fresh clone under full
-// dynamic taint analysis.
-func (s *Sweeper) runTaintReplay(snap *proc.Snapshot) (*taint.Tracker, int) {
-	clone, err := s.proc.Clone(snap)
-	if err != nil {
-		return nil, -1
-	}
-	tr := taint.New(true)
-	clone.Machine.AttachTool(tr)
-	clone.Run(s.cfg.ReplayBudget)
-	culprit := -1
-	if id, ok := tr.ResponsibleRequest(); ok {
-		culprit = id
-	}
-	return tr, culprit
-}
-
-// runSliceReplay replays the attack window on a fresh clone under the dynamic
-// dependence tracker and extracts the backward slice from the failure.
-func (s *Sweeper) runSliceReplay(snap *proc.Snapshot) (*slicing.Slice, int) {
-	clone, err := s.proc.Clone(snap)
-	if err != nil {
-		return nil, 0
-	}
-	sl := slicing.New(slicing.Options{IncludeControlDeps: true})
-	clone.Machine.AttachTool(sl)
-	clone.Run(s.cfg.ReplayBudget)
-	slice, err := sl.BackwardSliceFromLast()
-	if err != nil {
-		return nil, 0
-	}
-	return slice, len(slice.InstrSet)
-}
-
-// analysisRun is an in-flight execution of the heavyweight analyses for one
-// attack. The caller joins each analysis exactly when its result is needed —
-// waitMemBug before the refined antibody, waitTaint before exploit-input
-// identification, finishSlicing before the consistency cross-check — so
-// antibody generation and deployment never wait for work they don't use.
-// In the sequential engine nothing runs concurrently: membug runs inside
-// startReplayAnalyses and the later analyses run inside their join calls,
-// preserving the paper's one-after-another order.
-type analysisRun struct {
-	res      *replayAnalysisResult
-	parallel bool
-	runTaint func()
-	runSlice func()
-	membugWG sync.WaitGroup
-	taintWG  sync.WaitGroup
-	sliceWG  sync.WaitGroup
-	deferred bool // slicing runs inside finishSlicing instead of overlapping
-}
-
-// startReplayAnalyses launches the enabled heavyweight analyses, each
-// replaying the attack window on its own COW clone of snap. With
-// cfg.ParallelAnalysis they run concurrently (the paper's replays are
-// independent consumers of one checkpoint); otherwise only membug runs here
-// and the rest wait for their join calls.
-func (s *Sweeper) startReplayAnalyses(snap *proc.Snapshot) *analysisRun {
-	res := &replayAnalysisResult{taintCulprit: -1}
-	run := &analysisRun{res: res, parallel: s.cfg.ParallelAnalysis}
-
-	runMemBug := func() {
-		start := time.Now()
-		res.memBugFindings, res.membugPrimary = s.runMemBugReplay(snap)
-		res.membugStep = time.Since(start)
-	}
-	run.runTaint = func() {
-		start := time.Now()
-		res.taintTracker, res.taintCulprit = s.runTaintReplay(snap)
-		if res.taintTracker != nil {
-			res.taintFindings = res.taintTracker.Findings()
-			res.taintDetected = res.taintTracker.Detected()
-		}
-		res.taintStep = time.Since(start)
-	}
-	run.runSlice = func() {
-		start := time.Now()
-		res.slice, res.sliceInstrs = s.runSliceReplay(snap)
-		if res.slice != nil {
-			res.sliceNodes = res.slice.Size()
-		}
-		res.sliceStep = time.Since(start)
-	}
-
-	if run.parallel {
-		// Overlap the slicing replay with the antibody-producing analyses
-		// only when there is a CPU for each replay; on smaller machines the
-		// cross-check would just steal cycles from the antibody path, so it
-		// is deferred until after the antibody ships.
-		if s.cfg.EnableSlicing {
-			if runtime.NumCPU() >= 3 {
-				run.sliceWG.Add(1)
-				go func() {
-					defer run.sliceWG.Done()
-					run.runSlice()
-				}()
-			} else {
-				run.deferred = true
-			}
-		}
-		if s.cfg.EnableMemBug {
-			run.membugWG.Add(1)
-			go func() {
-				defer run.membugWG.Done()
-				runMemBug()
-			}()
-		}
-		if s.cfg.EnableTaint {
-			run.taintWG.Add(1)
-			go func() {
-				defer run.taintWG.Done()
-				run.runTaint()
-			}()
-		}
-	} else {
-		if s.cfg.EnableMemBug {
-			runMemBug()
-		}
-		run.deferred = s.cfg.EnableSlicing
-	}
-	return run
-}
-
-// waitMemBug blocks until the memory-bug results are available. The refined
-// antibody only needs this analysis, so it is published without waiting for
-// taint or slicing.
-func (r *analysisRun) waitMemBug() { r.membugWG.Wait() }
-
-// waitTaint blocks until the taint results are available, running the taint
-// replay now in the sequential engine.
-func (r *analysisRun) waitTaint(enabled bool) {
-	if !r.parallel && enabled {
-		r.runTaint()
-		return
-	}
-	r.taintWG.Wait()
-}
-
-// finishSlicing completes the slicing cross-check: it joins the concurrent
-// slicing replay (parallel engine) or runs it now (sequential engine).
-func (r *analysisRun) finishSlicing() {
-	if r.deferred {
-		r.deferred = false
-		r.runSlice()
-		return
-	}
-	r.sliceWG.Wait()
-}
-
 // isolateInput identifies the exploit request by replaying the requests
-// received since the checkpoint one at a time — each on its own clone — and
-// seeing which one reproduces the failure (the fallback the paper also uses
-// when taint analysis alone cannot name the input). In parallel mode a
-// bounded worker pool (one per CPU) replays candidates concurrently and
-// stops handing out work past the earliest reproducer found; the first
+// received since the checkpoint one at a time — each on its own (pooled)
+// clone — and seeing which one reproduces the failure (the fallback the paper
+// also uses when taint analysis alone cannot name the input). In parallel
+// mode a bounded worker pool (one per CPU) replays candidates concurrently
+// and stops handing out work past the earliest reproducer found; the first
 // reproducing candidate in arrival order is returned either way.
 func (s *Sweeper) isolateInput(snap *proc.Snapshot) int {
 	candidates := s.proc.Log.RequestsSince(snap.LogLen)
@@ -217,18 +26,19 @@ func (s *Sweeper) isolateInput(snap *proc.Snapshot) int {
 	}
 	sort.Ints(candidates)
 	tryCandidate := func(i int) bool {
-		clone, err := s.proc.Clone(snap)
+		sb, err := s.sandbox(snap)
 		if err != nil {
 			return false
 		}
+		defer sb.Release()
 		var others []int
 		for j, id := range candidates {
 			if j != i {
 				others = append(others, id)
 			}
 		}
-		clone.DropRequests(others...)
-		stop := clone.Run(s.cfg.ReplayBudget)
+		sb.Proc.DropRequests(others...)
+		stop := sb.Run()
 		return stop.Reason == vm.StopFault || stop.Reason == vm.StopViolation
 	}
 	if !s.cfg.ParallelAnalysis {

@@ -178,8 +178,9 @@ func (f *Fleet) Submit(guest string, payload []byte, src string, malicious bool)
 }
 
 // Drain blocks until every guest is quiescent: no queued requests, no
-// pending antibody applications, no attack analysis in flight. It must not
-// race with Submit calls.
+// pending antibody applications, no attack analysis in flight — including
+// the deferred analysis tier, which completes after a guest has already
+// resumed service. It must not race with Submit calls.
 func (f *Fleet) Drain() {
 	for {
 		waited := false
@@ -190,6 +191,7 @@ func (f *Fleet) Drain() {
 				g.cond.Wait()
 			}
 			g.mu.Unlock()
+			g.s.WaitAnalyses()
 		}
 		if !waited {
 			return
@@ -348,6 +350,7 @@ func (g *Guest) adopt(a *antibody.Antibody) {
 			if !dec.Adoptable {
 				st.AntibodiesRejected++
 			}
+			st.FindingsRegenerated += len(dec.Regenerated)
 		})
 		if !dec.Adoptable {
 			return

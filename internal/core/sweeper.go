@@ -1,15 +1,19 @@
 // Package core implements the Sweeper system itself: it wires the runtime
 // module (lightweight monitoring, checkpointing, the network proxy), the
-// analysis module (memory-state analysis, memory-bug detection, taint
-// analysis, backward slicing, applied during rollback-and-replay) and the
-// antibody module (VSEF and input-signature generation, deployment and
-// distribution) around one protected guest process, and drives the
-// detect → analyze → inoculate → recover cycle end to end.
+// analysis module (memory-state analysis plus the pluggable
+// analysis.Analyzer pipeline — memory-bug detection, taint analysis,
+// backward slicing — applied during rollback-and-replay on pooled clone
+// sandboxes) and the antibody module (VSEF and input-signature generation,
+// deployment and distribution) around one protected guest process, and
+// drives the detect → analyze → inoculate → recover cycle end to end.
 package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
+	"sweeper/internal/analysis"
 	"sweeper/internal/analysis/taint"
 	"sweeper/internal/antibody"
 	"sweeper/internal/checkpoint"
@@ -38,23 +42,50 @@ type Config struct {
 	// (an ablation; the paper's default configuration relies on ASLR alone).
 	ShadowStack bool
 
-	// EnableMemBug, EnableTaint and EnableSlicing select which heavyweight
-	// analyses run after an attack is detected. All default to true.
+	// Registry holds the analyzers available to this instance. Nil means
+	// DefaultRegistry() — memory-bug detection, taint analysis and backward
+	// slicing. Custom analyzers are made available by registering them here.
+	Registry *analysis.Registry
+	// Analyses selects, by name, which registered analyzers run after an
+	// attack is detected. Nil means every registered analyzer, subject to
+	// the Enable* switches below; an empty non-nil slice disables the
+	// heavyweight analyses entirely. When set, it is authoritative (the
+	// Enable* switches are ignored).
+	Analyses []string
+
+	// EnableMemBug, EnableTaint and EnableSlicing gate the three builtin
+	// analyzers when Analyses is nil. All default to true.
 	EnableMemBug  bool
 	EnableTaint   bool
 	EnableSlicing bool
 
-	// ParallelAnalysis runs the enabled heavyweight analyses concurrently,
-	// each replaying the attack window on its own copy-on-write clone of the
-	// rollback checkpoint, instead of one after another on the live process.
-	// The sequential path is kept as a cross-check; both engines produce
-	// byte-identical antibodies.
+	// ParallelAnalysis runs the fast-tier analyzers concurrently, each
+	// replaying the attack window on its own copy-on-write clone of the
+	// rollback checkpoint, instead of one after another. The sequential path
+	// is kept as a cross-check; both engines produce byte-identical
+	// antibodies.
 	ParallelAnalysis bool
+
+	// PoolClones serves analysis, isolation and verification sandboxes from
+	// a pool of reusable clone shells (reset to the requested checkpoint)
+	// instead of building a fresh Machine and page-map copy per replay.
+	// Defaults to true in DefaultConfig; pooled and fresh replays are
+	// byte-for-byte identical, so this is purely a setup-cost knob.
+	PoolClones bool
 
 	// AlwaysOnTaint attaches full dynamic taint analysis during normal
 	// execution (the TaintCheck/Vigilante-style baseline Sweeper argues
 	// against); used only for overhead comparisons.
 	AlwaysOnTaint bool
+
+	// RegenerateOnVerify makes the verification sandbox re-run the fast
+	// analysis tier against a reproduced exploit, regenerating the
+	// memory-bug/taint evidence locally (VerifyDecision.Regenerated) instead
+	// of trusting only "a violation reproduced". It costs one snapshot of the
+	// sandbox per verification plus one fast-tier replay per reproduction;
+	// disable it for adoption-rate-bound fleets that only need the
+	// reproduction check. Default on (DefaultConfig).
+	RegenerateOnVerify bool
 
 	// VerifyAdoption makes the guest re-verify every antibody it did not
 	// generate itself before adopting it: the antibody's attached exploit
@@ -82,7 +113,8 @@ type Config struct {
 }
 
 // DefaultConfig returns the configuration used in the paper's experiments:
-// 200 ms checkpoints, 20 retained, ASLR on, all analyses enabled.
+// 200 ms checkpoints, 20 retained, ASLR on, all analyses enabled, pooled
+// clone sandboxes.
 func DefaultConfig() Config {
 	return Config{
 		CheckpointIntervalMs: 200,
@@ -93,6 +125,8 @@ func DefaultConfig() Config {
 		EnableTaint:          true,
 		EnableSlicing:        true,
 		ParallelAnalysis:     true,
+		PoolClones:           true,
+		RegenerateOnVerify:   true,
 		ReplayBudget:         200_000_000,
 		ServeBudget:          0,
 	}
@@ -110,9 +144,22 @@ type Sweeper struct {
 	proc   *proc.Process
 	ckpt   *checkpoint.Manager
 
+	analyzers []analysis.Analyzer
+	pool      *proc.ClonePool
+	latency   *metrics.AnalysisRecorder
+	// unpooledSandboxes counts sandboxes built with PoolClones off, so
+	// ClonePoolStats stays truthful in pooled-vs-fresh comparisons. Atomic:
+	// isolation workers build sandboxes concurrently.
+	unpooledSandboxes atomic.Int64
+
 	antibodies []*antibody.Antibody
 	applied    []*antibody.AppliedAntibody
-	attacks    []*AttackReport
+
+	// attacksMu guards attacks: reports are appended on the serving
+	// goroutine, while WaitAnalyses (e.g. a draining fleet) reads the list
+	// from other goroutines.
+	attacksMu sync.Mutex
+	attacks   []*AttackReport
 
 	completions *metrics.CompletionRecorder
 
@@ -136,6 +183,10 @@ func New(name string, prog *vm.Program, procOpts proc.Options, cfg Config) (*Swe
 	if cfg.ReplayBudget == 0 {
 		cfg.ReplayBudget = 200_000_000
 	}
+	analyzers, err := buildAnalyzers(cfg)
+	if err != nil {
+		return nil, err
+	}
 	layout := vm.DefaultLayout()
 	if cfg.ASLR {
 		layout = monitor.RandomizedLayout(monitor.RandomizeOptions{Seed: cfg.ASLRSeed})
@@ -157,6 +208,9 @@ func New(name string, prog *vm.Program, procOpts proc.Options, cfg Config) (*Swe
 		proxy:       proxy,
 		proc:        p,
 		ckpt:        checkpoint.NewManager(checkpoint.Policy{IntervalMs: cfg.CheckpointIntervalMs, MaxKept: cfg.MaxCheckpoints}),
+		analyzers:   analyzers,
+		pool:        proc.NewClonePool(p),
+		latency:     metrics.NewAnalysisRecorder(),
 		completions: metrics.NewCompletionRecorder(),
 	}
 	p.OnRequestBoundary = s.onRequestBoundary
@@ -194,8 +248,36 @@ func (s *Sweeper) Checkpoints() *checkpoint.Manager { return s.ckpt }
 // Antibodies returns every antibody generated so far, in generation order.
 func (s *Sweeper) Antibodies() []*antibody.Antibody { return s.antibodies }
 
-// Attacks returns the report for every attack handled so far.
-func (s *Sweeper) Attacks() []*AttackReport { return s.attacks }
+// Attacks returns the report for every attack handled so far. A report's
+// deferred fields (the slicing cross-check) may still be completing; call
+// AttackReport.Wait — or Sweeper.WaitAnalyses — before reading them.
+func (s *Sweeper) Attacks() []*AttackReport {
+	s.attacksMu.Lock()
+	defer s.attacksMu.Unlock()
+	return append([]*AttackReport(nil), s.attacks...)
+}
+
+// WaitAnalyses blocks until every attack report so far is sealed, i.e. the
+// deferred analysis tier of every handled attack has completed.
+func (s *Sweeper) WaitAnalyses() {
+	for _, r := range s.Attacks() {
+		r.Wait()
+	}
+}
+
+// AnalyzerLatencies returns the per-analyzer replay latencies observed so far.
+func (s *Sweeper) AnalyzerLatencies() []metrics.AnalyzerLatency {
+	return s.latency.Snapshot()
+}
+
+// ClonePoolStats reports how many analysis sandboxes were freshly built
+// (pooled misses plus, with PoolClones off, every fresh clone) and how many
+// were served by resetting a pooled shell.
+func (s *Sweeper) ClonePoolStats() (created, reused int) {
+	created, reused = s.pool.Stats()
+	created += int(s.unpooledSandboxes.Load())
+	return created, reused
+}
 
 // Completions returns the request-completion recorder (throughput series).
 func (s *Sweeper) Completions() *metrics.CompletionRecorder { return s.completions }
@@ -203,6 +285,25 @@ func (s *Sweeper) Completions() *metrics.CompletionRecorder { return s.completio
 // Halted reports whether the protected server exited (e.g. a successful
 // hijack called exit, or the guest program terminated).
 func (s *Sweeper) Halted() bool { return s.halted }
+
+// sandbox builds a replay sandbox positioned at the given snapshot — from
+// the clone pool when cfg.PoolClones is set, as a fresh Process.Clone
+// otherwise. Releasing the sandbox returns pooled shells for reuse.
+func (s *Sweeper) sandbox(snap *proc.Snapshot) (*analysis.Sandbox, error) {
+	if s.cfg.PoolClones {
+		clone, err := s.pool.Get(snap)
+		if err != nil {
+			return nil, err
+		}
+		return analysis.NewSandbox(clone, s.cfg.ReplayBudget, func() { s.pool.Put(clone) }), nil
+	}
+	clone, err := s.proc.Clone(snap)
+	if err != nil {
+		return nil, err
+	}
+	s.unpooledSandboxes.Add(1)
+	return analysis.NewSandbox(clone, s.cfg.ReplayBudget, nil), nil
+}
 
 // Submit offers a request payload to the protected server through the proxy.
 // It reports whether the request was accepted (false when an input-signature
@@ -226,7 +327,9 @@ type ServeResult struct {
 
 // ServeAll runs the protected server until the proxy queue is drained,
 // handling any attacks detected along the way (analysis, antibody
-// generation, recovery) and then continuing service.
+// generation, recovery) and then continuing service. It returns as soon as
+// service has resumed; deferred analyses of handled attacks may still be
+// completing (see WaitAnalyses).
 func (s *Sweeper) ServeAll() (ServeResult, error) {
 	var res ServeResult
 	if s.halted {
@@ -257,7 +360,9 @@ func (s *Sweeper) ServeAll() (ServeResult, error) {
 				continue
 			}
 			report := s.HandleAttack(stop, det)
+			s.attacksMu.Lock()
 			s.attacks = append(s.attacks, report)
+			s.attacksMu.Unlock()
 			res.AttacksHandled++
 			if !report.Recovered {
 				s.halted = true

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sweeper/internal/analysis"
 	"sweeper/internal/analysis/taint"
 	"sweeper/internal/antibody"
 	"sweeper/internal/monitor"
@@ -24,6 +25,13 @@ type VerifyDecision struct {
 	Transient bool
 	// Reason explains the decision.
 	Reason string
+	// Regenerated holds, per analyzer, the findings the fast analysis tier
+	// re-derived by replaying the exploit inside the verification sandbox —
+	// the paper's strongest trust model: the receiving host does not merely
+	// observe "a violation", it regenerates the analysis evidence (and could
+	// regenerate the antibody) locally instead of trusting the sender's.
+	// Present only when the exploit reproduced.
+	Regenerated map[string]analysis.Finding
 }
 
 // VerifyAntibody decides whether an antibody received from an untrusted
@@ -56,13 +64,29 @@ func (s *Sweeper) VerifyAntibody(a *antibody.Antibody, installed ...*antibody.An
 			return VerifyDecision{Reason: fmt.Sprintf("signature %s does not match the attached exploit input", sig.Name())}
 		}
 	}
-	reproduced, transient, reason := s.ReplayExploit(a.ExploitInput, installed)
+	rep := s.ReplayExploit(a.ExploitInput, installed)
 	return VerifyDecision{
-		Adoptable:  reproduced,
-		Reproduced: reproduced,
-		Transient:  transient,
-		Reason:     reason,
+		Adoptable:   rep.Reproduced,
+		Reproduced:  rep.Reproduced,
+		Transient:   rep.Transient,
+		Reason:      rep.Reason,
+		Regenerated: rep.Regenerated,
 	}
+}
+
+// ExploitReplay is the outcome of replaying an exploit candidate in a
+// verification sandbox.
+type ExploitReplay struct {
+	// Reproduced says the replay reproduced a detectable violation.
+	Reproduced bool
+	// Transient says the sandbox itself failed — the verdict proves nothing
+	// about the payload.
+	Transient bool
+	// Reason explains the outcome.
+	Reason string
+	// Regenerated holds the fast-tier findings re-derived from the
+	// reproduction (see VerifyDecision.Regenerated).
+	Regenerated map[string]analysis.Finding
 }
 
 // replayBudgetSlices bounds how many ReplayBudget-sized slices each sandbox
@@ -83,21 +107,27 @@ func (s *Sweeper) runToQuiescence(clone *proc.Process) *vm.StopInfo {
 }
 
 // ReplayExploit replays an exploit candidate in a sandbox and reports whether
-// it reproduces a detectable violation. The sandbox is a copy-on-write clone
-// of the latest checkpoint: the clone first drains its logged replay window
-// to reach a quiescent, up-to-date state, then is switched live and fed the
-// candidate through its own fresh (filterless) proxy. The live process, its
-// proxy and its clock are never touched. transient=true means the sandbox
-// itself failed — the verdict proves nothing about the payload.
-func (s *Sweeper) ReplayExploit(payload []byte, installed []*antibody.Antibody) (reproduced, transient bool, reason string) {
+// it reproduces a detectable violation. The sandbox is a (pooled) copy-on-
+// write clone of the latest checkpoint: the clone first drains its logged
+// replay window to reach a quiescent, up-to-date state, then is switched live
+// and fed the candidate through its own fresh (filterless) proxy. The live
+// process, its proxy and its clock are never touched.
+//
+// When the violation reproduces, the fast analysis tier is re-run against the
+// reproduction (each analyzer on its own sub-clone of the quiescent sandbox
+// state), regenerating memory-bug and taint findings locally; the result is
+// returned in ExploitReplay.Regenerated.
+func (s *Sweeper) ReplayExploit(payload []byte, installed []*antibody.Antibody) ExploitReplay {
 	snap := s.ckpt.Latest()
 	if snap == nil {
-		return false, true, "no checkpoint to build a verification sandbox from"
+		return ExploitReplay{Transient: true, Reason: "no checkpoint to build a verification sandbox from"}
 	}
-	clone, err := s.proc.Clone(snap)
+	sb, err := s.sandbox(snap)
 	if err != nil {
-		return false, true, fmt.Sprintf("verification sandbox: %v", err)
+		return ExploitReplay{Transient: true, Reason: fmt.Sprintf("verification sandbox: %v", err)}
 	}
+	defer sb.Release()
+	clone := sb.Proc
 	// The sandbox must detect everything the live guest would: clones carry
 	// no tools or probes, so re-attach the configured lightweight monitors
 	// (the layout, and with it ASLR, is inherited) and re-apply the VSEF
@@ -118,19 +148,71 @@ func (s *Sweeper) ReplayExploit(payload []byte, installed []*antibody.Antibody) 
 			continue
 		}
 		if _, err := inst.Apply(clone, nil); err != nil {
-			return false, true, fmt.Sprintf("verification sandbox: re-applying %s: %v", inst.ID, err)
+			return ExploitReplay{Transient: true, Reason: fmt.Sprintf("verification sandbox: re-applying %s: %v", inst.ID, err)}
 		}
 	}
 	if stop := s.runToQuiescence(clone); stop.Reason != vm.StopWaitInput {
-		return false, true, fmt.Sprintf("verification sandbox did not quiesce: %v", stop.Reason)
+		return ExploitReplay{Transient: true, Reason: fmt.Sprintf("verification sandbox did not quiesce: %v", stop.Reason)}
+	}
+	// Capture the quiescent state: the regeneration sub-clones below replay
+	// from here, with the candidate as the only logged request after it. The
+	// snapshot (a page-map copy plus COW arming) is only worth taking when
+	// regeneration is enabled and a fast-tier analyzer exists to consume it.
+	var base *proc.Snapshot
+	if s.cfg.RegenerateOnVerify && s.hasFastAnalyzers() {
+		base = clone.Snapshot(0)
 	}
 	clone.SetMode(proc.ModeLive, false)
 	clone.Proxy().Submit(payload, "verifier", true)
 	stop := s.runToQuiescence(clone)
 	if det := monitor.Classify(stop); det.Suspicious {
-		return true, false, "exploit replay reproduced: " + det.Reason
+		return ExploitReplay{
+			Reproduced:  true,
+			Reason:      "exploit replay reproduced: " + det.Reason,
+			Regenerated: s.regenerateFindings(clone, base),
+		}
 	}
 	// A payload that neither quiesces nor violates (e.g. runs the budget out
 	// or halts the sandbox) is deterministic: rejecting it is final.
-	return false, false, fmt.Sprintf("exploit replay did not reproduce a violation (stop: %v)", stop.Reason)
+	return ExploitReplay{Reason: fmt.Sprintf("exploit replay did not reproduce a violation (stop: %v)", stop.Reason)}
+}
+
+// hasFastAnalyzers reports whether any configured analyzer runs in the fast
+// tier.
+func (s *Sweeper) hasFastAnalyzers() bool {
+	for _, a := range s.analyzers {
+		if a.Cost() == analysis.TierFast {
+			return true
+		}
+	}
+	return false
+}
+
+// regenerateFindings re-runs the configured fast-tier analyzers against the
+// reproduced exploit: each on its own clone of the verification sandbox's
+// quiescent state, replaying only the candidate request. Sub-clones are built
+// directly from the sandbox (not the pool — their log view belongs to the
+// sandbox, not the live process). Failures are tolerated: regeneration is
+// corroborating evidence, not a gate.
+func (s *Sweeper) regenerateFindings(clone *proc.Process, base *proc.Snapshot) map[string]analysis.Finding {
+	out := make(map[string]analysis.Finding)
+	if base == nil {
+		return out
+	}
+	ctx := analysis.NewContext()
+	for _, a := range s.analyzers {
+		if a.Cost() != analysis.TierFast {
+			continue
+		}
+		sub, err := clone.Clone(base)
+		if err != nil {
+			continue
+		}
+		f, err := a.Run(ctx, analysis.NewSandbox(sub, s.cfg.ReplayBudget, nil))
+		if err != nil || f == nil {
+			continue
+		}
+		out[a.Name()] = f
+	}
+	return out
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 
+	"sweeper/internal/analysis/membug"
+	"sweeper/internal/analysis/taint"
 	"sweeper/internal/antibody"
 	"sweeper/internal/apps"
 	"sweeper/internal/exploit"
@@ -193,6 +195,51 @@ func TestVerifyBeforeAdoptNegativePaths(t *testing.T) {
 		t.Errorf("AntibodiesVerified = %d, want 0 (no crafted antibody verifies)", st.AntibodiesVerified)
 	}
 	f.Stop()
+}
+
+// TestVerifyRegeneratesFastTierFindings: the adoption sandbox does not just
+// reproduce "a violation" — it re-runs the fast analysis tier against the
+// reproduction, regenerating the memory-bug and taint evidence locally (the
+// paper's strongest trust model: a receiving host could rebuild the antibody
+// itself instead of installing the sender's).
+func TestVerifyRegeneratesFastTierFindings(t *testing.T) {
+	final := genuineFinalAntibody(t, "squid")
+
+	// A distinct host: different ASLR layout, never attacked.
+	s, _ := newSweeperFor(t, "squid", func(c *Config) { c.ASLRSeed = 987654 })
+	submitBenign(s, "squid", 0, 3)
+	if _, err := s.ServeAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := s.VerifyAntibody(final)
+	if !dec.Adoptable || !dec.Reproduced {
+		t.Fatalf("genuine antibody not adoptable: %s", dec.Reason)
+	}
+	mb, ok := dec.Regenerated[membug.AnalyzerName].(*membug.Result)
+	if !ok || len(mb.Findings) == 0 {
+		t.Fatalf("memory-bug evidence not regenerated: %v", dec.Regenerated)
+	}
+	if mb.Findings[0].Kind != membug.KindHeapOverflow {
+		t.Errorf("regenerated membug kind = %v, want heap overflow", mb.Findings[0].Kind)
+	}
+	tt, ok := dec.Regenerated[taint.AnalyzerName].(*taint.Result)
+	if !ok || !tt.Detected {
+		t.Fatalf("taint evidence not regenerated: %v", dec.Regenerated)
+	}
+
+	// A rejected antibody regenerates nothing: no reproduction, no evidence.
+	benign := exploit.Benign("squid", 3)
+	rogue := &antibody.Antibody{
+		ID:           "rogue-no-regen",
+		Program:      "squid",
+		Stage:        antibody.StageFinal,
+		Sigs:         []*antibody.Signature{antibody.ExactSignature("rogue-no-regen-sig", benign)},
+		ExploitInput: benign,
+	}
+	if dec := s.VerifyAntibody(rogue); dec.Adoptable || len(dec.Regenerated) != 0 {
+		t.Errorf("rejected antibody yielded regenerated findings: %+v", dec)
+	}
 }
 
 // TestVerifyReproducesViaConfiguredMonitors: an exploit that the live guest

@@ -92,6 +92,9 @@ type DefenseRun struct {
 	App     *apps.Spec
 	Sweeper *core.Sweeper
 	Report  *core.AttackReport
+	// AnalyzerLatencies holds the per-analyzer replay latencies the pipeline
+	// observed (Table 3's component diagnosis times, keyed by analyzer).
+	AnalyzerLatencies []metrics.AnalyzerLatency
 }
 
 // RunDefense protects the named application with Sweeper, drives a benign
@@ -127,7 +130,15 @@ func RunDefense(appName string, benignBefore, benignAfter int, mutate func(*core
 	if len(s.Attacks()) == 0 {
 		return nil, fmt.Errorf("experiments: exploit against %s was not detected", appName)
 	}
-	return &DefenseRun{App: spec, Sweeper: s, Report: s.Attacks()[0]}, nil
+	// Reports complete asynchronously (the slicing cross-check finishes after
+	// recovery); the experiment tables read the deferred fields, so join here.
+	s.WaitAnalyses()
+	return &DefenseRun{
+		App:               spec,
+		Sweeper:           s,
+		Report:            s.Attacks()[0],
+		AnalyzerLatencies: s.AnalyzerLatencies(),
+	}, nil
 }
 
 // --- Table 2 ---

@@ -89,6 +89,27 @@ func TestTable3Timings(t *testing.T) {
 	}
 }
 
+// TestDefenseRunRecordsAnalyzerLatencies: every pipeline analyzer's replay
+// latency is captured per run, keyed by analyzer name.
+func TestDefenseRunRecordsAnalyzerLatencies(t *testing.T) {
+	run, err := RunDefense("apache1", 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]int)
+	for _, l := range run.AnalyzerLatencies {
+		byName[l.Name] = l.Runs
+		if l.Total <= 0 || l.Max <= 0 || l.Mean() <= 0 {
+			t.Errorf("analyzer %s has implausible latency stats: %+v", l.Name, l)
+		}
+	}
+	for _, want := range []string{"membug", "taint", "slicing"} {
+		if byName[want] != 1 {
+			t.Errorf("analyzer %s recorded %d runs, want 1 (have %v)", want, byName[want], byName)
+		}
+	}
+}
+
 func TestFigure4OverheadShape(t *testing.T) {
 	points, err := Figure4([]uint64{20, 200}, 250)
 	if err != nil {

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// AnalyzerLatency summarises the observed wall-clock latency of one analyzer
+// across the attacks a Sweeper instance handled.
+type AnalyzerLatency struct {
+	Name  string
+	Runs  int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average per-run latency.
+func (l AnalyzerLatency) Mean() time.Duration {
+	if l.Runs == 0 {
+		return 0
+	}
+	return l.Total / time.Duration(l.Runs)
+}
+
+// AnalysisRecorder aggregates per-analyzer replay latencies. The pipeline
+// observes one sample per analyzer per attack; fast-tier samples are recorded
+// on the attack-handling goroutine and deferred-tier samples on the
+// completion goroutine, so the recorder is safe for concurrent use.
+type AnalysisRecorder struct {
+	mu     sync.Mutex
+	byName map[string]*AnalyzerLatency
+}
+
+// NewAnalysisRecorder returns an empty recorder.
+func NewAnalysisRecorder() *AnalysisRecorder {
+	return &AnalysisRecorder{byName: make(map[string]*AnalyzerLatency)}
+}
+
+// Observe records one analyzer run.
+func (r *AnalysisRecorder) Observe(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.byName[name]
+	if !ok {
+		l = &AnalyzerLatency{Name: name}
+		r.byName[name] = l
+	}
+	l.Runs++
+	l.Total += d
+	if d > l.Max {
+		l.Max = d
+	}
+}
+
+// Snapshot returns the per-analyzer summaries, sorted by name.
+func (r *AnalysisRecorder) Snapshot() []AnalyzerLatency {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]AnalyzerLatency, 0, len(r.byName))
+	for _, l := range r.byName {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -279,6 +279,14 @@ func (m *Machine) RemoveProbes(name string) int {
 	return removed
 }
 
+// ClearProbes removes every registered probe regardless of owner. The clone
+// pool uses it when resetting a shell for reuse.
+func (m *Machine) ClearProbes() {
+	for i := range m.probes {
+		m.probes[i] = nil
+	}
+}
+
 // ProbeCount returns the total number of registered probes.
 func (m *Machine) ProbeCount() int {
 	n := 0

@@ -5,11 +5,17 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sync"
 	"testing"
 
 	"sweeper/internal/epidemic"
 	"sweeper/internal/experiments"
 )
+
+// smokeHotPathMicro caches one RunHotPathMicro result for the smoke
+// registry, so the snapshot and bulk-I/O entries share a single (heavyweight)
+// measurement run instead of booting and warming squid twice.
+var smokeHotPathMicro = sync.OnceValues(experiments.RunHotPathMicro)
 
 // benchOnce maps every benchmark in this package to a function executing one
 // iteration of its body — the -benchtime=1x equivalent. TestBenchmarkSmoke
@@ -43,7 +49,59 @@ var benchOnce = map[string]func(tb testing.TB){
 	"BenchmarkFigure4CheckpointInterval50ms":  func(tb testing.TB) { figure4Once(tb, 50) },
 	"BenchmarkFigure4CheckpointInterval100ms": func(tb testing.TB) { figure4Once(tb, 100) },
 	"BenchmarkFigure4CheckpointInterval200ms": func(tb testing.TB) { figure4Once(tb, 200) },
-	"BenchmarkVSEFOverhead":                   func(tb testing.TB) { vsefOverheadOnce(tb) },
+	"BenchmarkFigure4CheckpointIntervalSweep": func(tb testing.TB) {
+		sweep := figure4SweepOnce(tb)
+		for _, app := range figure4SweepApps {
+			points := sweep[app]
+			if len(points) != len(figure4SweepIntervals) {
+				tb.Fatalf("%s: sweep returned %d points, want %d", app, len(points), len(figure4SweepIntervals))
+			}
+			// Overheads are deterministic virtual-clock quantities: never
+			// negative beyond rounding, and no cheaper at the most frequent
+			// checkpointing than at the paper's default interval.
+			for _, pt := range points {
+				if pt.Overhead < -1e-9 || pt.Overhead > 1 {
+					tb.Errorf("%s @%dms: implausible overhead %v", app, pt.IntervalMs, pt.Overhead)
+				}
+			}
+			if first, last := points[0].Overhead, points[len(points)-1].Overhead; first < last-1e-9 {
+				tb.Errorf("%s: overhead at %dms (%v) below overhead at %dms (%v)",
+					app, points[0].IntervalMs, first, points[len(points)-1].IntervalMs, last)
+			}
+		}
+	},
+	"BenchmarkSnapshotDirtyVsFullScan": func(tb testing.TB) {
+		r, err := smokeHotPathMicro()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if r.SteadySnapshotNs <= 0 || r.FullSnapshotNs <= 0 {
+			tb.Fatalf("implausible snapshot times: %+v", r)
+		}
+		if r.SteadyDirtyPages <= 0 || r.SteadyDirtyPages >= r.MappedPages {
+			tb.Errorf("steady checkpoint captured %d of %d pages; expected a small dirty delta", r.SteadyDirtyPages, r.MappedPages)
+		}
+		// The headline acceptance bar of the incremental-checkpoint work:
+		// steady-state checkpoints at least 5x cheaper than full scans on
+		// the (cache-warmed) Squid image.
+		if r.SnapshotSpeedup < 5 {
+			tb.Errorf("steady-state snapshot only %.1fx cheaper than full scan (want >= 5x): steady %.0fns, full %.0fns",
+				r.SnapshotSpeedup, r.SteadySnapshotNs, r.FullSnapshotNs)
+		}
+	},
+	"BenchmarkBulkGuestMemoryIO": func(tb testing.TB) {
+		r, err := smokeHotPathMicro()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if r.BulkReadNsPerByte <= 0 || r.BulkWriteNsPerByte <= 0 {
+			tb.Fatalf("implausible bulk I/O times: %+v", r)
+		}
+		if r.BulkIOSpeedup < 2 {
+			tb.Errorf("bulk guest memory I/O only %.1fx faster than byte-at-a-time (want >= 2x)", r.BulkIOSpeedup)
+		}
+	},
+	"BenchmarkVSEFOverhead": func(tb testing.TB) { vsefOverheadOnce(tb) },
 	"BenchmarkFigure5Recovery": func(tb testing.TB) {
 		recoveryGap, restartGap := figure5Once(tb)
 		if recoveryGap >= restartGap {

@@ -15,8 +15,8 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
-	"strings"
 	"testing"
 	"time"
 
@@ -257,6 +257,94 @@ func BenchmarkFigure4CheckpointInterval50ms(b *testing.B)  { benchmarkCheckpoint
 func BenchmarkFigure4CheckpointInterval100ms(b *testing.B) { benchmarkCheckpointInterval(b, 100) }
 func BenchmarkFigure4CheckpointInterval200ms(b *testing.B) { benchmarkCheckpointInterval(b, 200) }
 
+// --- Figure 4 sweep: overhead vs checkpoint interval on all four apps ---
+
+// figure4SweepApps and figure4SweepIntervals fix the sweep grid: every
+// evaluation application at the paper's shortest, a middle and the default
+// checkpoint interval.
+var (
+	figure4SweepApps      = []string{"apache1", "apache2", "cvs", "squid"}
+	figure4SweepIntervals = []uint64{20, 100, 200}
+)
+
+func figure4SweepOnce(tb testing.TB) map[string][]experiments.Figure4Point {
+	requests := experiments.QuickSizes().Figure4Requests
+	out := make(map[string][]experiments.Figure4Point, len(figure4SweepApps))
+	for _, app := range figure4SweepApps {
+		points, err := experiments.Figure4ForApp(app, figure4SweepIntervals, requests)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[app] = points
+	}
+	return out
+}
+
+// BenchmarkFigure4CheckpointIntervalSweep reproduces the paper's Figure 4
+// trade-off live against every application image: virtual-throughput
+// overhead against the no-checkpoint baseline, per checkpoint interval. The
+// overheads are virtual-clock quantities (deterministic per configuration),
+// so the reported metrics track the checkpoint hot path, not host noise.
+func BenchmarkFigure4CheckpointIntervalSweep(b *testing.B) {
+	acc := make(map[string][]float64)
+	for i := 0; i < b.N; i++ {
+		sweep := figure4SweepOnce(b)
+		for app, points := range sweep {
+			if acc[app] == nil {
+				acc[app] = make([]float64, len(points))
+			}
+			for j, pt := range points {
+				acc[app][j] += pt.Overhead
+			}
+		}
+	}
+	for _, app := range figure4SweepApps {
+		for j, interval := range figure4SweepIntervals {
+			b.ReportMetric(acc[app][j]/float64(b.N)*100, fmt.Sprintf("%s-overhead-%%-at-%dms", app, interval))
+		}
+	}
+}
+
+// --- snapshot and bulk-I/O hot-path micro-benchmarks ---
+
+func BenchmarkSnapshotDirtyVsFullScan(b *testing.B) {
+	var full, steady, speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunHotPathMicro()
+		if err != nil {
+			b.Fatal(err)
+		}
+		full += r.FullSnapshotNs
+		steady += r.SteadySnapshotNs
+		speedup += r.SnapshotSpeedup
+	}
+	n := float64(b.N)
+	b.ReportMetric(full/n, "ns-per-full-scan-snapshot")
+	b.ReportMetric(steady/n, "ns-per-steady-snapshot")
+	b.ReportMetric(speedup/n, "steady-snapshot-speedup-x")
+}
+
+func BenchmarkBulkGuestMemoryIO(b *testing.B) {
+	var bulkR, byteR, bulkW, byteW, speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunHotPathMicro()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bulkR += r.BulkReadNsPerByte
+		byteR += r.ByteReadNsPerByte
+		bulkW += r.BulkWriteNsPerByte
+		byteW += r.ByteWriteNsPerByte
+		speedup += r.BulkIOSpeedup
+	}
+	n := float64(b.N)
+	b.ReportMetric(bulkR/n, "ns-per-byte-bulk-read")
+	b.ReportMetric(byteR/n, "ns-per-byte-bytewise-read")
+	b.ReportMetric(bulkW/n, "ns-per-byte-bulk-write")
+	b.ReportMetric(byteW/n, "ns-per-byte-bytewise-write")
+	b.ReportMetric(speedup/n, "bulk-io-speedup-x")
+}
+
 // --- §5.3: vulnerability monitoring (VSEF) and baseline overheads ---
 
 func vsefOverheadOnce(tb testing.TB) (vsefOverhead, taintOverhead float64) {
@@ -266,10 +354,10 @@ func vsefOverheadOnce(tb testing.TB) (vsefOverhead, taintOverhead float64) {
 		tb.Fatal(err)
 	}
 	for _, r := range rows {
-		switch {
-		case strings.HasPrefix(r.Mode, "sweeper + deployed VSEF"):
+		switch r.Key {
+		case "vsef":
 			vsefOverhead = r.Overhead
-		case strings.HasPrefix(r.Mode, "always-on taint"):
+		case "taint_baseline":
 			taintOverhead = r.Overhead
 		}
 	}

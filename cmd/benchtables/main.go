@@ -10,16 +10,100 @@
 //	benchtables -overhead       # monitoring overhead comparison
 //	benchtables -ablation       # ablation studies
 //	benchtables -paper -all     # larger, paper-scale workloads
+//	benchtables -json BENCH_4.json  # machine-readable perf trajectory point
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"sweeper/internal/experiments"
 )
+
+// benchJSON is the machine-readable benchmark record written by -json: one
+// flat metric map per run, committed as BENCH_<n>.json per PR (and archived
+// by CI) so the perf trajectory is recorded run-over-run.
+type benchJSON struct {
+	Schema      string             `json:"schema"`
+	GeneratedAt string             `json:"generated_at"`
+	PaperScale  bool               `json:"paper_scale"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// writeBenchJSON runs the quick perf suite — the hot-path micro-benchmarks,
+// the Figure 4 interval sweep, one full Squid defence and the Figure 5
+// recovery comparison — and writes the results as one flat JSON metric map.
+func writeBenchJSON(path string, sizes experiments.Sizes, paperScale bool) error {
+	metrics := make(map[string]float64)
+
+	micro, err := experiments.RunHotPathMicro()
+	if err != nil {
+		return err
+	}
+	metrics["snapshot_full_scan_ns"] = micro.FullSnapshotNs
+	metrics["snapshot_steady_ns"] = micro.SteadySnapshotNs
+	metrics["snapshot_steady_speedup_x"] = micro.SnapshotSpeedup
+	metrics["snapshot_mapped_pages"] = float64(micro.MappedPages)
+	metrics["snapshot_steady_dirty_pages"] = float64(micro.SteadyDirtyPages)
+	metrics["bulk_read_ns_per_byte"] = micro.BulkReadNsPerByte
+	metrics["bytewise_read_ns_per_byte"] = micro.ByteReadNsPerByte
+	metrics["bulk_write_ns_per_byte"] = micro.BulkWriteNsPerByte
+	metrics["bytewise_write_ns_per_byte"] = micro.ByteWriteNsPerByte
+	metrics["bulk_io_speedup_x"] = micro.BulkIOSpeedup
+
+	for _, app := range []string{"apache1", "apache2", "cvs", "squid"} {
+		points, err := experiments.Figure4ForApp(app, []uint64{20, 100, 200}, sizes.Figure4Requests)
+		if err != nil {
+			return err
+		}
+		for _, pt := range points {
+			metrics[fmt.Sprintf("figure4_%s_overhead_pct_%dms", app, pt.IntervalMs)] = pt.Overhead * 100
+		}
+	}
+
+	run, err := experiments.RunDefense("squid", 8, 8, nil)
+	if err != nil {
+		return err
+	}
+	metrics["squid_time_to_first_vsef_ms"] = float64(run.Report.TimeToFirstVSEF.Nanoseconds()) / 1e6
+	metrics["squid_time_to_final_antibody_ms"] = float64(run.Report.TimeToFinalAntibody.Nanoseconds()) / 1e6
+	metrics["squid_total_analysis_ms"] = float64(run.Report.TotalAnalysisTime.Nanoseconds()) / 1e6
+	metrics["squid_recovery_ms"] = float64(run.Report.RecoveryTime.Nanoseconds()) / 1e6
+
+	res5, err := experiments.Figure5(sizes.Figure5Requests, sizes.Figure5AttackAt, sizes.Figure5BucketMs)
+	if err != nil {
+		return err
+	}
+	metrics["figure5_recovery_gap_virtual_ms"] = float64(res5.RecoveryGapMs)
+	metrics["figure5_restart_gap_virtual_ms"] = float64(res5.RestartGapMs)
+
+	rows, err := experiments.MonitoringOverhead(sizes.OverheadRequests)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r.Key == "" {
+			return fmt.Errorf("monitoring overhead row %q has no machine-readable key", r.Mode)
+		}
+		metrics["monitoring_overhead_pct_"+r.Key] = r.Overhead * 100
+	}
+
+	out := benchJSON{
+		Schema:      "sweeper-bench/1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		PaperScale:  paperScale,
+		Metrics:     metrics,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,6 +114,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "ablation studies")
 		all      = flag.Bool("all", false, "regenerate everything")
 		paper    = flag.Bool("paper", false, "use paper-scale workload sizes (slower)")
+		jsonPath = flag.String("json", "", "run the quick perf suite and write machine-readable results (BENCH_<n>.json) to this file")
 	)
 	flag.Parse()
 
@@ -37,7 +122,16 @@ func main() {
 	if *paper {
 		sizes = experiments.PaperSizes()
 	}
-	if !*all && *table == 0 && *figure == 0 && !*overhead && !*ablation {
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, sizes, *paper); err != nil {
+			log.Fatalf("benchtables: -json: %v", err)
+		}
+		fmt.Printf("benchtables: wrote %s\n", *jsonPath)
+		if !*all && *table == 0 && *figure == 0 && !*overhead && !*ablation {
+			return
+		}
+	}
+	if !*all && *table == 0 && *figure == 0 && !*overhead && !*ablation && *jsonPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -245,6 +245,15 @@ func main() {
 		totals.AntibodiesRejected, totals.FilteredInputs)
 	fmt.Printf("shared store: %d antibodies\n", fleet.Store().Len())
 	for _, g := range fleet.Guests() {
+		ck := g.Sweeper().Checkpoints()
+		captured, mapped := ck.PageStats()
+		if ck.Taken() == 0 {
+			continue
+		}
+		fmt.Printf("%-12s checkpoints: %d taken, %d dirty pages captured (full scans would have walked %d)\n",
+			g.Name(), ck.Taken(), captured, mapped)
+	}
+	for _, g := range fleet.Guests() {
 		s := g.Sweeper()
 		lats := s.AnalyzerLatencies()
 		if len(lats) == 0 {
@@ -255,7 +264,8 @@ func main() {
 		for _, l := range lats {
 			fmt.Printf(" %s mean=%v max=%v (%d runs)", l.Name, l.Mean().Round(10_000), l.Max.Round(10_000), l.Runs)
 		}
-		fmt.Printf("; sandboxes built=%d pooled=%d\n", created, reused)
+		fmt.Printf("; sandboxes built=%d pooled=%d; deferred backlog=%d dropped=%d\n",
+			created, reused, s.DeferredBacklog(), s.DeferredDropped())
 	}
 	if federated {
 		fs := fedRec.Snapshot()

@@ -77,10 +77,13 @@ type Sandbox struct {
 	// Proc is the replay clone. Analyzers attach tools to Proc.Machine and
 	// may restrict the replayed requests via Proc.DropRequests.
 	Proc *proc.Process
-	// Budget bounds the replay, in instructions.
+	// Budget bounds the replay, in instructions. The pipeline sets it from
+	// the analyzer's registry budget when one was registered, falling back to
+	// the instance-wide replay budget.
 	Budget uint64
 
-	release func()
+	exhausted bool
+	release   func()
 }
 
 // NewSandbox wraps a replay clone. release, if non-nil, is invoked exactly
@@ -93,7 +96,18 @@ func NewSandbox(p *proc.Process, budget uint64, release func()) *Sandbox {
 func (sb *Sandbox) Machine() *vm.Machine { return sb.Proc.Machine }
 
 // Run replays the sandboxed execution until it stops or exhausts the budget.
-func (sb *Sandbox) Run() *vm.StopInfo { return sb.Proc.Run(sb.Budget) }
+func (sb *Sandbox) Run() *vm.StopInfo {
+	stop := sb.Proc.Run(sb.Budget)
+	if stop.Reason == vm.StopInstrBudget {
+		sb.exhausted = true
+	}
+	return stop
+}
+
+// Exhausted reports whether any replay on this sandbox ran out of its
+// instruction budget. The pipeline surfaces it through AttackReport.ErrorFor
+// so a starved analyzer is distinguishable from one that found nothing.
+func (sb *Sandbox) Exhausted() bool { return sb.exhausted }
 
 // Release returns the sandbox to its owner (e.g. a clone pool). It is
 // idempotent; the sandbox must not be used afterwards.
@@ -208,21 +222,29 @@ func (c *Context) FindingOf(analyzer string) Finding {
 }
 
 // Registry maps analyzer names to Analyzer implementations, in registration
-// order. It is safe for concurrent use.
+// order, each with an optional per-analyzer replay budget. It is safe for
+// concurrent use.
 type Registry struct {
-	mu    sync.Mutex
-	order []string
-	byN   map[string]Analyzer
+	mu      sync.Mutex
+	order   []string
+	byN     map[string]Analyzer
+	budgets map[string]uint64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byN: make(map[string]Analyzer)}
+	return &Registry{byN: make(map[string]Analyzer), budgets: make(map[string]uint64)}
 }
 
-// Register adds an analyzer under its own name. Registering a duplicate or
-// empty name is an error.
-func (r *Registry) Register(a Analyzer) error {
+// Register adds an analyzer under its own name with no budget override.
+// Registering a duplicate or empty name is an error.
+func (r *Registry) Register(a Analyzer) error { return r.RegisterBudgeted(a, 0) }
+
+// RegisterBudgeted adds an analyzer with its own replay budget (in
+// instructions), overriding the instance-wide replay budget for this analyzer
+// only: an expensive custom analyzer gets a hard cap instead of starving the
+// fast tier. A budget of 0 means "inherit the instance-wide budget".
+func (r *Registry) RegisterBudgeted(a Analyzer, budget uint64) error {
 	name := a.Name()
 	if name == "" {
 		return fmt.Errorf("analysis: analyzer with empty name")
@@ -234,7 +256,34 @@ func (r *Registry) Register(a Analyzer) error {
 	}
 	r.byN[name] = a
 	r.order = append(r.order, name)
+	if budget > 0 {
+		r.budgets[name] = budget
+	}
 	return nil
+}
+
+// SetBudget installs (or, with 0, removes) the named analyzer's replay-budget
+// override after registration.
+func (r *Registry) SetBudget(name string, budget uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byN[name]; !ok {
+		return fmt.Errorf("analysis: analyzer %q is not registered", name)
+	}
+	if budget == 0 {
+		delete(r.budgets, name)
+	} else {
+		r.budgets[name] = budget
+	}
+	return nil
+}
+
+// Budget returns the named analyzer's replay-budget override, or 0 when the
+// analyzer inherits the instance-wide budget.
+func (r *Registry) Budget(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.budgets[name]
 }
 
 // Get returns the named analyzer.

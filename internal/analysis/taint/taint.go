@@ -45,6 +45,44 @@ type regTaint struct {
 	label   Label
 }
 
+// taintPage is the page-granular shadow of guest memory taint: a presence
+// bitmap plus per-byte labels in lazily-allocated 64-byte lines (each bitmap
+// word covers exactly one line). Replacing the former per-byte map keeps
+// input labeling (an 8 KiB recv taints thousands of bytes at once) to one
+// map lookup per page instead of one map insert per byte, while a sparsely
+// tainted page costs one line (1 KiB of labels), not a full page's worth.
+type taintPage struct {
+	set   [vm.PageSize / 64]uint64
+	lines [vm.PageSize / 64]*[64]Label
+	n     int // set bits, so empty pages can be dropped
+}
+
+func (tp *taintPage) get(off uint32) (Label, bool) {
+	if tp.set[off/64]&(1<<(off%64)) == 0 {
+		return Label{}, false
+	}
+	return tp.lines[off/64][off%64], true
+}
+
+func (tp *taintPage) put(off uint32, lbl Label) {
+	li := off / 64
+	if tp.lines[li] == nil {
+		tp.lines[li] = new([64]Label)
+	}
+	if tp.set[li]&(1<<(off%64)) == 0 {
+		tp.set[li] |= 1 << (off % 64)
+		tp.n++
+	}
+	tp.lines[li][off%64] = lbl
+}
+
+func (tp *taintPage) clear(off uint32) {
+	if tp.set[off/64]&(1<<(off%64)) != 0 {
+		tp.set[off/64] &^= 1 << (off % 64)
+		tp.n--
+	}
+}
+
 // Tracker is the taint-analysis tool. Attach it with vm.Machine.AttachTool
 // before replaying from a checkpoint. A Tracker can also be restricted to a
 // fixed set of instructions, which is how taint-based VSEFs are applied with
@@ -53,8 +91,9 @@ type Tracker struct {
 	name        string
 	stopOnFirst bool
 
-	mem  map[uint32]Label
-	regs [vm.NumRegs]regTaint
+	mem     map[uint32]*taintPage // page number -> shadow page
+	tainted int                   // total tainted bytes across all pages
+	regs    [vm.NumRegs]regTaint
 
 	// restrict, when non-nil, limits propagation and sink checks to the
 	// listed static instructions (taint VSEF mode).
@@ -69,7 +108,7 @@ func New(stopOnFirst bool) *Tracker {
 	return &Tracker{
 		name:        "analysis.taint",
 		stopOnFirst: stopOnFirst,
-		mem:         make(map[uint32]Label),
+		mem:         make(map[uint32]*taintPage),
 		propagators: make(map[int]bool),
 	}
 }
@@ -124,7 +163,7 @@ func (t *Tracker) Propagators() []int {
 }
 
 // TaintedBytes returns how many guest memory bytes are currently tainted.
-func (t *Tracker) TaintedBytes() int { return len(t.mem) }
+func (t *Tracker) TaintedBytes() int { return t.tainted }
 
 // ResetShadow drops all shadow taint (memory labels and register taint)
 // while keeping recorded findings and propagators. The instrumented process
@@ -132,7 +171,8 @@ func (t *Tracker) TaintedBytes() int { return len(t.mem) }
 // was tainted by an execution that no longer exists, and replayed requests
 // re-introduce their taint through OnInput.
 func (t *Tracker) ResetShadow() {
-	t.mem = make(map[uint32]Label)
+	t.mem = make(map[uint32]*taintPage)
+	t.tainted = 0
 	t.regs = [vm.NumRegs]regTaint{}
 }
 
@@ -157,10 +197,24 @@ func (t *Tracker) record(m *vm.Machine, f Finding) {
 // --- taint sources ---
 
 // OnInput implements vm.InputHook: bytes copied from a request are tainted
-// with their request ID and payload offset.
+// with their request ID and payload offset. Labeling walks whole page runs —
+// one shadow-page lookup per page — mirroring the bulk recv copy that
+// delivered the bytes.
 func (t *Tracker) OnInput(m *vm.Machine, addr uint32, data []byte, requestID int) {
-	for i := range data {
-		t.mem[addr+uint32(i)] = Label{RequestID: requestID, Offset: i}
+	for i := 0; i < len(data); {
+		tp := t.shadowPage(addr >> vm.PageShift)
+		off := addr & (vm.PageSize - 1)
+		run := int(vm.PageSize - off)
+		if rem := len(data) - i; run > rem {
+			run = rem
+		}
+		before := tp.n
+		for j := 0; j < run; j++ {
+			tp.put(off+uint32(j), Label{RequestID: requestID, Offset: i + j})
+		}
+		t.tainted += tp.n - before
+		i += run
+		addr += uint32(run)
 	}
 }
 
@@ -353,10 +407,23 @@ func (t *Tracker) copyRegTaint(idx int, dst, src vm.Reg) {
 	}
 }
 
+// shadowPage returns (creating if needed) the shadow page for page number pn.
+func (t *Tracker) shadowPage(pn uint32) *taintPage {
+	tp := t.mem[pn]
+	if tp == nil {
+		tp = &taintPage{}
+		t.mem[pn] = tp
+	}
+	return tp
+}
+
 func (t *Tracker) memTaint(addr uint32, size int) (Label, bool) {
 	for i := 0; i < size; i++ {
-		if lbl, ok := t.mem[addr+uint32(i)]; ok {
-			return lbl, true
+		a := addr + uint32(i)
+		if tp := t.mem[a>>vm.PageShift]; tp != nil {
+			if lbl, ok := tp.get(a & (vm.PageSize - 1)); ok {
+				return lbl, true
+			}
 		}
 	}
 	return Label{}, false
@@ -364,12 +431,26 @@ func (t *Tracker) memTaint(addr uint32, size int) (Label, bool) {
 
 func (t *Tracker) taintMem(addr uint32, size int, lbl Label) {
 	for i := 0; i < size; i++ {
-		t.mem[addr+uint32(i)] = lbl
+		a := addr + uint32(i)
+		tp := t.shadowPage(a >> vm.PageShift)
+		before := tp.n
+		tp.put(a&(vm.PageSize-1), lbl)
+		t.tainted += tp.n - before
 	}
 }
 
 func (t *Tracker) clearMem(addr uint32, size int) {
 	for i := 0; i < size; i++ {
-		delete(t.mem, addr+uint32(i))
+		a := addr + uint32(i)
+		tp := t.mem[a>>vm.PageShift]
+		if tp == nil {
+			continue
+		}
+		before := tp.n
+		tp.clear(a & (vm.PageSize - 1))
+		t.tainted += tp.n - before
+		if tp.n == 0 {
+			delete(t.mem, a>>vm.PageShift)
+		}
 	}
 }

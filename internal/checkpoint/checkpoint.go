@@ -30,6 +30,12 @@ type Manager struct {
 	seq    int
 	lastMs uint64
 	taken  int
+	// pagesCaptured sums the dirty pages each checkpoint captured;
+	// pagesMapped sums the pages mapped at each checkpoint. Their ratio is
+	// the win of incremental (O(dirty)) over full-scan (O(mapped))
+	// checkpointing across the run.
+	pagesCaptured int
+	pagesMapped   int
 }
 
 // NewManager returns a manager with the given policy; zero fields fall back
@@ -54,6 +60,13 @@ func (m *Manager) Count() int { return len(m.snaps) }
 // Taken returns the total number of checkpoints taken since creation.
 func (m *Manager) Taken() int { return m.taken }
 
+// PageStats returns the cumulative page counts across every checkpoint
+// taken: captured is the dirty pages actually snapshotted, mapped is what a
+// full-scan snapshot would have walked instead.
+func (m *Manager) PageStats() (captured, mapped int) {
+	return m.pagesCaptured, m.pagesMapped
+}
+
 // Checkpoint unconditionally takes a snapshot of p and adds it to the ring,
 // evicting the oldest if the ring is full.
 func (m *Manager) Checkpoint(p *proc.Process) *proc.Snapshot {
@@ -65,6 +78,8 @@ func (m *Manager) Checkpoint(p *proc.Process) *proc.Snapshot {
 	}
 	m.lastMs = s.TakenAtMs
 	m.taken++
+	m.pagesCaptured += s.DirtyPages
+	m.pagesMapped += s.Mem.Pages()
 	return s
 }
 

@@ -141,3 +141,40 @@ func TestSnapshotIsUsableForRollback(t *testing.T) {
 		t.Errorf("replay served %d, want %d", p.ServedRequests(), served)
 	}
 }
+
+// TestIncrementalCheckpointPageStats checks that steady-state checkpoints
+// capture only dirty pages: after the first (full) checkpoint, each serving
+// interval dirties a handful of pages, so the cumulative captured count must
+// stay far below what full scans would have walked.
+func TestIncrementalCheckpointPageStats(t *testing.T) {
+	p := newCVSProcess(t, 12)
+	m := checkpoint.NewManager(checkpoint.Policy{IntervalMs: 1, MaxKept: 50})
+
+	first := m.Checkpoint(p)
+	if first.DirtyPages != first.Mem.Pages() {
+		t.Errorf("first checkpoint captured %d pages, want all %d", first.DirtyPages, first.Mem.Pages())
+	}
+	for i := 0; i < 6; i++ {
+		if stop := p.Run(20_000); stop.Reason != vm.StopWaitInput && stop.Reason != vm.StopInstrBudget {
+			t.Fatalf("run stopped: %v", stop.Reason)
+		}
+		s := m.Checkpoint(p)
+		if s.DirtyPages >= s.Mem.Pages() && s.DirtyPages > 0 && i > 0 {
+			t.Errorf("steady checkpoint %d captured %d of %d pages; expected an incremental delta", i, s.DirtyPages, s.Mem.Pages())
+		}
+	}
+	captured, mapped := m.PageStats()
+	if captured >= mapped {
+		t.Errorf("cumulative captured pages %d not below full-scan page walks %d", captured, mapped)
+	}
+	if m.Taken() != 7 {
+		t.Errorf("Taken = %d, want 7", m.Taken())
+	}
+	// Every retained checkpoint must still be fully restorable.
+	snaps := m.Snapshots()
+	last := snaps[len(snaps)-1]
+	p.Rollback(last, proc.ModeReplay, false)
+	if p.Machine.Mem.MappedPages() != last.Mem.Pages() {
+		t.Errorf("rollback mapped %d pages, snapshot had %d", p.Machine.Mem.MappedPages(), last.Mem.Pages())
+	}
+}

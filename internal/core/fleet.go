@@ -421,6 +421,8 @@ func (g *Guest) updateMetrics() {
 		st.AttacksHandled = len(g.s.Attacks())
 		st.Recovered = recovered
 		st.FilteredInputs = g.s.Proxy().Stats().Filtered
+		st.DeferredBacklog = g.s.DeferredBacklog()
+		st.DeferredDropped = g.s.DeferredDropped()
 		st.Halted = g.s.Halted()
 	})
 }

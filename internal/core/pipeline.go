@@ -42,10 +42,12 @@ func stepNameFor(analyzer string) string {
 }
 
 // buildAnalyzers resolves the configuration into the analyzer set this
-// Sweeper runs per attack. With cfg.Analyses set the listed names are
+// Sweeper runs per attack, plus the registry they came from (so per-analyzer
+// replay budgets are read live — a SetBudget after construction takes effect
+// on the next attack). With cfg.Analyses set the listed names are
 // authoritative; otherwise every registered analyzer runs, with the builtin
 // three individually gated by the Enable* switches.
-func buildAnalyzers(cfg Config) ([]analysis.Analyzer, error) {
+func buildAnalyzers(cfg Config) ([]analysis.Analyzer, *analysis.Registry, error) {
 	reg := cfg.Registry
 	if reg == nil {
 		reg = DefaultRegistry()
@@ -76,16 +78,16 @@ func buildAnalyzers(cfg Config) ([]analysis.Analyzer, error) {
 	seen := make(map[string]bool, len(names))
 	for _, n := range names {
 		if seen[n] {
-			return nil, fmt.Errorf("core: analysis %q listed twice in Config.Analyses", n)
+			return nil, nil, fmt.Errorf("core: analysis %q listed twice in Config.Analyses", n)
 		}
 		seen[n] = true
 		a, ok := reg.Get(n)
 		if !ok {
-			return nil, fmt.Errorf("core: analysis %q is not registered (registered: %v)", n, reg.Names())
+			return nil, nil, fmt.Errorf("core: analysis %q is not registered (registered: %v)", n, reg.Names())
 		}
 		out = append(out, a)
 	}
-	return out, nil
+	return out, reg, nil
 }
 
 // analyzerRun is one analyzer's execution within a pipeline run. exec runs at
@@ -112,6 +114,12 @@ func (ar *analyzerRun) exec(ctx *analysis.Context, s *Sweeper) {
 			ar.err = ar.sbErr
 		} else {
 			ar.finding, ar.err = ar.a.Run(ctx, ar.sb)
+			if ar.err == nil && ar.finding == nil && ar.sb.Exhausted() {
+				// A starved analyzer must be distinguishable from one that
+				// ran its window and found nothing; one that found something
+				// before running out keeps its finding as the outcome.
+				ar.err = fmt.Errorf("replay budget (%d instructions) exhausted", ar.sb.Budget)
+			}
 			ar.sb.Release()
 		}
 		ar.dur = time.Since(start)
@@ -156,7 +164,7 @@ func (s *Sweeper) startAnalyses(snap *proc.Snapshot) *pipelineRun {
 			stepName: stepNameFor(a.Name()),
 			done:     make(chan struct{}),
 		}
-		ar.sb, ar.sbErr = s.sandbox(snap)
+		ar.sb, ar.sbErr = s.sandbox(snap, s.budgetFor(a.Name()))
 		run.byName[a.Name()] = ar
 		if a.Cost() == analysis.TierDeferred {
 			run.deferred = append(run.deferred, ar)
@@ -198,28 +206,49 @@ func (r *pipelineRun) waitFast() {
 	}
 }
 
-// finishDeferredAsync completes the deferred tier on its own goroutine,
-// retiring its report part when every deferred analyzer — and its report
-// fields — is in place (the report seals once the attack-handling goroutine
-// has also finished recovery). It is called before recovery begins, so the
-// deferred replays overlap rollback, re-execution and resumed service;
-// nothing on the client-visible path waits for them.
+// finishDeferredAsync completes the deferred tier off the client-visible
+// path, retiring its report part when every deferred analyzer — and its
+// report fields — is in place (the report seals once the attack-handling
+// goroutine has also finished recovery). It is called before recovery
+// begins, so the deferred replays overlap rollback, re-execution and resumed
+// service; nothing on the client-visible path waits for them.
+//
+// The work runs on the Sweeper's single deferred worker, fed by a bounded
+// queue: under an attack storm the deferred runs of distinct attacks queue
+// up to cfg.DeferredQueueDepth instead of spawning a goroutine each, and
+// once the queue is full the newest attack's deferred analyses are dropped —
+// surfaced per analyzer via AttackReport.ErrorFor — rather than piling up
+// unbounded work behind the recovered service.
 func (r *pipelineRun) finishDeferredAsync(report *AttackReport, t0 time.Time) {
-	if len(r.deferred) == 0 {
+	seal := func() {
 		report.mu.Lock()
 		report.TotalAnalysisTime = time.Since(t0)
 		report.mu.Unlock()
+	}
+	if len(r.deferred) == 0 {
+		seal()
 		return
 	}
 	report.addPart()
-	go func() {
+	enqueued := r.s.enqueueDeferred(func() {
 		for _, ar := range r.deferred {
 			ar.exec(r.ctx, r.s)
 			report.recordAnalyzer(ar)
 		}
-		report.mu.Lock()
-		report.TotalAnalysisTime = time.Since(t0)
-		report.mu.Unlock()
+		seal()
 		report.finishPart()
-	}()
+	})
+	if !enqueued {
+		for _, ar := range r.deferred {
+			if ar.sb != nil {
+				ar.sb.Release()
+			}
+			report.mu.Lock()
+			report.errs[ar.a.Name()] = fmt.Sprintf(
+				"deferred analysis dropped: queue full (%d attacks backlogged)", r.s.cfg.DeferredQueueDepth)
+			report.mu.Unlock()
+		}
+		seal()
+		report.finishPart()
+	}
 }

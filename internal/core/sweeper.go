@@ -97,10 +97,21 @@ type Config struct {
 	// inside one daemon share a trust domain.
 	VerifyAdoption bool
 
-	// ReplayBudget bounds each analysis replay, in instructions.
+	// ReplayBudget bounds each analysis replay, in instructions. A registry
+	// entry registered with its own budget (analysis.Registry.
+	// RegisterBudgeted) overrides it for that analyzer only.
 	ReplayBudget uint64
 	// ServeBudget bounds each slice of normal execution, in instructions.
 	ServeBudget uint64
+
+	// DeferredQueueDepth bounds the per-Sweeper queue of deferred-tier
+	// pipeline runs. Deferred analyses of distinct attacks complete on one
+	// worker goroutine drawing from this queue, so an attack storm cannot
+	// pile up unbounded deferred work; when the queue is full the deferred
+	// analyses of the newest attack are dropped (surfaced per analyzer via
+	// AttackReport.ErrorFor, counted in Sweeper.DeferredDropped) and the
+	// report seals without them. Zero means the default of 16.
+	DeferredQueueDepth int
 
 	// RandSeed seeds the guest-visible RNG.
 	RandSeed uint32
@@ -129,6 +140,7 @@ func DefaultConfig() Config {
 		RegenerateOnVerify:   true,
 		ReplayBudget:         200_000_000,
 		ServeBudget:          0,
+		DeferredQueueDepth:   16,
 	}
 }
 
@@ -145,8 +157,22 @@ type Sweeper struct {
 	ckpt   *checkpoint.Manager
 
 	analyzers []analysis.Analyzer
-	pool      *proc.ClonePool
-	latency   *metrics.AnalysisRecorder
+	// registry is where the analyzers were resolved from; per-analyzer
+	// replay budgets are read from it live, so a SetBudget call after
+	// construction applies to the next attack.
+	registry *analysis.Registry
+	pool     *proc.ClonePool
+	latency  *metrics.AnalysisRecorder
+
+	// The deferred analysis tier of every attack runs on one worker
+	// goroutine fed by a bounded queue (cfg.DeferredQueueDepth). The worker
+	// is started on demand and exits once the queue drains, so an idle
+	// Sweeper holds no goroutine.
+	deferredMu      sync.Mutex
+	deferredCh      chan func()
+	deferredWorking bool
+	deferredDepth   atomic.Int32
+	deferredDropped atomic.Int64
 	// unpooledSandboxes counts sandboxes built with PoolClones off, so
 	// ClonePoolStats stays truthful in pooled-vs-fresh comparisons. Atomic:
 	// isolation workers build sandboxes concurrently.
@@ -183,7 +209,10 @@ func New(name string, prog *vm.Program, procOpts proc.Options, cfg Config) (*Swe
 	if cfg.ReplayBudget == 0 {
 		cfg.ReplayBudget = 200_000_000
 	}
-	analyzers, err := buildAnalyzers(cfg)
+	if cfg.DeferredQueueDepth <= 0 {
+		cfg.DeferredQueueDepth = 16
+	}
+	analyzers, registry, err := buildAnalyzers(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -209,6 +238,7 @@ func New(name string, prog *vm.Program, procOpts proc.Options, cfg Config) (*Swe
 		proc:        p,
 		ckpt:        checkpoint.NewManager(checkpoint.Policy{IntervalMs: cfg.CheckpointIntervalMs, MaxKept: cfg.MaxCheckpoints}),
 		analyzers:   analyzers,
+		registry:    registry,
 		pool:        proc.NewClonePool(p),
 		latency:     metrics.NewAnalysisRecorder(),
 		completions: metrics.NewCompletionRecorder(),
@@ -286,24 +316,98 @@ func (s *Sweeper) Completions() *metrics.CompletionRecorder { return s.completio
 // hijack called exit, or the guest program terminated).
 func (s *Sweeper) Halted() bool { return s.halted }
 
+// budgetFor resolves the replay budget for the named analyzer: its current
+// registry override when one is set, the instance-wide budget otherwise.
+func (s *Sweeper) budgetFor(analyzer string) uint64 {
+	if b := s.registry.Budget(analyzer); b > 0 {
+		return b
+	}
+	return s.cfg.ReplayBudget
+}
+
 // sandbox builds a replay sandbox positioned at the given snapshot — from
 // the clone pool when cfg.PoolClones is set, as a fresh Process.Clone
-// otherwise. Releasing the sandbox returns pooled shells for reuse.
-func (s *Sweeper) sandbox(snap *proc.Snapshot) (*analysis.Sandbox, error) {
+// otherwise — bounded by the given replay budget (0 means the instance-wide
+// budget). Releasing the sandbox returns pooled shells for reuse.
+func (s *Sweeper) sandbox(snap *proc.Snapshot, budget uint64) (*analysis.Sandbox, error) {
+	if budget == 0 {
+		budget = s.cfg.ReplayBudget
+	}
 	if s.cfg.PoolClones {
 		clone, err := s.pool.Get(snap)
 		if err != nil {
 			return nil, err
 		}
-		return analysis.NewSandbox(clone, s.cfg.ReplayBudget, func() { s.pool.Put(clone) }), nil
+		return analysis.NewSandbox(clone, budget, func() { s.pool.Put(clone) }), nil
 	}
 	clone, err := s.proc.Clone(snap)
 	if err != nil {
 		return nil, err
 	}
 	s.unpooledSandboxes.Add(1)
-	return analysis.NewSandbox(clone, s.cfg.ReplayBudget, nil), nil
+	return analysis.NewSandbox(clone, budget, nil), nil
 }
+
+// enqueueDeferred hands one attack's deferred-tier work to the per-Sweeper
+// deferred worker, starting one if none is running. It reports false —
+// without running the job — when the bounded queue is full (the attack-storm
+// backpressure case).
+func (s *Sweeper) enqueueDeferred(job func()) bool {
+	s.deferredMu.Lock()
+	if s.deferredCh == nil {
+		s.deferredCh = make(chan func(), s.cfg.DeferredQueueDepth)
+	}
+	// Raise the gauge before the job becomes visible so a worker finishing
+	// it can never drive the backlog reading negative.
+	s.deferredDepth.Add(1)
+	select {
+	case s.deferredCh <- job:
+		if !s.deferredWorking {
+			s.deferredWorking = true
+			go s.deferredWorker()
+		}
+		s.deferredMu.Unlock()
+		return true
+	default:
+		s.deferredDepth.Add(-1)
+		s.deferredMu.Unlock()
+		s.deferredDropped.Add(1)
+		return false
+	}
+}
+
+// deferredWorker drains the deferred queue and exits when it is empty; the
+// exit decision is re-checked under deferredMu so a racing enqueue either
+// sees a working worker or finds the queue already drained.
+func (s *Sweeper) deferredWorker() {
+	for {
+		select {
+		case j := <-s.deferredCh:
+			j()
+			s.deferredDepth.Add(-1)
+		default:
+			s.deferredMu.Lock()
+			select {
+			case j := <-s.deferredCh:
+				s.deferredMu.Unlock()
+				j()
+				s.deferredDepth.Add(-1)
+			default:
+				s.deferredWorking = false
+				s.deferredMu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// DeferredBacklog returns how many attacks' deferred analysis runs are
+// queued or in flight on the deferred worker.
+func (s *Sweeper) DeferredBacklog() int { return int(s.deferredDepth.Load()) }
+
+// DeferredDropped returns how many attacks had their deferred analyses
+// dropped because the bounded deferred queue was full.
+func (s *Sweeper) DeferredDropped() int { return int(s.deferredDropped.Load()) }
 
 // Submit offers a request payload to the protected server through the proxy.
 // It reports whether the request was accepted (false when an input-signature

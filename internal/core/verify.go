@@ -122,7 +122,7 @@ func (s *Sweeper) ReplayExploit(payload []byte, installed []*antibody.Antibody) 
 	if snap == nil {
 		return ExploitReplay{Transient: true, Reason: "no checkpoint to build a verification sandbox from"}
 	}
-	sb, err := s.sandbox(snap)
+	sb, err := s.sandbox(snap, 0)
 	if err != nil {
 		return ExploitReplay{Transient: true, Reason: fmt.Sprintf("verification sandbox: %v", err)}
 	}

@@ -318,10 +318,18 @@ func benignThroughput(appName string, requests int, mutate func(*core.Config), p
 // relative to running with checkpointing disabled, for the Squid benign
 // workload (the paper's Figure 4).
 func Figure4(intervals []uint64, requests int) ([]Figure4Point, error) {
+	return Figure4ForApp("squid", intervals, requests)
+}
+
+// Figure4ForApp runs the Figure 4 checkpoint-interval sweep for any of the
+// four evaluation applications: benign throughput at each interval against
+// the checkpointing-disabled baseline. Overheads are virtual-clock
+// quantities, so the sweep is deterministic per app and configuration.
+func Figure4ForApp(app string, intervals []uint64, requests int) ([]Figure4Point, error) {
 	if len(intervals) == 0 {
 		intervals = []uint64{20, 40, 60, 80, 100, 120, 140, 160, 180, 200}
 	}
-	baseline, err := benignThroughput("squid", requests, func(c *core.Config) {
+	baseline, err := benignThroughput(app, requests, func(c *core.Config) {
 		c.CheckpointIntervalMs = 1 << 40 // effectively never
 	}, nil)
 	if err != nil {
@@ -330,7 +338,7 @@ func Figure4(intervals []uint64, requests int) ([]Figure4Point, error) {
 	var out []Figure4Point
 	for _, interval := range intervals {
 		iv := interval
-		tp, err := benignThroughput("squid", requests, func(c *core.Config) {
+		tp, err := benignThroughput(app, requests, func(c *core.Config) {
 			c.CheckpointIntervalMs = iv
 		}, nil)
 		if err != nil {
@@ -348,8 +356,11 @@ func Figure4(intervals []uint64, requests int) ([]Figure4Point, error) {
 // --- §5.3: VSEF overhead ---
 
 // OverheadRow compares the throughput of one monitoring configuration against
-// the unprotected baseline.
+// the unprotected baseline. Key is the stable machine-readable identifier of
+// the configuration (used for BENCH_<n>.json metric names); Mode is display
+// text and may be reworded freely.
 type OverheadRow struct {
+	Key        string
 	Mode       string
 	Throughput float64
 	Overhead   float64
@@ -381,13 +392,13 @@ func MonitoringOverhead(requests int) ([]OverheadRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := []OverheadRow{{Mode: "unprotected", Throughput: baseline, Overhead: 0}}
+	rows := []OverheadRow{{Key: "unprotected", Mode: "unprotected", Throughput: baseline, Overhead: 0}}
 
 	sweeperTp, err := benignThroughput("squid", requests, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, OverheadRow{Mode: "sweeper (ASLR + 200ms checkpoints)", Throughput: sweeperTp, Overhead: metrics.Overhead(baseline, sweeperTp)})
+	rows = append(rows, OverheadRow{Key: "sweeper", Mode: "sweeper (ASLR + 200ms checkpoints)", Throughput: sweeperTp, Overhead: metrics.Overhead(baseline, sweeperTp)})
 
 	vsefTp, err := benignThroughput("squid", requests, nil, func(s *core.Sweeper) error {
 		_, err := ab.Apply(s.Process(), s.Proxy())
@@ -396,7 +407,7 @@ func MonitoringOverhead(requests int) ([]OverheadRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, OverheadRow{Mode: fmt.Sprintf("sweeper + deployed VSEF (%d probes)", vsefProbeCount(ab)), Throughput: vsefTp, Overhead: metrics.Overhead(baseline, vsefTp)})
+	rows = append(rows, OverheadRow{Key: "vsef", Mode: fmt.Sprintf("sweeper + deployed VSEF (%d probes)", vsefProbeCount(ab)), Throughput: vsefTp, Overhead: metrics.Overhead(baseline, vsefTp)})
 
 	taintTp, err := benignThroughput("squid", requests, func(c *core.Config) {
 		c.AlwaysOnTaint = true
@@ -404,7 +415,7 @@ func MonitoringOverhead(requests int) ([]OverheadRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, OverheadRow{Mode: "always-on taint analysis (TaintCheck baseline)", Throughput: taintTp, Overhead: metrics.Overhead(baseline, taintTp)})
+	rows = append(rows, OverheadRow{Key: "taint_baseline", Mode: "always-on taint analysis (TaintCheck baseline)", Throughput: taintTp, Overhead: metrics.Overhead(baseline, taintTp)})
 	return rows, nil
 }
 

@@ -405,21 +405,35 @@ func (p *Process) sysLog(m *vm.Machine) (vm.SyscallResult, *vm.Fault) {
 // allocator and RNG state, and the positions in the event log and output
 // stream at the time of the checkpoint.
 type Snapshot struct {
-	SeqNo        int
-	TakenAtMs    uint64
-	Mem          *vm.MemSnapshot
-	Regs         vm.RegSnapshot
-	Alloc        heap.State
-	Rng          uint32
+	SeqNo     int
+	TakenAtMs uint64
+	Mem       *vm.MemSnapshot
+	Regs      vm.RegSnapshot
+	Alloc     heap.State
+	Rng       uint32
+	// DirtyPages is how many pages this checkpoint actually captured — the
+	// pages written since the previous checkpoint. Steady-state checkpoints
+	// are O(DirtyPages), not O(Mem.Pages()).
+	DirtyPages   int
 	LogLen       int
 	OutputCount  int
 	ServedCount  int
 	CurrentReqID int
 }
 
+// checkpointBaseCycles is the fixed virtual cost of taking a checkpoint
+// (register copy, allocator and log bookkeeping), independent of how many
+// pages were dirtied.
+const checkpointBaseCycles = 64
+
 // Snapshot captures the current process state. It is cheap: memory pages are
-// shared copy-on-write with the live process.
+// shared copy-on-write with the live process, and the memory snapshot is
+// incremental — it captures only the pages written since the previous one.
 func (p *Process) Snapshot(seq int) *Snapshot {
+	// Read the dirty count before snapshotting: a no-op checkpoint (nothing
+	// written since the previous one) reuses the previous memory snapshot and
+	// must be charged as free, not as that snapshot's original delta.
+	dirty := p.Machine.Mem.DirtyPages()
 	s := &Snapshot{
 		SeqNo:        seq,
 		TakenAtMs:    p.Machine.NowMillis(),
@@ -427,15 +441,17 @@ func (p *Process) Snapshot(seq int) *Snapshot {
 		Regs:         p.Machine.SaveRegs(),
 		Alloc:        p.Alloc.Save(),
 		Rng:          p.rng,
+		DirtyPages:   dirty,
 		LogLen:       p.Log.Len(),
 		OutputCount:  len(p.outputs),
 		ServedCount:  p.servedCount,
 		CurrentReqID: p.currentReqID,
 	}
-	// Charge the cost of the checkpoint to the guest's virtual clock, in
-	// proportion to the number of mapped pages (page-table copy plus COW
-	// arming), so Figure 4 style interval sweeps show the real trade-off.
-	p.Machine.AddCycles(uint64(s.Mem.Pages()) * 40)
+	// Charge the cost of the checkpoint to the guest's virtual clock in
+	// proportion to the pages it captured (COW freezing plus delta-table
+	// construction) — O(dirty), not O(all mapped pages) — so Figure 4 style
+	// interval sweeps show the real trade-off of the incremental design.
+	p.Machine.AddCycles(uint64(s.DirtyPages)*40 + checkpointBaseCycles)
 	return s
 }
 

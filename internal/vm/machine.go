@@ -98,6 +98,14 @@ type Machine struct {
 	tools  toolSet
 	probes [][]Probe
 
+	// Cached dispatch flags, recomputed whenever tools or probes change, so
+	// an untooled live guest pays no hook iteration on the per-instruction
+	// and per-memory-access hot paths.
+	instrDispatch bool // an InstrHook is attached or any probe is registered
+	memDispatch   bool // a MemHook is attached
+	callDispatch  bool // a CallHook is attached
+	probeCount    int
+
 	sys SyscallHandler
 
 	cycles     uint64
@@ -227,15 +235,32 @@ func (m *Machine) NowMillis() uint64 { return m.cycles / (CyclesPerMicrosecond *
 // InstrCount returns the number of retired instructions.
 func (m *Machine) InstrCount() uint64 { return m.instrCount }
 
+// refreshDispatch recomputes the cached hot-path dispatch flags.
+func (m *Machine) refreshDispatch() {
+	m.instrDispatch = len(m.tools.instr) > 0 || m.probeCount > 0
+	m.memDispatch = len(m.tools.mem) > 0
+	m.callDispatch = len(m.tools.call) > 0
+}
+
 // AttachTool attaches an instrumentation tool; it takes effect from the next
 // executed instruction.
-func (m *Machine) AttachTool(t Tool) { m.tools.attach(t) }
+func (m *Machine) AttachTool(t Tool) {
+	m.tools.attach(t)
+	m.refreshDispatch()
+}
 
 // DetachTool removes the named tool. It reports whether the tool was attached.
-func (m *Machine) DetachTool(name string) bool { return m.tools.detach(name) }
+func (m *Machine) DetachTool(name string) bool {
+	ok := m.tools.detach(name)
+	m.refreshDispatch()
+	return ok
+}
 
 // DetachAllTools removes every attached tool.
-func (m *Machine) DetachAllTools() { m.tools.detachAll() }
+func (m *Machine) DetachAllTools() {
+	m.tools.detachAll()
+	m.refreshDispatch()
+}
 
 // FindTool returns the attached tool with the given name, or nil.
 func (m *Machine) FindTool(name string) Tool { return m.tools.find(name) }
@@ -255,6 +280,8 @@ func (m *Machine) AddProbe(idx int, p Probe) error {
 		return fmt.Errorf("vm: probe index %d out of range", idx)
 	}
 	m.probes[idx] = append(m.probes[idx], p)
+	m.probeCount++
+	m.refreshDispatch()
 	return nil
 }
 
@@ -276,6 +303,8 @@ func (m *Machine) RemoveProbes(name string) int {
 		}
 		m.probes[i] = kept
 	}
+	m.probeCount -= removed
+	m.refreshDispatch()
 	return removed
 }
 
@@ -285,16 +314,12 @@ func (m *Machine) ClearProbes() {
 	for i := range m.probes {
 		m.probes[i] = nil
 	}
+	m.probeCount = 0
+	m.refreshDispatch()
 }
 
 // ProbeCount returns the total number of registered probes.
-func (m *Machine) ProbeCount() int {
-	n := 0
-	for _, list := range m.probes {
-		n += len(list)
-	}
-	return n
-}
+func (m *Machine) ProbeCount() int { return m.probeCount }
 
 // NotifyRollback tells every attached tool and probe implementing
 // RollbackHook that the process has been rolled back to a checkpoint, so
@@ -429,20 +454,22 @@ func (m *Machine) Step() *StopInfo {
 	idx := m.PC
 	in := m.code[idx]
 
-	// Full instrumentation hooks.
-	for _, h := range m.tools.instr {
-		m.cycles += CyclesPerHook
-		h.BeforeInstr(m, idx, in)
-	}
-	// Targeted probes (VSEFs).
-	if probes := m.probes[idx]; len(probes) > 0 {
-		for _, p := range probes {
-			m.cycles += CyclesPerProbe
-			p.OnProbe(m, idx, in)
+	// Full instrumentation hooks and targeted probes (VSEFs). The cached
+	// instrDispatch flag keeps untooled execution off this path entirely.
+	if m.instrDispatch {
+		for _, h := range m.tools.instr {
+			m.cycles += CyclesPerHook
+			h.BeforeInstr(m, idx, in)
 		}
-	}
-	if m.pendingViolation != nil {
-		return m.violationStop()
+		if probes := m.probes[idx]; len(probes) > 0 {
+			for _, p := range probes {
+				m.cycles += CyclesPerProbe
+				p.OnProbe(m, idx, in)
+			}
+		}
+		if m.pendingViolation != nil {
+			return m.violationStop()
+		}
 	}
 
 	m.instrCount++
@@ -473,9 +500,11 @@ func (m *Machine) Step() *StopInfo {
 		if !ok {
 			return m.fault(FaultPage, addr, false, "read from unmapped memory")
 		}
-		m.dispatchMemRead(idx, addr, size, val)
-		if m.pendingViolation != nil {
-			return m.violationStop()
+		if m.memDispatch {
+			m.dispatchMemRead(idx, addr, size, val)
+			if m.pendingViolation != nil {
+				return m.violationStop()
+			}
 		}
 		m.Regs[in.Rd] = val
 
@@ -490,9 +519,11 @@ func (m *Machine) Step() *StopInfo {
 		if !m.writeMem(addr, size, val) {
 			return m.fault(FaultPage, addr, true, "write to unmapped memory")
 		}
-		m.dispatchMemWrite(idx, addr, size, val)
-		if m.pendingViolation != nil {
-			return m.violationStop()
+		if m.memDispatch {
+			m.dispatchMemWrite(idx, addr, size, val)
+			if m.pendingViolation != nil {
+				return m.violationStop()
+			}
 		}
 
 	case OpAdd:
@@ -637,13 +668,15 @@ func (m *Machine) Step() *StopInfo {
 		if !ok {
 			return m.fault(FaultPage, retSlot, true, "stack push failed during call")
 		}
-		m.dispatchMemWrite(idx, retSlot, 4, retAddr)
-		for _, h := range m.tools.call {
-			m.cycles += CyclesPerHook
-			h.OnCall(m, idx, targetIdx, retAddr, retSlot)
-		}
-		if m.pendingViolation != nil {
-			return m.violationStop()
+		if m.memDispatch || m.callDispatch {
+			m.dispatchMemWrite(idx, retSlot, 4, retAddr)
+			for _, h := range m.tools.call {
+				m.cycles += CyclesPerHook
+				h.OnCall(m, idx, targetIdx, retAddr, retSlot)
+			}
+			if m.pendingViolation != nil {
+				return m.violationStop()
+			}
 		}
 		nextPC = targetIdx
 
@@ -654,13 +687,15 @@ func (m *Machine) Step() *StopInfo {
 		if !ok {
 			return m.fault(FaultPage, retSlot, false, "stack read failed during return")
 		}
-		m.dispatchMemRead(idx, retSlot, 4, retAddr)
-		for _, h := range m.tools.call {
-			m.cycles += CyclesPerHook
-			h.OnRet(m, idx, retAddr, retSlot)
-		}
-		if m.pendingViolation != nil {
-			return m.violationStop()
+		if m.memDispatch || m.callDispatch {
+			m.dispatchMemRead(idx, retSlot, 4, retAddr)
+			for _, h := range m.tools.call {
+				m.cycles += CyclesPerHook
+				h.OnRet(m, idx, retAddr, retSlot)
+			}
+			if m.pendingViolation != nil {
+				return m.violationStop()
+			}
 		}
 		m.Regs[SP] = retSlot + 4
 		tIdx, ok := m.IndexOfAddr(retAddr)
@@ -681,9 +716,11 @@ func (m *Machine) Step() *StopInfo {
 		if !ok {
 			return m.fault(FaultPage, slot, true, "stack push to unmapped memory")
 		}
-		m.dispatchMemWrite(idx, slot, 4, val)
-		if m.pendingViolation != nil {
-			return m.violationStop()
+		if m.memDispatch {
+			m.dispatchMemWrite(idx, slot, 4, val)
+			if m.pendingViolation != nil {
+				return m.violationStop()
+			}
 		}
 
 	case OpPop:
@@ -693,9 +730,11 @@ func (m *Machine) Step() *StopInfo {
 		if !ok {
 			return m.fault(FaultPage, slot, false, "stack pop from unmapped memory")
 		}
-		m.dispatchMemRead(idx, slot, 4, val)
-		if m.pendingViolation != nil {
-			return m.violationStop()
+		if m.memDispatch {
+			m.dispatchMemRead(idx, slot, 4, val)
+			if m.pendingViolation != nil {
+				return m.violationStop()
+			}
 		}
 		m.Regs[in.Rd] = val
 		m.Regs[SP] = slot + 4
@@ -752,18 +791,23 @@ func (m *Machine) Step() *StopInfo {
 }
 
 // Run executes instructions until the machine stops or the budget (number of
-// instructions; 0 means unlimited) is exhausted.
+// instructions; 0 means unlimited) is exhausted. The loop allocates nothing
+// on the per-step path: a StopInfo is built only when execution actually
+// stops, and the budget comparison is skipped entirely for unbudgeted runs.
 func (m *Machine) Run(budget uint64) *StopInfo {
-	executed := uint64(0)
-	for {
-		if budget > 0 && executed >= budget {
-			return &StopInfo{Reason: StopInstrBudget}
+	if budget == 0 {
+		for {
+			if stop := m.Step(); stop != nil {
+				return stop
+			}
 		}
+	}
+	for executed := uint64(0); executed < budget; executed++ {
 		if stop := m.Step(); stop != nil {
 			return stop
 		}
-		executed++
 	}
+	return &StopInfo{Reason: StopInstrBudget}
 }
 
 // Halted reports whether the machine has permanently stopped.

@@ -1,8 +1,11 @@
 package vm
 
 import (
+	"bytes"
 	"fmt"
+	"maps"
 	"sort"
+	"sync"
 )
 
 // PageSize is the granularity of guest memory mapping and of copy-on-write
@@ -12,52 +15,154 @@ const PageSize = 4096
 // PageShift is log2(PageSize).
 const PageShift = 12
 
+// maxSnapChainDepth bounds how many incremental snapshot deltas may chain
+// before a snapshot is flattened eagerly. The cap keeps Restore/Fork of an
+// arbitrary snapshot O(mapped pages) instead of O(history), and bounds the
+// memory retained by the delta chain; amortised over the chain, flattening
+// adds O(mapped/maxSnapChainDepth) work per snapshot.
+const maxSnapChainDepth = 32
+
+// page is one 4 KiB guest page. owner identifies the Memory that may write
+// the page in place; a nil owner marks the page frozen — captured by a
+// snapshot (or adopted from one), shared copy-on-write, and never written in
+// place again by anyone.
 type page struct {
-	data [PageSize]byte
+	owner *Memory
+	data  [PageSize]byte
 }
 
-func (p *page) clone() *page {
-	np := &page{}
+func (p *page) clone(owner *Memory) *page {
+	np := &page{owner: owner}
 	np.data = p.data
 	return np
 }
 
 // Memory is a sparse, paged, byte-addressable 32-bit guest address space with
-// copy-on-write snapshot support. Page zero is never mapped, so NULL pointer
-// dereferences fault.
+// generation-tagged dirty tracking and copy-on-write snapshot support. Page
+// zero is never mapped, so NULL pointer dereferences fault.
+//
+// Snapshots are incremental: Snapshot() captures only the pages written,
+// mapped or unmapped since the previous snapshot (the dirty set), chaining
+// the delta to that previous snapshot. Steady-state checkpoints are therefore
+// O(dirty pages), not O(all mapped pages).
 type Memory struct {
-	pages  map[uint32]*page
-	shared map[uint32]bool // pages shared with at least one live snapshot
+	// pages is the live page table. It may be shared read-only with the
+	// snapshot it was restored from (pagesShared); any structural mutation
+	// (mapping, unmapping, COW-cloning an entry) first takes a private copy.
+	pages       map[uint32]*page
+	pagesShared bool
+
+	// dirty holds the pages written or mapped since the last snapshot: it is
+	// exactly the set of pages owned by this Memory (everything else is
+	// frozen). dels holds the pages unmapped since the last snapshot.
+	dirty map[uint32]struct{}
+	dels  map[uint32]struct{}
+
+	// lastSnap is the snapshot the dirty/dels sets are relative to.
+	lastSnap *MemSnapshot
 }
 
 // NewMemory returns an empty address space with no pages mapped.
 func NewMemory() *Memory {
 	return &Memory{
-		pages:  make(map[uint32]*page),
-		shared: make(map[uint32]bool),
+		pages: make(map[uint32]*page),
+		dirty: make(map[uint32]struct{}),
+		dels:  make(map[uint32]struct{}),
 	}
 }
 
-// MemSnapshot is a copy-on-write snapshot of a Memory. It shares pages with
-// the live memory until the live side writes to them.
+// MemSnapshot is a copy-on-write snapshot of a Memory: an immutable delta
+// (the pages dirtied since the previous snapshot) chained to that previous
+// snapshot. It shares pages with the live memory until the live side writes
+// to them.
 //
-// Page sharing is goroutine-safe by construction: a page referenced by a
-// snapshot is never written in place. Every Memory holding such a page marks
-// it shared (Snapshot marks the snapshotted memory's pages, Restore and Fork
-// mark the receiving memory's pages), so any write first clones the page into
-// memory private to the writer. Concurrent Forks/Restores of one snapshot and
+// Page sharing is goroutine-safe by construction: every page captured by a
+// snapshot is frozen (owner nil) before the snapshot is handed out, and a
+// frozen page is never written in place — every Memory holding one clones it
+// privately before writing. Concurrent Forks/Restores of one snapshot and
 // concurrent execution of the resulting Memories — each confined to its own
-// goroutine — therefore only ever read the shared pages.
+// goroutine — therefore only ever read the shared pages. As with any shared
+// value, handing a snapshot to another goroutine must itself synchronise
+// (channel send, WaitGroup, goroutine start).
 type MemSnapshot struct {
-	pages map[uint32]*page
+	delta map[uint32]*page
+	dels  []uint32
+	count int // total mapped pages at snapshot time
+	depth int // chain length at creation
+
+	// mu guards flat and parent: flatten memoises the full page table and
+	// drops the parent link. Deltas and dels are immutable after creation.
+	mu     sync.Mutex
+	parent *MemSnapshot
+	flat   map[uint32]*page // memoised full page table (see flatten)
 }
 
-// Pages returns the number of pages captured by the snapshot.
-func (s *MemSnapshot) Pages() int { return len(s.pages) }
+// Pages returns the number of pages mapped at the time of the snapshot.
+func (s *MemSnapshot) Pages() int { return s.count }
+
+// DeltaPages returns the number of pages the snapshot had to capture: the
+// pages dirtied since the previous snapshot. The checkpoint cost charged to
+// the guest's virtual clock is proportional to this, not to Pages().
+func (s *MemSnapshot) DeltaPages() int { return len(s.delta) }
+
+// flatten materialises (and memoises) the snapshot's full page table by
+// walking its delta chain down to the nearest already-flattened ancestor and
+// applying the collected deltas oldest-first into one fresh map — the
+// intermediate ancestors are read, not themselves materialised, so one
+// flatten costs O(mapped + chained deltas) total, no matter the depth.
+// Afterwards the parent link is dropped so ancestors evicted from checkpoint
+// rings become collectable. Safe for concurrent use; a concurrent flatten of
+// an ancestor is benign (its deltas are immutable, and either its memoised
+// table or its chain yields the same pages).
+func (s *MemSnapshot) flatten() map[uint32]*page {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flat != nil {
+		return s.flat
+	}
+	chain := []*MemSnapshot{s}
+	var base map[uint32]*page
+	for cur := s.parent; cur != nil; {
+		cur.mu.Lock()
+		flat, parent := cur.flat, cur.parent
+		cur.mu.Unlock()
+		if flat != nil {
+			base = flat
+			break
+		}
+		chain = append(chain, cur)
+		cur = parent
+	}
+	flat := make(map[uint32]*page, s.count)
+	for pn, p := range base {
+		flat[pn] = p
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := chain[i]
+		for _, pn := range c.dels {
+			delete(flat, pn)
+		}
+		for pn, p := range c.delta {
+			flat[pn] = p
+		}
+	}
+	s.flat = flat
+	s.parent = nil
+	return flat
+}
 
 func pageNum(addr uint32) uint32  { return addr >> PageShift }
 func pageOff(addr uint32) uint32  { return addr & (PageSize - 1) }
 func pageBase(addr uint32) uint32 { return addr &^ (PageSize - 1) }
+
+// ownPages takes a private copy of the page table if it is still shared with
+// the snapshot it was restored from. Called before any structural mutation.
+func (m *Memory) ownPages() {
+	if m.pagesShared {
+		m.pages = maps.Clone(m.pages)
+		m.pagesShared = false
+	}
+}
 
 // MapRegion maps (and zeroes) all pages covering [base, base+size). Mapping an
 // already-mapped page leaves its contents intact.
@@ -69,7 +174,10 @@ func (m *Memory) MapRegion(base, size uint32) {
 	last := pageNum(base + size - 1)
 	for pn := first; ; pn++ {
 		if _, ok := m.pages[pn]; !ok {
-			m.pages[pn] = &page{}
+			m.ownPages()
+			m.pages[pn] = &page{owner: m}
+			m.dirty[pn] = struct{}{}
+			delete(m.dels, pn)
 		}
 		if pn == last {
 			break
@@ -85,8 +193,12 @@ func (m *Memory) UnmapRegion(base, size uint32) {
 	first := pageNum(base)
 	last := pageNum(base + size - 1)
 	for pn := first; ; pn++ {
-		delete(m.pages, pn)
-		delete(m.shared, pn)
+		if _, ok := m.pages[pn]; ok {
+			m.ownPages()
+			delete(m.pages, pn)
+			delete(m.dirty, pn)
+			m.dels[pn] = struct{}{}
+		}
 		if pn == last {
 			break
 		}
@@ -101,6 +213,11 @@ func (m *Memory) IsMapped(addr uint32) bool {
 
 // MappedPages returns the number of mapped pages.
 func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// DirtyPages returns the number of pages written or newly mapped since the
+// last snapshot — the work the next Snapshot() will have to do, and the page
+// count the checkpoint manager charges to the guest's virtual clock.
+func (m *Memory) DirtyPages() int { return len(m.dirty) }
 
 // MappedPageBases returns the base addresses of all mapped pages in ascending
 // order. It is used by analysis tools that walk memory (heap walkers, core
@@ -119,18 +236,19 @@ func (m *Memory) pageFor(addr uint32) (*page, bool) {
 	return p, ok
 }
 
-// writablePage returns the page for addr, cloning it first if it is shared
-// with a snapshot (copy-on-write).
+// writablePage returns the page for addr, cloning it first if it is frozen
+// (shared with a snapshot or adopted from one: copy-on-write).
 func (m *Memory) writablePage(addr uint32) (*page, bool) {
 	pn := pageNum(addr)
 	p, ok := m.pages[pn]
 	if !ok {
 		return nil, false
 	}
-	if m.shared[pn] {
-		p = p.clone()
+	if p.owner != m {
+		m.ownPages()
+		p = p.clone(m)
 		m.pages[pn] = p
-		delete(m.shared, pn)
+		m.dirty[pn] = struct{}{}
 	}
 	return p, true
 }
@@ -198,66 +316,157 @@ func (m *Memory) WriteWord(addr uint32, v uint32) bool {
 	return true
 }
 
-// ReadBytes copies n bytes starting at addr into a new slice.
+// ReadBytes copies n bytes starting at addr into a new slice. It walks whole
+// page runs — one page lookup and one copy per page — rather than reading
+// byte-at-a-time, which is what makes bulk guest I/O (send buffers, core
+// images) cheap.
 func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, bool) {
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		b, ok := m.ReadU8(addr + uint32(i))
+	for off := 0; off < n; {
+		p, ok := m.pageFor(addr)
 		if !ok {
 			return nil, false
 		}
-		out[i] = b
+		copied := copy(out[off:], p.data[pageOff(addr):])
+		off += copied
+		addr += uint32(copied)
 	}
 	return out, true
 }
 
-// WriteBytes copies data into guest memory starting at addr.
+// WriteBytes copies data into guest memory starting at addr, one page-sized
+// copy at a time. Like the byte-at-a-time path it replaces, a write that runs
+// into an unmapped page fails after the preceding pages were modified.
 func (m *Memory) WriteBytes(addr uint32, data []byte) bool {
-	for i, b := range data {
-		if !m.WriteU8(addr+uint32(i), b) {
+	for off := 0; off < len(data); {
+		p, ok := m.writablePage(addr)
+		if !ok {
 			return false
 		}
+		copied := copy(p.data[pageOff(addr):], data[off:])
+		off += copied
+		addr += uint32(copied)
 	}
 	return true
 }
 
-// ReadCString reads a NUL-terminated string starting at addr, up to max bytes.
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes, scanning one page run at a time.
 func (m *Memory) ReadCString(addr uint32, max int) (string, bool) {
 	var out []byte
-	for i := 0; i < max; i++ {
-		b, ok := m.ReadU8(addr + uint32(i))
+	for max > 0 {
+		p, ok := m.pageFor(addr)
 		if !ok {
 			return "", false
 		}
-		if b == 0 {
-			return string(out), true
+		chunk := p.data[pageOff(addr):]
+		if len(chunk) > max {
+			chunk = chunk[:max]
 		}
-		out = append(out, b)
+		if i := bytes.IndexByte(chunk, 0); i >= 0 {
+			return string(append(out, chunk[:i]...)), true
+		}
+		out = append(out, chunk...)
+		max -= len(chunk)
+		addr += uint32(len(chunk))
 	}
 	return string(out), true
 }
 
 // Snapshot captures the current memory contents copy-on-write. The snapshot
-// stays valid until explicitly discarded; the live memory clones pages lazily
-// on its next write to each shared page.
+// stays valid until discarded; the live memory clones pages lazily on its
+// next write to each captured page.
+//
+// Snapshot is incremental: it captures only the pages dirtied since the
+// previous snapshot and chains the delta to it, so steady-state checkpoints
+// cost O(dirty pages). The first snapshot of a Memory (everything dirty) is
+// equivalent to a full scan.
 func (m *Memory) Snapshot() *MemSnapshot {
-	snap := &MemSnapshot{pages: make(map[uint32]*page, len(m.pages))}
-	for pn, p := range m.pages {
-		snap.pages[pn] = p
-		m.shared[pn] = true
+	if len(m.dirty) == 0 && len(m.dels) == 0 && m.lastSnap != nil {
+		// Nothing changed since the previous snapshot; the snapshots are
+		// indistinguishable, so a quiet guest checkpoints for free.
+		return m.lastSnap
 	}
+	delta := make(map[uint32]*page, len(m.dirty))
+	for pn := range m.dirty {
+		p := m.pages[pn]
+		p.owner = nil // freeze: all future writes copy
+		delta[pn] = p
+	}
+	var dels []uint32
+	for pn := range m.dels {
+		dels = append(dels, pn)
+	}
+	snap := &MemSnapshot{parent: m.lastSnap, delta: delta, dels: dels, count: len(m.pages)}
+	if snap.parent == nil {
+		if len(dels) == 0 {
+			snap.flat = delta // a chain root is its own page table
+		}
+	} else {
+		snap.depth = snap.parent.depth + 1
+		if snap.depth >= maxSnapChainDepth {
+			snap.flatten()
+			snap.depth = 0
+		}
+	}
+	m.resetDirtyTracking(snap)
 	return snap
+}
+
+// SnapshotFull captures the current memory contents by scanning every mapped
+// page, ignoring dirty tracking — the pre-incremental behaviour. It produces
+// a self-contained (chain-free) snapshot observationally identical to
+// Snapshot()'s. It is kept as the reference implementation for differential
+// tests and as the baseline the snapshot micro-benchmarks compare against.
+func (m *Memory) SnapshotFull() *MemSnapshot {
+	pages := make(map[uint32]*page, len(m.pages))
+	for pn, p := range m.pages {
+		if p.owner == m {
+			// Freeze only privately-owned pages: already-frozen pages may be
+			// shared with concurrently-running forks, and even a redundant
+			// owner write would race their reads.
+			p.owner = nil
+		}
+		pages[pn] = p
+	}
+	snap := &MemSnapshot{delta: pages, count: len(pages)}
+	snap.flat = pages
+	m.resetDirtyTracking(snap)
+	return snap
+}
+
+// resetDirtyTracking starts a fresh dirty epoch relative to snap. Small sets
+// are cleared in place (no allocation per steady-state snapshot); a set that
+// grew large is replaced, because clearing a map walks its whole grown
+// bucket array forever after.
+func (m *Memory) resetDirtyTracking(snap *MemSnapshot) {
+	const resetThreshold = 64
+	if len(m.dirty) > resetThreshold {
+		m.dirty = make(map[uint32]struct{})
+	} else {
+		clear(m.dirty)
+	}
+	if len(m.dels) > resetThreshold {
+		m.dels = make(map[uint32]struct{})
+	} else {
+		clear(m.dels)
+	}
+	m.lastSnap = snap
 }
 
 // Restore replaces the live memory contents with the snapshot's. The snapshot
 // remains valid and may be restored again.
+//
+// Restore reuses the snapshot's (memoised) page table directly instead of
+// rebuilding page and COW-arming maps from scratch: every snapshot page is
+// already frozen, so copy-on-write needs no re-arming, and the table itself
+// is shared until the first structural change. The restored Memory's dirty
+// epoch restarts relative to the restored snapshot, so the next Snapshot()
+// captures exactly what the re-execution touched.
 func (m *Memory) Restore(s *MemSnapshot) {
-	m.pages = make(map[uint32]*page, len(s.pages))
-	m.shared = make(map[uint32]bool, len(s.pages))
-	for pn, p := range s.pages {
-		m.pages[pn] = p
-		m.shared[pn] = true
-	}
+	m.pages = s.flatten()
+	m.pagesShared = true
+	m.resetDirtyTracking(s)
 }
 
 // Fork derives a new, independent Memory whose contents equal the snapshot's.
@@ -271,9 +480,10 @@ func (s *MemSnapshot) Fork() *Memory {
 	return m
 }
 
-// CopyOnWritePending returns the number of live pages still shared with
-// snapshots. It is exported for tests and overhead accounting.
-func (m *Memory) CopyOnWritePending() int { return len(m.shared) }
+// CopyOnWritePending returns the number of live pages still shared
+// copy-on-write with snapshots. It is exported for tests and overhead
+// accounting.
+func (m *Memory) CopyOnWritePending() int { return len(m.pages) - len(m.dirty) }
 
 // Dump formats a small hex dump around addr, for diagnostics.
 func (m *Memory) Dump(addr uint32, n int) string {

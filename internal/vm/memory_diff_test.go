@@ -1,0 +1,321 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// refMemory is the byte-at-a-time reference model the real Memory is checked
+// against: a map of mapped pages to plain byte slices, deep-copied on
+// snapshot. It intentionally has no COW, no dirty tracking and no bulk
+// paths, so any divergence points at the optimised implementation.
+type refMemory struct {
+	pages map[uint32][]byte
+}
+
+func newRefMemory() *refMemory { return &refMemory{pages: make(map[uint32][]byte)} }
+
+func (r *refMemory) mapRegion(base, size uint32) {
+	if size == 0 {
+		return
+	}
+	first, last := base>>PageShift, (base+size-1)>>PageShift
+	for pn := first; ; pn++ {
+		if _, ok := r.pages[pn]; !ok {
+			r.pages[pn] = make([]byte, PageSize)
+		}
+		if pn == last {
+			break
+		}
+	}
+}
+
+func (r *refMemory) unmapRegion(base, size uint32) {
+	if size == 0 {
+		return
+	}
+	first, last := base>>PageShift, (base+size-1)>>PageShift
+	for pn := first; ; pn++ {
+		delete(r.pages, pn)
+		if pn == last {
+			break
+		}
+	}
+}
+
+func (r *refMemory) read(addr uint32) (byte, bool) {
+	p, ok := r.pages[addr>>PageShift]
+	if !ok {
+		return 0, false
+	}
+	return p[addr&(PageSize-1)], true
+}
+
+func (r *refMemory) write(addr uint32, v byte) bool {
+	p, ok := r.pages[addr>>PageShift]
+	if !ok {
+		return false
+	}
+	p[addr&(PageSize-1)] = v
+	return true
+}
+
+func (r *refMemory) writeBytes(addr uint32, data []byte) bool {
+	for i, b := range data {
+		if !r.write(addr+uint32(i), b) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *refMemory) readBytes(addr uint32, n int) ([]byte, bool) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, ok := r.read(addr + uint32(i))
+		if !ok {
+			return nil, false
+		}
+		out[i] = b
+	}
+	return out, true
+}
+
+func (r *refMemory) readCString(addr uint32, max int) (string, bool) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b, ok := r.read(addr + uint32(i))
+		if !ok {
+			return "", false
+		}
+		if b == 0 {
+			return string(out), true
+		}
+		out = append(out, b)
+	}
+	return string(out), true
+}
+
+func (r *refMemory) snapshot() *refMemory {
+	c := newRefMemory()
+	for pn, p := range r.pages {
+		np := make([]byte, PageSize)
+		copy(np, p)
+		c.pages[pn] = np
+	}
+	return c
+}
+
+// diffCheck compares the full observable state of a Memory against the
+// reference: page count and every mapped byte (probed at page edges and a
+// random interior sample, which catches both mapping and content bugs
+// without an O(pages*PageSize) scan per step).
+func diffCheck(t *testing.T, tag string, m *Memory, ref *refMemory, rng *rand.Rand) {
+	t.Helper()
+	if m.MappedPages() != len(ref.pages) {
+		t.Fatalf("%s: mapped pages = %d, reference has %d", tag, m.MappedPages(), len(ref.pages))
+	}
+	for pn := range ref.pages {
+		base := pn << PageShift
+		offs := []uint32{0, PageSize - 1, rng.Uint32() % PageSize}
+		for _, off := range offs {
+			got, ok := m.ReadU8(base + off)
+			want, _ := ref.read(base + off)
+			if !ok || got != want {
+				t.Fatalf("%s: byte %#x = %#x (ok=%v), reference %#x", tag, base+off, got, ok, want)
+			}
+		}
+	}
+}
+
+// fullDiffCheck compares every mapped byte.
+func fullDiffCheck(t *testing.T, tag string, m *Memory, ref *refMemory) {
+	t.Helper()
+	if m.MappedPages() != len(ref.pages) {
+		t.Fatalf("%s: mapped pages = %d, reference has %d", tag, m.MappedPages(), len(ref.pages))
+	}
+	for pn, want := range ref.pages {
+		base := pn << PageShift
+		got, ok := m.ReadBytes(base, PageSize)
+		if !ok {
+			t.Fatalf("%s: page %#x unreadable", tag, base)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: byte %#x = %#x, reference %#x", tag, base+uint32(i), got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMemoryDifferentialRandomOps drives long random sequences of
+// MapRegion/UnmapRegion/writes/reads/Snapshot/SnapshotFull/Restore/Fork
+// against the naive reference memory, proving the dirty-tracking and
+// bulk-I/O fast paths observationally identical to byte-at-a-time semantics.
+func TestMemoryDifferentialRandomOps(t *testing.T) {
+	const (
+		arenaBase  = uint32(0x10000)
+		arenaPages = 8
+		arenaSize  = uint32(arenaPages * PageSize)
+	)
+	type snapPair struct {
+		snap *MemSnapshot
+		ref  *refMemory
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := NewMemory()
+			ref := newRefMemory()
+			var snaps []snapPair
+			randAddr := func() uint32 { return arenaBase + rng.Uint32()%arenaSize }
+
+			for step := 0; step < 3000; step++ {
+				tag := fmt.Sprintf("seed %d step %d", seed, step)
+				switch op := rng.Intn(100); {
+				case op < 10: // map
+					base, size := randAddr(), rng.Uint32()%(2*PageSize)+1
+					m.MapRegion(base, size)
+					ref.mapRegion(base, size)
+				case op < 14: // unmap
+					base, size := randAddr(), rng.Uint32()%(2*PageSize)+1
+					m.UnmapRegion(base, size)
+					ref.unmapRegion(base, size)
+				case op < 40: // single-byte write
+					addr, v := randAddr(), byte(rng.Intn(256))
+					if got, want := m.WriteU8(addr, v), ref.write(addr, v); got != want {
+						t.Fatalf("%s: WriteU8(%#x) = %v, reference %v", tag, addr, got, want)
+					}
+				case op < 55: // bulk write, often page-crossing
+					addr := randAddr()
+					data := make([]byte, rng.Intn(int(2*PageSize)+300))
+					rng.Read(data)
+					if got, want := m.WriteBytes(addr, data), ref.writeBytes(addr, data); got != want {
+						t.Fatalf("%s: WriteBytes(%#x, %d) = %v, reference %v", tag, addr, len(data), got, want)
+					}
+				case op < 65: // bulk read
+					addr := randAddr()
+					n := rng.Intn(int(2*PageSize) + 300)
+					got, gok := m.ReadBytes(addr, n)
+					want, wok := ref.readBytes(addr, n)
+					if gok != wok {
+						t.Fatalf("%s: ReadBytes(%#x, %d) ok=%v, reference ok=%v", tag, addr, n, gok, wok)
+					}
+					if gok && string(got) != string(want) {
+						t.Fatalf("%s: ReadBytes(%#x, %d) differs from reference", tag, addr, n)
+					}
+				case op < 72: // C string read
+					addr := randAddr()
+					max := rng.Intn(int(PageSize) * 2)
+					got, gok := m.ReadCString(addr, max)
+					want, wok := ref.readCString(addr, max)
+					if gok != wok || got != want {
+						t.Fatalf("%s: ReadCString(%#x, %d) = %q/%v, reference %q/%v", tag, addr, max, got, gok, want, wok)
+					}
+				case op < 82: // snapshot (sometimes the full-scan reference path)
+					var s *MemSnapshot
+					if rng.Intn(4) == 0 {
+						s = m.SnapshotFull()
+					} else {
+						s = m.Snapshot()
+					}
+					snaps = append(snaps, snapPair{snap: s, ref: ref.snapshot()})
+					if len(snaps) > 24 {
+						snaps = snaps[1:]
+					}
+				case op < 90: // restore a random retained snapshot
+					if len(snaps) > 0 {
+						pair := snaps[rng.Intn(len(snaps))]
+						m.Restore(pair.snap)
+						ref = pair.ref.snapshot()
+					}
+				default: // fork a random retained snapshot and scribble on it
+					if len(snaps) > 0 {
+						pair := snaps[rng.Intn(len(snaps))]
+						fork := pair.snap.Fork()
+						fullDiffCheck(t, tag+" fork", fork, pair.ref)
+						for i := 0; i < 16; i++ {
+							fork.WriteU8(randAddr(), byte(rng.Intn(256)))
+						}
+						// The fork's writes must not leak into the live
+						// memory, the snapshot, or later forks.
+						fullDiffCheck(t, tag+" fork-isolated", pair.snap.Fork(), pair.ref)
+					}
+				}
+				if step%257 == 0 {
+					diffCheck(t, tag, m, ref, rng)
+				}
+			}
+			fullDiffCheck(t, fmt.Sprintf("seed %d final", seed), m, ref)
+			for i, pair := range snaps {
+				fullDiffCheck(t, fmt.Sprintf("seed %d snapshot %d", seed, i), pair.snap.Fork(), pair.ref)
+			}
+		})
+	}
+}
+
+// TestMemoryDifferentialConcurrentForks checks COW aliasing across forks
+// running on concurrent goroutines (meaningful under -race): every fork of
+// one snapshot scribbles over the shared pages while comparing itself
+// against its own private reference copy, and the snapshot itself must come
+// out untouched.
+func TestMemoryDifferentialConcurrentForks(t *testing.T) {
+	const arenaBase = uint32(0x40000)
+	const arenaPages = 12
+	rng := rand.New(rand.NewSource(99))
+	m := NewMemory()
+	ref := newRefMemory()
+	m.MapRegion(arenaBase, arenaPages*PageSize)
+	ref.mapRegion(arenaBase, arenaPages*PageSize)
+	seedData := make([]byte, arenaPages*PageSize)
+	rng.Read(seedData)
+	m.WriteBytes(arenaBase, seedData)
+	ref.writeBytes(arenaBase, seedData)
+	// A couple of extra snapshot epochs so the snapshot under test is a
+	// chained delta, not a flat root.
+	m.Snapshot()
+	m.WriteBytes(arenaBase+5*PageSize, []byte("epoch two"))
+	ref.writeBytes(arenaBase+5*PageSize, []byte("epoch two"))
+	snap := m.Snapshot()
+	snapRef := ref.snapshot()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for f := 0; f < 8; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + f)))
+			fork := snap.Fork()
+			local := snapRef.snapshot()
+			for i := 0; i < 4000; i++ {
+				addr := arenaBase + rng.Uint32()%(arenaPages*PageSize)
+				if rng.Intn(2) == 0 {
+					v := byte(rng.Intn(256))
+					fork.WriteU8(addr, v)
+					local.write(addr, v)
+				} else {
+					got, gok := fork.ReadU8(addr)
+					want, wok := local.read(addr)
+					if gok != wok || got != want {
+						errs <- fmt.Errorf("fork %d: byte %#x = %#x/%v, reference %#x/%v", f, addr, got, gok, want, wok)
+						return
+					}
+				}
+			}
+		}(f)
+	}
+	// The origin memory keeps mutating its own COW view concurrently.
+	for i := 0; i < 4000; i++ {
+		m.WriteU8(arenaBase+rng.Uint32()%(arenaPages*PageSize), 0xEE)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	fullDiffCheck(t, "snapshot after concurrent forks", snap.Fork(), snapRef)
+}

@@ -215,6 +215,119 @@ func TestMemoryQuickReadBackWrites(t *testing.T) {
 	}
 }
 
+func TestMemoryIncrementalSnapshotIsODirty(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x10000, 64*PageSize)
+	s1 := m.Snapshot()
+	if s1.DeltaPages() != 64 {
+		t.Errorf("first snapshot delta = %d pages, want all 64", s1.DeltaPages())
+	}
+	// Steady state: two pages written -> two pages captured.
+	m.WriteU8(0x10000, 1)
+	m.WriteU8(0x10000+7*PageSize, 2)
+	if m.DirtyPages() != 2 {
+		t.Errorf("DirtyPages = %d, want 2", m.DirtyPages())
+	}
+	s2 := m.Snapshot()
+	if s2.DeltaPages() != 2 {
+		t.Errorf("steady snapshot delta = %d pages, want 2", s2.DeltaPages())
+	}
+	if s2.Pages() != 64 {
+		t.Errorf("steady snapshot Pages = %d, want 64", s2.Pages())
+	}
+	if m.DirtyPages() != 0 {
+		t.Errorf("DirtyPages after snapshot = %d, want 0", m.DirtyPages())
+	}
+	// The incremental snapshot still restores the complete image.
+	m.WriteU8(0x10000, 99)
+	m.Restore(s2)
+	if b, _ := m.ReadU8(0x10000); b != 1 {
+		t.Errorf("restored byte = %d, want 1", b)
+	}
+	if b, _ := m.ReadU8(0x10000 + 63*PageSize); b != 0 {
+		t.Errorf("untouched page should restore to zero, got %d", b)
+	}
+}
+
+func TestMemoryNoopSnapshotIsFree(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, 4*PageSize)
+	s1 := m.Snapshot()
+	s2 := m.Snapshot()
+	if s1 != s2 {
+		t.Error("a snapshot with nothing dirtied should reuse the previous snapshot")
+	}
+	m.WriteU8(0x1000, 1)
+	if s3 := m.Snapshot(); s3 == s2 {
+		t.Error("a snapshot after a write must be distinct")
+	}
+}
+
+func TestMemorySnapshotFullMatchesIncremental(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, 4*PageSize)
+	m.WriteBytes(0x1000, []byte{1, 2, 3})
+	m.Snapshot()
+	m.WriteU8(0x2000, 42)
+	inc := m.Snapshot()
+	m.WriteU8(0x2000, 43)
+	full := m.SnapshotFull()
+	if got, _ := inc.Fork().ReadU8(0x2000); got != 42 {
+		t.Errorf("incremental snapshot byte = %d, want 42", got)
+	}
+	if got, _ := full.Fork().ReadU8(0x2000); got != 43 {
+		t.Errorf("full snapshot byte = %d, want 43", got)
+	}
+	if inc.Pages() != full.Pages() {
+		t.Errorf("page counts differ: incremental %d, full %d", inc.Pages(), full.Pages())
+	}
+}
+
+func TestMemoryUnmapAcrossSnapshots(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, 2*PageSize)
+	m.WriteU8(0x1000, 7)
+	s1 := m.Snapshot()
+	m.UnmapRegion(0x1000, PageSize)
+	s2 := m.Snapshot()
+	if s2.Pages() != 1 {
+		t.Errorf("post-unmap snapshot Pages = %d, want 1", s2.Pages())
+	}
+	m.Restore(s1)
+	if b, ok := m.ReadU8(0x1000); !ok || b != 7 {
+		t.Errorf("restore s1: byte = %d (ok=%v), want 7", b, ok)
+	}
+	m.Restore(s2)
+	if m.IsMapped(0x1000) {
+		t.Error("restore s2: unmapped page came back")
+	}
+	if !m.IsMapped(0x1000 + PageSize) {
+		t.Error("restore s2: second page should remain mapped")
+	}
+	// Remap after restore: page must read as zeroed even though an old
+	// snapshot still holds the previous contents.
+	m.MapRegion(0x1000, PageSize)
+	if b, _ := m.ReadU8(0x1000); b != 0 {
+		t.Errorf("remapped page reads %d, want 0", b)
+	}
+}
+
+func TestMemorySnapshotChainDeepRestore(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x1000, PageSize)
+	var snaps []*MemSnapshot
+	for i := 0; i < 3*maxSnapChainDepth; i++ {
+		m.WriteU8(0x1000, byte(i))
+		snaps = append(snaps, m.Snapshot())
+	}
+	for i, s := range snaps {
+		f := s.Fork()
+		if b, _ := f.ReadU8(0x1000); b != byte(i) {
+			t.Fatalf("snapshot %d forks byte %d, want %d", i, b, byte(i))
+		}
+	}
+}
+
 func TestPageHelpers(t *testing.T) {
 	if pageNum(0) != 0 || pageNum(PageSize) != 1 || pageNum(PageSize-1) != 0 {
 		t.Error("pageNum incorrect")

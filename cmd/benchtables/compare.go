@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Thresholds tier the regression comparison by how reproducible a metric is:
+// deterministic virtual-clock quantities (overhead percentages, virtual-ms
+// gaps, generator rates) are compared tightly, dimensionless speedup/
+// reduction ratios more loosely (they drift with host parallelism), and raw
+// wall-clock timings most loosely of all, since consecutive BENCH records
+// routinely come from different machines. Each class also carries an
+// absolute floor, so a 0.05%→0.09% overhead blip is not a "regression".
+type Thresholds struct {
+	Deterministic float64 // relative worsening tolerated for virtual-clock metrics
+	Ratio         float64 // relative drop tolerated for speedup/reduction ratios
+	Wall          float64 // relative worsening tolerated for wall-clock timings
+}
+
+type metricClass int
+
+const (
+	classInfo metricClass = iota // counts and sizes: reported, never a regression
+	classDeterministic
+	classRatio
+	classWall
+)
+
+// classify buckets a metric by name and says whether larger values are
+// better. Unknown shapes fall back to informational.
+func classify(name string) (class metricClass, higherBetter bool, floor float64) {
+	switch {
+	case strings.Contains(name, "_pages") || strings.HasSuffix(name, "_bytes") ||
+		strings.HasSuffix(name, "_count"):
+		return classInfo, false, 0
+	case strings.Contains(name, "speedup"):
+		// Speedups divide two wall-clock timings: the quotient inherits
+		// their machine-to-machine (and run-to-run) noise, so it gets the
+		// wall tolerance. Observed spread on one idle machine: ~2.5x.
+		return classWall, true, 0.5
+	case strings.Contains(name, "reduction"):
+		// Reductions divide deterministic quantities (captured bytes,
+		// explored nodes): tight comparison is safe.
+		return classRatio, true, 0.5
+	case strings.Contains(name, "overhead_pct"):
+		return classDeterministic, false, 0.5 // percentage points
+	case strings.Contains(name, "virtual_ms"):
+		return classDeterministic, false, 10 // virtual milliseconds
+	case strings.Contains(name, "req_per_s"):
+		return classDeterministic, true, 5 // requests per virtual second
+	case strings.HasSuffix(name, "_ns") || strings.HasSuffix(name, "_ms") ||
+		strings.Contains(name, "ns_per_byte"):
+		return classWall, false, 0
+	}
+	return classInfo, false, 0
+}
+
+// minComparableWall skips wall metrics whose baseline is tiny (fractions of
+// a nanosecond per byte): at that scale a multiple is measurement noise, not
+// a regression.
+const minComparableWall = 0.5
+
+type comparison struct {
+	name       string
+	old, new   float64
+	class      metricClass
+	regression bool
+	note       string
+}
+
+func loadBench(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec benchJSON
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Metrics == nil {
+		return nil, fmt.Errorf("%s: no metrics map (schema %q)", path, rec.Schema)
+	}
+	return rec.Metrics, nil
+}
+
+// compareBench diffs two BENCH_<n>.json records and returns the number of
+// flagged regressions (callers exit nonzero on any). Metrics present in only
+// one record are reported but never flagged: the schema is allowed to grow.
+func compareBench(oldPath, newPath string, th Thresholds) (int, error) {
+	oldM, err := loadBench(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newM, err := loadBench(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var rows []comparison
+	regressions := 0
+	for _, name := range names {
+		oldV := oldM[name]
+		newV, ok := newM[name]
+		if !ok {
+			rows = append(rows, comparison{name: name, old: oldV, note: "missing from new record"})
+			continue
+		}
+		class, higherBetter, floor := classify(name)
+		c := comparison{name: name, old: oldV, new: newV, class: class}
+		var rel float64
+		switch class {
+		case classInfo:
+			c.note = "informational"
+		case classDeterministic:
+			rel = th.Deterministic
+		case classRatio:
+			rel = th.Ratio
+		case classWall:
+			rel = th.Wall
+			if oldV < minComparableWall {
+				c.note = "below comparable scale"
+				class = classInfo
+				c.class = classInfo
+			}
+		}
+		if class != classInfo && oldV > 0 {
+			var worsened float64 // absolute worsening in the metric's own units
+			if higherBetter {
+				worsened = oldV - newV
+				c.regression = newV < oldV/(1+rel) && worsened > floor
+			} else {
+				worsened = newV - oldV
+				c.regression = newV > oldV*(1+rel) && worsened > floor
+			}
+			if c.regression {
+				regressions++
+				c.note = fmt.Sprintf("REGRESSION beyond %.0f%% tolerance", rel*100)
+			}
+		}
+		rows = append(rows, c)
+	}
+	var added []string
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+
+	fmt.Printf("benchtables: comparing %s (old) -> %s (new)\n", oldPath, newPath)
+	for _, c := range rows {
+		marker := " "
+		if c.regression {
+			marker = "!"
+		}
+		fmt.Printf("%s %-46s %14.4f -> %14.4f  %s\n", marker, c.name, c.old, c.new, c.note)
+	}
+	for _, name := range added {
+		fmt.Printf("  %-46s %14s -> %14.4f  new metric\n", name, "-", newM[name])
+	}
+	if regressions > 0 {
+		fmt.Printf("benchtables: %d regression(s) flagged\n", regressions)
+	} else {
+		fmt.Printf("benchtables: no regressions\n")
+	}
+	return regressions, nil
+}

@@ -10,7 +10,8 @@
 //	benchtables -overhead       # monitoring overhead comparison
 //	benchtables -ablation       # ablation studies
 //	benchtables -paper -all     # larger, paper-scale workloads
-//	benchtables -json BENCH_4.json  # machine-readable perf trajectory point
+//	benchtables -json BENCH_5.json  # machine-readable perf trajectory point
+//	benchtables -compare BENCH_4.json BENCH_5.json  # diff two records, exit 1 on regression
 package main
 
 import (
@@ -92,6 +93,41 @@ func writeBenchJSON(path string, sizes experiments.Sizes, paperScale bool) error
 		metrics["monitoring_overhead_pct_"+r.Key] = r.Overhead * 100
 	}
 
+	sub, err := experiments.RunSubPageMicro()
+	if err != nil {
+		return err
+	}
+	metrics["snapshot_steady_captured_bytes"] = float64(micro.SteadyCapturedBytes)
+	metrics["subpage_scattered_reduction_x"] = sub.ScatteredReductionX
+	metrics["subpage_sequential_reduction_x"] = sub.SequentialReductionX
+
+	sweep, err := experiments.RunFleetOverheadSweep(
+		[]string{"apache1", "apache2", "cvs", "squid"}, experiments.QuickFleetWorkload(), []uint64{20, 100, 200})
+	if err != nil {
+		return err
+	}
+	for _, app := range sweep {
+		for _, pt := range app.Points {
+			metrics[fmt.Sprintf("figure4_fleet_%s_overhead_pct_%dms", app.App, pt.IntervalMs)] = pt.Overhead * 100
+		}
+	}
+	f5, err := experiments.RunFleetOverheadSweep([]string{"squid"}, experiments.Figure5FleetWorkload(), []uint64{200})
+	if err != nil {
+		return err
+	}
+	f5pt := f5[0].Points[0]
+	metrics["figure5_fleet_offered_req_per_s"] = f5pt.OfferedPerGuest
+	metrics["figure5_fleet_completed_req_per_s"] = f5pt.ThroughputPerGuest
+	metrics["figure5_fleet_attacks_handled_count"] = float64(f5pt.AttacksHandled)
+
+	pruned, forced, err := experiments.SliceFallbackComparison()
+	if err != nil {
+		return err
+	}
+	if pruned.Nodes > 0 {
+		metrics["slice_fallback_reduction_x"] = float64(forced.Nodes) / float64(pruned.Nodes)
+	}
+
 	out := benchJSON{
 		Schema:      "sweeper-bench/1",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -115,8 +151,29 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate everything")
 		paper    = flag.Bool("paper", false, "use paper-scale workload sizes (slower)")
 		jsonPath = flag.String("json", "", "run the quick perf suite and write machine-readable results (BENCH_<n>.json) to this file")
+		compare  = flag.Bool("compare", false, "compare two BENCH_<n>.json records (old new); exit 1 when a metric regressed beyond its tolerance")
+		detThr   = flag.Float64("threshold", 0.20, "with -compare: relative worsening tolerated for deterministic virtual-clock metrics")
+		ratioThr = flag.Float64("ratio-threshold", 0.50, "with -compare: relative drop tolerated for speedup/reduction ratios")
+		wallThr  = flag.Float64("wall-threshold", 4.0, "with -compare: relative worsening tolerated for wall-clock timings (records may come from different machines)")
 	)
 	flag.Parse()
+
+	if *compare {
+		paths := flag.Args()
+		if len(paths) != 2 {
+			log.Fatalf("benchtables: -compare needs exactly two files (old new), got %d", len(paths))
+		}
+		regressions, err := compareBench(paths[0], paths[1], Thresholds{
+			Deterministic: *detThr, Ratio: *ratioThr, Wall: *wallThr,
+		})
+		if err != nil {
+			log.Fatalf("benchtables: -compare: %v", err)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizes := experiments.QuickSizes()
 	if *paper {

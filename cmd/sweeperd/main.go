@@ -5,6 +5,14 @@
 // result, the antibodies generated (and when), recovery, and how the shared
 // antibodies inoculate the rest of the fleet against the same worm.
 //
+// With -rate, the fixed benign+worm script is replaced by a rate-controlled
+// open-loop workload generator per guest: each guest's serving goroutine
+// offers -requests requests at -rate req/s of virtual time (idle gaps advance
+// the virtual clock, backlog builds when the guest falls behind), and
+// -attack-every injects an exploit variant into guest 0's stream every Nth
+// request. -stats-every prints per-guest offered/completed rates while the
+// workload runs.
+//
 // With -listen and -peers, several sweeperd daemons federate their antibody
 // stores over HTTP+JSON: each daemon pushes what it publishes, polls what
 // pushes missed, and replays a peer's full store on join. Federated daemons
@@ -18,6 +26,7 @@
 //	sweeperd -app apache1,cvs -benign 50 -variants 2
 //	sweeperd -app cvs -no-aslr -shadow-stack
 //	sweeperd -app squid -sequential
+//	sweeperd -app squid -rate 150 -requests 600 -attack-every 100 -stats-every 200ms
 //
 //	# a federated pair: a producer that gets attacked and a consumer that
 //	# only ever sees the antibody arrive over the wire
@@ -36,6 +45,7 @@ import (
 
 	"sweeper/internal/apps"
 	"sweeper/internal/core"
+	"sweeper/internal/experiments"
 	"sweeper/internal/exploit"
 	"sweeper/internal/federate"
 	"sweeper/internal/metrics"
@@ -67,6 +77,10 @@ func main() {
 		analyses     = flag.String("analyses", "membug,taint,slicing", "comma-separated analyses to run after detection (registered: membug, taint, slicing)")
 		noPool       = flag.Bool("no-clone-pool", false, "build a fresh clone per analysis replay instead of reusing pooled shells")
 		showAntibody = flag.Bool("show-antibody", false, "print each final antibody as JSON")
+		rate         = flag.Float64("rate", 0, "per-guest open-loop workload rate in requests per virtual second; replaces the scripted benign+worm workload (0 = scripted)")
+		requests     = flag.Int("requests", 400, "with -rate: total requests each guest's generator offers")
+		attackEvery  = flag.Int("attack-every", 100, "with -rate: inject an exploit variant every Nth request of guest 0's stream (0 = benign only)")
+		statsEvery   = flag.Duration("stats-every", 0, "with -rate: print per-guest generator stats at this wall-clock period while the workload runs (0 = off)")
 		listen       = flag.String("listen", "", "serve the antibody store to federation peers on this address (e.g. 127.0.0.1:7070)")
 		peers        = flag.String("peers", "", "comma-separated federation peers to gossip antibodies with (host:port)")
 		verifyAdopt  = flag.Bool("verify-adopt", false, "replay each received antibody's exploit in a sandbox before adoption (default on when -listen or -peers is set)")
@@ -160,11 +174,9 @@ func main() {
 			fmt.Printf("  federation: peered with %s\n", addr)
 		}
 	}
-	fmt.Println()
-	fleet.Start()
-
-	// Benign traffic to every guest, the worm's exploit variants at guest 0
-	// of each application, then more benign traffic.
+	// With -rate, every guest gets an open-loop workload generator (attached
+	// before the serving goroutines launch); otherwise the fixed benign+worm
+	// script below drives the fleet.
 	exploits := make(map[string][]byte)
 	for _, spec := range specs {
 		payload0, err := exploit.ExploitVariant(spec, 0)
@@ -172,32 +184,87 @@ func main() {
 			log.Fatalf("sweeperd: building exploit: %v", err)
 		}
 		exploits[spec.Name] = payload0
-		for i := 0; i < *guests; i++ {
-			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
-			for r := 0; r < *benign; r++ {
-				fleet.Submit(guestName, exploit.Benign(spec.Name, r), "client", false)
-			}
-		}
-		for v := 0; v < *variants; v++ {
-			payload := payload0
-			if v > 0 {
-				payload, err = exploit.ExploitVariant(spec, v)
+	}
+	attacksLaunched := *variants > 0
+	if *rate > 0 {
+		attacksLaunched = *attackEvery > 0 && *attackEvery <= *requests
+		for _, spec := range specs {
+			for i := 0; i < *guests; i++ {
+				g, _ := fleet.Guest(fmt.Sprintf("%s-%d", spec.Name, i))
+				wcfg, err := experiments.FleetGuestWorkload(spec, i, *rate, *requests, *attackEvery)
 				if err != nil {
 					log.Fatalf("sweeperd: building exploit: %v", err)
 				}
-			}
-			accepted := fleet.Submit(spec.Name+"-0", payload, "worm", true)
-			fmt.Printf("worm: exploit variant %d submitted to %s-0 (%d bytes), accepted by proxy: %v\n",
-				v, spec.Name, len(payload), accepted)
-		}
-		for i := 0; i < *guests; i++ {
-			guestName := fmt.Sprintf("%s-%d", spec.Name, i)
-			for r := 0; r < *benign; r++ {
-				fleet.Submit(guestName, exploit.Benign(spec.Name, 1000+r), "client", false)
+				if err := g.SetWorkload(wcfg); err != nil {
+					log.Fatalf("sweeperd: %v", err)
+				}
 			}
 		}
+		fmt.Printf("  workload: open-loop generators, %g req/s x %d requests per guest", *rate, *requests)
+		if *attackEvery > 0 {
+			fmt.Printf(", exploit every %d requests at guest 0", *attackEvery)
+		}
+		fmt.Println()
 	}
-	fleet.Drain()
+	fmt.Println()
+	fleet.Start()
+
+	if *rate > 0 {
+		// Periodic generator stats while the workload drains.
+		stopStats := make(chan struct{})
+		if *statsEvery > 0 {
+			go func() {
+				ticker := time.NewTicker(*statsEvery)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-stopStats:
+						return
+					case <-ticker.C:
+						for _, st := range fleet.Metrics().All() {
+							fmt.Printf("loadgen: %-12s offered=%-4d (%.1f req/s) completed=%.1f req/s attacks-injected=%d handled=%d adopted=%d filtered=%d\n",
+								st.Guest, st.WorkloadOffered, st.OfferedReqPerSec, st.CompletedReqPerSec,
+								st.WorkloadAttacks, st.AttacksHandled, st.AntibodiesAdopted, st.FilteredInputs)
+						}
+					}
+				}
+			}()
+		}
+		fleet.Drain()
+		close(stopStats)
+	} else {
+		// Benign traffic to every guest, the worm's exploit variants at guest
+		// 0 of each application, then more benign traffic.
+		for _, spec := range specs {
+			payload0 := exploits[spec.Name]
+			for i := 0; i < *guests; i++ {
+				guestName := fmt.Sprintf("%s-%d", spec.Name, i)
+				for r := 0; r < *benign; r++ {
+					fleet.Submit(guestName, exploit.Benign(spec.Name, r), "client", false)
+				}
+			}
+			for v := 0; v < *variants; v++ {
+				payload := payload0
+				if v > 0 {
+					var err error
+					payload, err = exploit.ExploitVariant(spec, v)
+					if err != nil {
+						log.Fatalf("sweeperd: building exploit: %v", err)
+					}
+				}
+				accepted := fleet.Submit(spec.Name+"-0", payload, "worm", true)
+				fmt.Printf("worm: exploit variant %d submitted to %s-0 (%d bytes), accepted by proxy: %v\n",
+					v, spec.Name, len(payload), accepted)
+			}
+			for i := 0; i < *guests; i++ {
+				guestName := fmt.Sprintf("%s-%d", spec.Name, i)
+				for r := 0; r < *benign; r++ {
+					fleet.Submit(guestName, exploit.Benign(spec.Name, 1000+r), "client", false)
+				}
+			}
+		}
+		fleet.Drain()
+	}
 
 	// Linger: keep serving federation peers and absorbing their gossip (a
 	// consumer daemon receives, verifies and adopts antibodies during this
@@ -218,7 +285,7 @@ func main() {
 	// proxy.
 	fmt.Println()
 	for _, spec := range specs {
-		if *variants == 0 && !federated {
+		if !attacksLaunched && !federated {
 			continue // no exploit was ever launched and none could arrive
 		}
 		payload := exploits[spec.Name]
@@ -237,6 +304,11 @@ func main() {
 			st.Guest, st.RequestsServed, st.AttacksHandled, st.Recovered,
 			st.AntibodiesGenerated, st.AntibodiesAdopted, st.AntibodiesVerified,
 			st.AntibodiesRejected, st.FilteredInputs, st.Halted)
+		if st.WorkloadOffered > 0 {
+			fmt.Printf("%-12s   workload: offered=%d (%.1f req/s) completed=%.1f req/s attacks-injected=%d rejected-at-proxy=%d\n",
+				"", st.WorkloadOffered, st.OfferedReqPerSec, st.CompletedReqPerSec,
+				st.WorkloadAttacks, st.WorkloadRejected)
+		}
 	}
 	totals := fleet.Metrics().Totals()
 	fmt.Printf("%-12s served=%-4d attacks=%d recovered=%d generated=%d adopted=%d verified=%d rejected=%d filtered=%d\n",
@@ -246,12 +318,12 @@ func main() {
 	fmt.Printf("shared store: %d antibodies\n", fleet.Store().Len())
 	for _, g := range fleet.Guests() {
 		ck := g.Sweeper().Checkpoints()
-		captured, mapped := ck.PageStats()
+		captured, full := ck.ByteStats()
 		if ck.Taken() == 0 {
 			continue
 		}
-		fmt.Printf("%-12s checkpoints: %d taken, %d dirty pages captured (full scans would have walked %d)\n",
-			g.Name(), ck.Taken(), captured, mapped)
+		fmt.Printf("%-12s checkpoints: %d taken, %d KiB captured as dirty runs/pages (full-page scans would have copied %d KiB)\n",
+			g.Name(), ck.Taken(), captured/1024, full/1024)
 	}
 	for _, g := range fleet.Guests() {
 		s := g.Sweeper()

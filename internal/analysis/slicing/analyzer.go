@@ -33,6 +33,16 @@ type Result struct {
 	// (early exit once every implicated instruction was found) instead of
 	// materialising the full slice.
 	Focused bool
+	// ControlPruned says control-dependence fan-out was pruned: no analysis
+	// implicated an instruction beyond the memory-state fault PC, so the
+	// full-slice fallback recorded data dependences only. The slice from
+	// the failure then covers the instructions whose *data* influenced it —
+	// the useful diagnostic — instead of ballooning to essentially the whole
+	// execution through the every-instruction→last-branch edges.
+	ControlPruned bool
+	// Recorded counts the dynamic instructions the dependence tracker
+	// recorded during the replay (the slice explores a subset of these).
+	Recorded int
 }
 
 // Analyzer implements analysis.Finding.
@@ -46,6 +56,8 @@ func (r *Result) Summary() string {
 	mode := "full slice"
 	if r.Focused {
 		mode = "focused check"
+	} else if r.ControlPruned {
+		mode = "data-only slice"
 	}
 	return fmt.Sprintf("slice verifies the other analyses (%d dynamic / %d static instructions, %s)", r.Nodes, r.Instrs, mode)
 }
@@ -57,8 +69,20 @@ func (r *Result) Summary() string {
 // implication (and named the culprit request), the dependence tracker is
 // restricted to the culprit's execution and the check runs as a targeted
 // reachability search over the implicated instructions, cutting the slicing
-// critical path without weakening the cross-check.
-type Analyzer struct{}
+// critical path without weakening the cross-check. On the full-slice
+// fallback path — taken when nothing beyond the memory-state fault PC was
+// implicated (neither membug, taint, nor any custom analyzer) —
+// control-dependence fan-out is pruned: with nothing of the fast tier's to
+// verify, the every-instruction→last-branch edges only inflate the slice to
+// the whole execution, so the fallback records data dependences alone (the
+// failure's own instruction, the one implication memory-state analysis
+// contributes, is the slice root and stays trivially covered).
+type Analyzer struct {
+	// ForceControlDeps keeps control-dependence tracking on even on the
+	// fallback path — the pre-prune behaviour, retained for the benchmarks
+	// that measure what the prune saves.
+	ForceControlDeps bool
+}
 
 // Name implements analysis.Analyzer.
 func (Analyzer) Name() string { return AnalyzerName }
@@ -67,7 +91,7 @@ func (Analyzer) Name() string { return AnalyzerName }
 func (Analyzer) Cost() analysis.Tier { return analysis.TierDeferred }
 
 // Run implements analysis.Analyzer.
-func (Analyzer) Run(ctx *analysis.Context, sb *analysis.Sandbox) (analysis.Finding, error) {
+func (a Analyzer) Run(ctx *analysis.Context, sb *analysis.Sandbox) (analysis.Finding, error) {
 	focus := ctx.Implicated()
 	culprit, haveCulprit := ctx.Culprit()
 
@@ -88,9 +112,26 @@ func (Analyzer) Run(ctx *analysis.Context, sb *analysis.Sandbox) (analysis.Findi
 		}
 	}
 
-	sl := New(Options{IncludeControlDeps: true})
+	// The full-slice fallback (no analysis implicated anything) has nothing
+	// to verify beyond the failure point itself, which any backward slice
+	// contains by construction; recording control dependences there only
+	// fans the slice out to essentially the whole execution. Prune them and
+	// keep the focused data slice as the diagnostic. The memory-state step's
+	// implication — the fault PC, always recorded — does not count against
+	// the prune: it is the slice root, covered by any slice. An implication
+	// from any real analyzer (membug, taint, or a custom registration) may
+	// be reachable only through control flow, so it keeps control deps on.
+	res.ControlPruned = !a.ForceControlDeps
+	for _, name := range ctx.ImplicatedBy() {
+		if name != "coredump" {
+			res.ControlPruned = false
+			break
+		}
+	}
+	sl := New(Options{IncludeControlDeps: !res.ControlPruned})
 	sb.Machine().AttachTool(sl)
 	sb.Run()
+	res.Recorded = sl.NodeCount()
 
 	if res.Restricted && len(focus) > 0 {
 		missing, nodes, instrs := sl.VerifyBackward(focus)

@@ -9,6 +9,7 @@ package taint
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"sweeper/internal/proc"
@@ -80,6 +81,37 @@ func (tp *taintPage) clear(off uint32) {
 	if tp.set[off/64]&(1<<(off%64)) != 0 {
 		tp.set[off/64] &^= 1 << (off % 64)
 		tp.n--
+	}
+}
+
+// putRun labels the byte run [off, off+n) with consecutive labels starting at
+// {requestID, dataOff} — the same run-based capture the guest memory's
+// sub-page dirty tracking uses. The presence bitmap is set a word at a time
+// (with a popcount for the newly-set count) instead of bit by bit, so bulk
+// input labeling costs one mask per 64 bytes plus the unavoidable per-byte
+// label stores.
+func (tp *taintPage) putRun(off uint32, n, requestID, dataOff int) {
+	for i := 0; i < n; {
+		a := off + uint32(i)
+		li, bo := a/64, a%64
+		run := int(64 - bo)
+		if rem := n - i; run > rem {
+			run = rem
+		}
+		if tp.lines[li] == nil {
+			tp.lines[li] = new([64]Label)
+		}
+		mask := ^uint64(0)
+		if run < 64 {
+			mask = ((1 << run) - 1) << bo
+		}
+		tp.n += run - bits.OnesCount64(tp.set[li]&mask)
+		tp.set[li] |= mask
+		line := tp.lines[li]
+		for j := 0; j < run; j++ {
+			line[int(bo)+j] = Label{RequestID: requestID, Offset: dataOff + i + j}
+		}
+		i += run
 	}
 }
 
@@ -198,8 +230,8 @@ func (t *Tracker) record(m *vm.Machine, f Finding) {
 
 // OnInput implements vm.InputHook: bytes copied from a request are tainted
 // with their request ID and payload offset. Labeling walks whole page runs —
-// one shadow-page lookup per page — mirroring the bulk recv copy that
-// delivered the bytes.
+// one shadow-page lookup per page, bitmap words set via putRun — mirroring
+// the bulk recv copy that delivered the bytes.
 func (t *Tracker) OnInput(m *vm.Machine, addr uint32, data []byte, requestID int) {
 	for i := 0; i < len(data); {
 		tp := t.shadowPage(addr >> vm.PageShift)
@@ -209,9 +241,7 @@ func (t *Tracker) OnInput(m *vm.Machine, addr uint32, data []byte, requestID int
 			run = rem
 		}
 		before := tp.n
-		for j := 0; j < run; j++ {
-			tp.put(off+uint32(j), Label{RequestID: requestID, Offset: i + j})
-		}
+		tp.putRun(off, run, requestID, i)
 		t.tainted += tp.n - before
 		i += run
 		addr += uint32(run)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"sweeper/internal/proc"
+	"sweeper/internal/vm"
 )
 
 // Policy controls when checkpoints are taken and how many are retained.
@@ -30,12 +31,13 @@ type Manager struct {
 	seq    int
 	lastMs uint64
 	taken  int
-	// pagesCaptured sums the dirty pages each checkpoint captured;
-	// pagesMapped sums the pages mapped at each checkpoint. Their ratio is
-	// the win of incremental (O(dirty)) over full-scan (O(mapped))
-	// checkpointing across the run.
-	pagesCaptured int
-	pagesMapped   int
+	// bytesCaptured sums the page data each checkpoint captured (sub-page
+	// dirty runs by run length, whole-page captures by vm.PageSize);
+	// bytesFull sums what full-scan, full-page checkpoints would have walked
+	// instead (mapped pages times vm.PageSize). Their ratio is the win of
+	// the sub-page incremental design across the run.
+	bytesCaptured int
+	bytesFull     int
 }
 
 // NewManager returns a manager with the given policy; zero fields fall back
@@ -60,11 +62,12 @@ func (m *Manager) Count() int { return len(m.snaps) }
 // Taken returns the total number of checkpoints taken since creation.
 func (m *Manager) Taken() int { return m.taken }
 
-// PageStats returns the cumulative page counts across every checkpoint
-// taken: captured is the dirty pages actually snapshotted, mapped is what a
-// full-scan snapshot would have walked instead.
-func (m *Manager) PageStats() (captured, mapped int) {
-	return m.pagesCaptured, m.pagesMapped
+// ByteStats returns the cumulative byte counts across every checkpoint
+// taken: captured is the page data actually snapshotted (dirty runs plus
+// whole pages), full is what full-scan, full-page snapshots would have
+// copied instead.
+func (m *Manager) ByteStats() (captured, full int) {
+	return m.bytesCaptured, m.bytesFull
 }
 
 // Checkpoint unconditionally takes a snapshot of p and adds it to the ring,
@@ -78,8 +81,8 @@ func (m *Manager) Checkpoint(p *proc.Process) *proc.Snapshot {
 	}
 	m.lastMs = s.TakenAtMs
 	m.taken++
-	m.pagesCaptured += s.DirtyPages
-	m.pagesMapped += s.Mem.Pages()
+	m.bytesCaptured += s.CapturedBytes
+	m.bytesFull += s.Mem.Pages() * vm.PageSize
 	return s
 }
 

@@ -163,9 +163,9 @@ func TestIncrementalCheckpointPageStats(t *testing.T) {
 			t.Errorf("steady checkpoint %d captured %d of %d pages; expected an incremental delta", i, s.DirtyPages, s.Mem.Pages())
 		}
 	}
-	captured, mapped := m.PageStats()
-	if captured >= mapped {
-		t.Errorf("cumulative captured pages %d not below full-scan page walks %d", captured, mapped)
+	captured, full := m.ByteStats()
+	if captured >= full {
+		t.Errorf("cumulative captured bytes %d not below full-scan byte walks %d", captured, full)
 	}
 	if m.Taken() != 7 {
 		t.Errorf("Taken = %d, want 7", m.Taken())

@@ -43,6 +43,13 @@ type Guest struct {
 	busy    bool
 	stopped bool
 
+	// gen is the guest's optional open-loop workload generator (see
+	// workload.go). genDone mirrors its completion under mu so Drain and the
+	// serving loop agree; genStats is the latest snapshot of its counters.
+	gen      *workloadGen
+	genDone  bool
+	genStats WorkloadStats
+
 	// applied maps an antibody family (owner-attackN) to the currently
 	// installed refinement stage, so a refined antibody replaces the initial
 	// one instead of stacking probes; appliedRank remembers how refined the
@@ -178,15 +185,16 @@ func (f *Fleet) Submit(guest string, payload []byte, src string, malicious bool)
 }
 
 // Drain blocks until every guest is quiescent: no queued requests, no
-// pending antibody applications, no attack analysis in flight — including
-// the deferred analysis tier, which completes after a guest has already
-// resumed service. It must not race with Submit calls.
+// pending antibody applications, no running workload generator, no attack
+// analysis in flight — including the deferred analysis tier, which completes
+// after a guest has already resumed service. It must not race with Submit
+// calls.
 func (f *Fleet) Drain() {
 	for {
 		waited := false
 		for _, g := range f.Guests() {
 			g.mu.Lock()
-			for !g.stopped && (g.busy || g.pending || len(g.inbox) > 0) {
+			for !g.stopped && (g.busy || g.pending || len(g.inbox) > 0 || g.workloadRunnable()) {
 				waited = true
 				g.cond.Wait()
 			}
@@ -197,6 +205,12 @@ func (f *Fleet) Drain() {
 			return
 		}
 	}
+}
+
+// workloadRunnable reports whether the guest's workload generator still has
+// load to offer. Callers hold g.mu.
+func (g *Guest) workloadRunnable() bool {
+	return g.gen != nil && !g.genDone && g.serveErr == nil
 }
 
 // Stop drains outstanding work, terminates every guest goroutine and waits
@@ -374,7 +388,7 @@ func (g *Guest) loop() {
 	defer g.fleet.wg.Done()
 	for {
 		g.mu.Lock()
-		for !g.stopped && !g.pending && len(g.inbox) == 0 {
+		for !g.stopped && !g.pending && len(g.inbox) == 0 && !g.workloadRunnable() {
 			g.cond.Wait()
 		}
 		if g.stopped {
@@ -385,11 +399,36 @@ func (g *Guest) loop() {
 		g.inbox = nil
 		serve := g.pending
 		g.pending = false
+		var gen *workloadGen
+		if g.workloadRunnable() {
+			gen = g.gen
+		}
 		g.busy = true
 		g.mu.Unlock()
 
 		for _, a := range inbox {
 			g.adopt(a)
+		}
+		if gen != nil {
+			if g.s.Halted() {
+				// The guest halted outside the workload slice (e.g. an
+				// externally submitted request took it down in the serve
+				// branch below): retire the generator, or workloadRunnable
+				// would keep the loop spinning and Drain waiting forever.
+				g.mu.Lock()
+				g.genDone = true
+				g.mu.Unlock()
+			} else {
+				done, err := g.runWorkloadSlice(gen)
+				g.mu.Lock()
+				if done {
+					g.genDone = true
+				}
+				if err != nil {
+					g.serveErr = err
+				}
+				g.mu.Unlock()
+			}
 		}
 		if serve && !g.s.Halted() {
 			_, err := g.s.ServeAll()
@@ -409,6 +448,7 @@ func (g *Guest) loop() {
 }
 
 // updateMetrics publishes the guest's absolute counters to the recorder.
+// Runs on the guest's serving goroutine.
 func (g *Guest) updateMetrics() {
 	recovered := 0
 	for _, r := range g.s.Attacks() {
@@ -416,13 +456,31 @@ func (g *Guest) updateMetrics() {
 			recovered++
 		}
 	}
+	served := g.s.Process().ServedRequests()
+	g.mu.Lock()
+	gen, done := g.gen, g.genDone
+	g.mu.Unlock()
+	var wl WorkloadStats
+	if gen != nil {
+		wl = gen.stats(g.s.Process().Machine.NowMicros(), served, done)
+		g.mu.Lock()
+		g.genStats = wl
+		g.mu.Unlock()
+	}
 	g.fleet.rec.Update(g.name, func(st *metrics.GuestStats) {
-		st.RequestsServed = g.s.Process().ServedRequests()
+		st.RequestsServed = served
 		st.AttacksHandled = len(g.s.Attacks())
 		st.Recovered = recovered
 		st.FilteredInputs = g.s.Proxy().Stats().Filtered
 		st.DeferredBacklog = g.s.DeferredBacklog()
 		st.DeferredDropped = g.s.DeferredDropped()
 		st.Halted = g.s.Halted()
+		if gen != nil {
+			st.WorkloadOffered = wl.Offered
+			st.WorkloadAttacks = wl.Attacks
+			st.WorkloadRejected = wl.Rejected
+			st.OfferedReqPerSec = wl.OfferedPerSec()
+			st.CompletedReqPerSec = wl.CompletedPerSec()
+		}
 	})
 }

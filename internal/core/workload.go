@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"sweeper/internal/vm"
+)
+
+// WorkloadConfig configures one guest's open-loop workload generator: a
+// rate-controlled request stream driven against the live guest by its own
+// serving goroutine. "Open loop" means arrivals are scheduled on the virtual
+// clock independently of completions — request i arrives at
+// i/TargetReqPerSec seconds into the workload whether or not the guest has
+// kept up — so recovery stalls show up as backlog and a throughput dip
+// followed by a catch-up burst, exactly what the paper's Figure 5 measures
+// against a real client harness.
+type WorkloadConfig struct {
+	// TargetReqPerSec is the offered load in requests per virtual second.
+	// Rates beyond the guest's service capacity saturate it (the queue never
+	// drains between arrivals), which is how the Figure 4 overhead sweeps
+	// measure peak-throughput cost.
+	TargetReqPerSec float64
+	// Requests is the total number of requests the generator offers before
+	// completing.
+	Requests int
+	// Benign builds the i-th benign request payload; it defines the request
+	// mix (callers typically cycle several request kinds by index).
+	Benign func(i int) []byte
+	// AttackEvery injects an exploit payload in place of every AttackEvery-th
+	// request (0 disables attack injection). Attack builds the k-th injected
+	// exploit (k counts injections, so variants can differ); both must be set
+	// together.
+	AttackEvery int
+	Attack      func(k int) []byte
+	// Source tags the generated requests at the proxy ("loadgen" when empty;
+	// attack injections are always tagged "worm").
+	Source string
+}
+
+// WorkloadStats is a snapshot of one generator's progress, exported through
+// metrics.GuestStats and read via Guest accessors after Drain.
+type WorkloadStats struct {
+	// Offered counts requests handed to the proxy so far (including ones an
+	// input-signature filter rejected); Attacks counts the exploit
+	// injections among them; Rejected counts offers the proxy filtered out.
+	Offered  int
+	Attacks  int
+	Rejected int
+	// Completed counts the requests that finished service within the
+	// workload window (requests the guest served before the generator
+	// started are excluded, so mixed Submit+generator traffic does not
+	// inflate the rate).
+	Completed int
+	// StartUs/ElapsedUs delimit the workload on the guest's virtual clock,
+	// in microseconds — checkpoint overheads are fractions of a millisecond
+	// per interval, so rates derived at millisecond granularity would round
+	// them away. ElapsedUs stops advancing once the generator finishes.
+	StartUs   uint64
+	ElapsedUs uint64
+	// Done reports that the generator offered all of its requests (or gave up
+	// because the guest halted).
+	Done bool
+}
+
+// CompletedPerSec returns the realised completion rate over the workload
+// window, in requests per virtual second.
+func (w WorkloadStats) CompletedPerSec() float64 {
+	if w.ElapsedUs == 0 {
+		return 0
+	}
+	return float64(w.Completed) / (float64(w.ElapsedUs) / 1e6)
+}
+
+// OfferedPerSec returns the realised offered load in requests per virtual
+// second.
+func (w WorkloadStats) OfferedPerSec() float64 {
+	if w.ElapsedUs == 0 {
+		return 0
+	}
+	return float64(w.Offered) / (float64(w.ElapsedUs) / 1e6)
+}
+
+// workloadGen is the per-guest generator state. It is owned by the guest's
+// serving goroutine; the done flag is mirrored into Guest.genDone under the
+// guest mutex so Drain and the serving loop agree on liveness.
+type workloadGen struct {
+	cfg         WorkloadConfig
+	next        int // next request index to offer
+	attacks     int // exploit injections so far
+	rejected    int
+	started     bool
+	startServed int // ServedRequests at workload start, the completion baseline
+	startUs     uint64
+	endUs       uint64
+}
+
+// arrivalUs returns the virtual time, relative to the workload start, at
+// which request i arrives.
+func (gen *workloadGen) arrivalUs(i int) uint64 {
+	return uint64(float64(i) * 1e6 / gen.cfg.TargetReqPerSec)
+}
+
+// payloadFor builds request i and reports whether it is an attack injection.
+func (gen *workloadGen) payloadFor(i int) (payload []byte, malicious bool) {
+	if gen.cfg.AttackEvery > 0 && gen.cfg.Attack != nil && (i+1)%gen.cfg.AttackEvery == 0 {
+		return gen.cfg.Attack(gen.attacks), true
+	}
+	return gen.cfg.Benign(i), false
+}
+
+func (gen *workloadGen) source(malicious bool) string {
+	if malicious {
+		return "worm"
+	}
+	if gen.cfg.Source != "" {
+		return gen.cfg.Source
+	}
+	return "loadgen"
+}
+
+// stats snapshots the generator's counters against the guest's clock and
+// lifetime served-request count.
+func (gen *workloadGen) stats(nowUs uint64, served int, done bool) WorkloadStats {
+	end := nowUs
+	if gen.endUs != 0 {
+		end = gen.endUs
+	}
+	elapsed := uint64(0)
+	if gen.started && end > gen.startUs {
+		elapsed = end - gen.startUs
+	}
+	completed := served - gen.startServed
+	if !gen.started || completed < 0 {
+		completed = 0
+	}
+	return WorkloadStats{
+		Offered:   gen.next,
+		Attacks:   gen.attacks,
+		Rejected:  gen.rejected,
+		Completed: completed,
+		StartUs:   gen.startUs,
+		ElapsedUs: elapsed,
+		Done:      done,
+	}
+}
+
+// SetWorkload attaches an open-loop workload generator to the guest. The
+// guest's serving goroutine drives it once the fleet starts: it submits each
+// request at its scheduled virtual arrival time (advancing the virtual clock
+// across idle gaps, as wall time would pass for a blocked server) and serves
+// the queue in between. Call before Fleet.Start; Drain and Stop wait for the
+// generator to finish offering its load.
+func (g *Guest) SetWorkload(cfg WorkloadConfig) error {
+	if cfg.TargetReqPerSec <= 0 {
+		return fmt.Errorf("core: workload for %s: TargetReqPerSec must be positive", g.name)
+	}
+	if cfg.Requests <= 0 {
+		return fmt.Errorf("core: workload for %s: Requests must be positive", g.name)
+	}
+	if cfg.Benign == nil {
+		return fmt.Errorf("core: workload for %s: a Benign payload builder is required", g.name)
+	}
+	if cfg.AttackEvery > 0 && cfg.Attack == nil {
+		return fmt.Errorf("core: workload for %s: AttackEvery is set but no Attack payload builder", g.name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.gen != nil {
+		return fmt.Errorf("core: guest %s already has a workload generator", g.name)
+	}
+	g.gen = &workloadGen{cfg: cfg}
+	g.cond.Broadcast()
+	return nil
+}
+
+// WorkloadStats returns the generator's progress counters (zero value when
+// the guest has no generator). Safe to call concurrently; the counters are
+// only final after Fleet.Drain.
+func (g *Guest) WorkloadStats() WorkloadStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.genStats
+}
+
+// workloadSliceBatch bounds how many arrivals one serving-loop iteration
+// admits before serving the queue, so antibody deliveries interleave with a
+// saturating generator instead of waiting for the whole workload.
+const workloadSliceBatch = 32
+
+// runWorkloadSlice admits the next batch of due arrivals — advancing the
+// virtual clock across idle gaps — and serves them. Runs on the guest's
+// serving goroutine, which owns the Sweeper. It reports whether the
+// generator has finished.
+func (g *Guest) runWorkloadSlice(gen *workloadGen) (done bool, err error) {
+	s := g.s
+	mach := s.Process().Machine
+	if !gen.started {
+		gen.started = true
+		gen.startUs = mach.NowMicros()
+		gen.startServed = s.Process().ServedRequests()
+	}
+	for submitted := 0; gen.next < gen.cfg.Requests && submitted < workloadSliceBatch; submitted++ {
+		due := gen.arrivalUs(gen.next)
+		now := mach.NowMicros() - gen.startUs
+		if due > now {
+			if submitted > 0 || s.Proxy().Pending() > 0 {
+				// Work is queued and the next arrival is in the future: serve
+				// first, then reconsider on the next slice.
+				break
+			}
+			// The guest is idle until the next arrival. A real server would
+			// block in recv while wall time passes; model that by advancing
+			// the virtual clock to the arrival.
+			mach.AddCycles((due - now) * vm.CyclesPerMicrosecond)
+		}
+		i := gen.next
+		gen.next++
+		payload, malicious := gen.payloadFor(i)
+		if malicious {
+			gen.attacks++
+		}
+		if !s.Submit(payload, gen.source(malicious), malicious) {
+			gen.rejected++
+		}
+	}
+	if _, err := s.ServeAll(); err != nil {
+		gen.endUs = mach.NowMicros()
+		return true, err
+	}
+	if gen.next >= gen.cfg.Requests {
+		if gen.endUs == 0 {
+			gen.endUs = mach.NowMicros()
+		}
+		return true, nil
+	}
+	if s.Halted() {
+		gen.endUs = mach.NowMicros()
+		return true, nil
+	}
+	return false, nil
+}

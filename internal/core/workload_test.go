@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sweeper/internal/apps"
+	"sweeper/internal/exploit"
+)
+
+// TestWorkloadGeneratorOffersAndCompletes drives two guests with open-loop
+// generators at a rate far below the service capacity: every offered request
+// must complete, the workload window must be paced by the arrival schedule
+// (idle gaps advance the virtual clock), and the offered rate must land near
+// the configured target.
+func TestWorkloadGeneratorOffersAndCompletes(t *testing.T) {
+	const (
+		guests   = 2
+		requests = 60
+		rate     = 50.0 // req/s, far below capacity: the guest idles between arrivals
+	)
+	f, _ := newFleetWith(t, "cvs", guests)
+	for i := 0; i < guests; i++ {
+		g, _ := f.Guest(fmt.Sprintf("cvs-%d", i))
+		if err := g.SetWorkload(WorkloadConfig{
+			TargetReqPerSec: rate,
+			Requests:        requests,
+			Benign:          func(j int) []byte { return exploit.Benign("cvs", j) },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Start()
+	f.Drain()
+	f.Stop()
+
+	for i := 0; i < guests; i++ {
+		name := fmt.Sprintf("cvs-%d", i)
+		g, _ := f.Guest(name)
+		if err := g.ServeError(); err != nil {
+			t.Fatalf("%s serve error: %v", name, err)
+		}
+		wl := g.WorkloadStats()
+		if !wl.Done {
+			t.Errorf("%s: workload not done: %+v", name, wl)
+		}
+		if wl.Offered != requests {
+			t.Errorf("%s: offered %d requests, want %d", name, wl.Offered, requests)
+		}
+		if served := g.Sweeper().Process().ServedRequests(); served != requests {
+			t.Errorf("%s: served %d requests, want all %d offered", name, served, requests)
+		}
+		// Open-loop pacing: the last arrival is scheduled at
+		// (requests-1)/rate seconds, so the workload window cannot be shorter
+		// than that, and at this gentle rate it should not overshoot by much.
+		minUs := uint64(float64(requests-1) / rate * 1e6)
+		if wl.ElapsedUs < minUs {
+			t.Errorf("%s: workload window %d us shorter than the arrival schedule %d us", name, wl.ElapsedUs, minUs)
+		}
+		if wl.ElapsedUs > 3*minUs {
+			t.Errorf("%s: workload window %d us far beyond the arrival schedule %d us", name, wl.ElapsedUs, minUs)
+		}
+		st, _ := f.Metrics().Guest(name)
+		if st.WorkloadOffered != requests || st.OfferedReqPerSec <= 0 || st.CompletedReqPerSec <= 0 {
+			t.Errorf("%s: generator stats not surfaced: %+v", name, st)
+		}
+	}
+}
+
+// TestWorkloadGeneratorAttackInjection injects exploit variants into guest
+// 0's stream: the attacks must be detected and recovered from while the
+// generator keeps offering load, the antibody must inoculate the peer guest,
+// and later injections must be rejected at the proxy (counted as rejected
+// offers).
+func TestWorkloadGeneratorAttackInjection(t *testing.T) {
+	const requests = 40
+	f, spec := newFleetWith(t, "cvs", 2)
+	g0, _ := f.Guest("cvs-0")
+	if err := g0.SetWorkload(WorkloadConfig{
+		TargetReqPerSec: 500,
+		Requests:        requests,
+		Benign:          func(j int) []byte { return exploit.Benign("cvs", j) },
+		AttackEvery:     10,
+		Attack: func(k int) []byte {
+			payload, err := exploit.Exploit(spec)
+			if err != nil {
+				t.Errorf("building exploit: %v", err)
+				return []byte("x")
+			}
+			return payload
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := f.Guest("cvs-1")
+	if err := g1.SetWorkload(WorkloadConfig{
+		TargetReqPerSec: 500,
+		Requests:        requests,
+		Benign:          func(j int) []byte { return exploit.Benign("cvs", j) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	f.Drain()
+	f.Stop()
+
+	if err := g0.ServeError(); err != nil {
+		t.Fatalf("cvs-0 serve error: %v", err)
+	}
+	wl := g0.WorkloadStats()
+	if wl.Attacks != requests/10 {
+		t.Errorf("cvs-0 injected %d attacks, want %d", wl.Attacks, requests/10)
+	}
+	if len(g0.Sweeper().Attacks()) == 0 {
+		t.Fatal("no attack was handled despite injections")
+	}
+	if !g0.Sweeper().Attacks()[0].Recovered {
+		t.Error("cvs-0 did not recover from the injected attack")
+	}
+	// The first injection generated the antibody; later identical injections
+	// are dropped at the proxy and show up as rejected offers.
+	if wl.Rejected == 0 {
+		t.Error("no later injection was rejected at the proxy (antibody not applied?)")
+	}
+	st1, _ := f.Metrics().Guest("cvs-1")
+	if st1.AntibodiesAdopted == 0 {
+		t.Error("peer guest adopted no antibodies from the attacked guest")
+	}
+	payload, err := exploit.Exploit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Submit("cvs-1", payload, "worm", true) {
+		t.Error("peer guest accepted the exploit after inoculation")
+	}
+}
+
+// TestWorkloadGeneratorGuestHaltEndsWorkload pins the shutdown path: when a
+// guest dies mid-workload (here: an externally submitted exploit hijacks an
+// ASLR-less guest, which exits without an error), the generator must be
+// retired — Drain and Stop return instead of waiting on a workload the dead
+// guest can never finish.
+func TestWorkloadGeneratorGuestHaltEndsWorkload(t *testing.T) {
+	spec, err := apps.ByName("apache1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet()
+	cfg := DefaultConfig()
+	cfg.ASLR = false // the hijack succeeds and the guest halts
+	g, err := f.AddGuest("apache1-0", spec.Name, spec.Image, spec.Options, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetWorkload(WorkloadConfig{
+		TargetReqPerSec: 1000,
+		Requests:        5000,
+		Benign:          func(j int) []byte { return exploit.Benign("apache1", j) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	payload, err := exploit.Exploit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Submit("apache1-0", payload, "worm", true)
+
+	done := make(chan struct{})
+	go func() {
+		f.Drain()
+		f.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Drain/Stop hung after the guest halted mid-workload")
+	}
+	if !g.Sweeper().Halted() {
+		t.Fatal("guest did not halt; the scenario needs the ASLR-less hijack to succeed")
+	}
+	wl := g.WorkloadStats()
+	if !wl.Done {
+		t.Errorf("generator not retired after guest halt: %+v", wl)
+	}
+	if wl.Offered >= 5000 {
+		t.Errorf("generator offered its whole load (%d) despite the halt", wl.Offered)
+	}
+}
+
+// TestSetWorkloadValidation exercises the config validation and the
+// one-generator-per-guest rule.
+func TestSetWorkloadValidation(t *testing.T) {
+	f, _ := newFleetWith(t, "cvs", 1)
+	g, _ := f.Guest("cvs-0")
+	benign := func(j int) []byte { return exploit.Benign("cvs", j) }
+	for _, bad := range []WorkloadConfig{
+		{TargetReqPerSec: 0, Requests: 10, Benign: benign},
+		{TargetReqPerSec: 100, Requests: 0, Benign: benign},
+		{TargetReqPerSec: 100, Requests: 10},
+		{TargetReqPerSec: 100, Requests: 10, Benign: benign, AttackEvery: 5},
+	} {
+		if err := g.SetWorkload(bad); err == nil {
+			t.Errorf("SetWorkload(%+v) accepted an invalid config", bad)
+		}
+	}
+	ok := WorkloadConfig{TargetReqPerSec: 100, Requests: 10, Benign: benign}
+	if err := g.SetWorkload(ok); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := g.SetWorkload(ok); err == nil {
+		t.Error("second generator on the same guest was accepted")
+	}
+	f.Start()
+	f.Drain()
+	f.Stop()
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweeper/internal/analysis"
+	"sweeper/internal/analysis/slicing"
+	"sweeper/internal/apps"
+	"sweeper/internal/core"
+	"sweeper/internal/exploit"
+	"sweeper/internal/metrics"
+)
+
+// FleetWorkload scales RunFleetOverheadSweep: how many live guests per
+// application image, how much load each guest's open-loop generator offers,
+// and whether exploit injections ride along in guest 0's stream.
+type FleetWorkload struct {
+	// GuestsPerApp is the number of concurrently-serving guests per image
+	// (each on its own goroutine with its own randomised layout).
+	GuestsPerApp int
+	// RequestsPerGuest is each generator's total offered load.
+	RequestsPerGuest int
+	// TargetReqPerSec is each generator's offered rate in requests per
+	// virtual second. Rates beyond the image's service capacity (roughly
+	// 260-590 req/s across the four evaluation images) saturate the guest,
+	// which is what the Figure 4 overhead points need; sub-capacity rates
+	// leave headroom so offered-vs-completed comparisons (Figure 5) are
+	// meaningful.
+	TargetReqPerSec float64
+	// AttackEvery, when non-zero, injects an exploit variant every
+	// AttackEvery-th request of guest 0's stream (the worm hitting one host
+	// of the fleet; peers get inoculated through the shared store).
+	AttackEvery int
+}
+
+// QuickFleetWorkload returns a fleet workload sized for tests and the smoke
+// registry: two guests per image under a saturating open-loop rate.
+func QuickFleetWorkload() FleetWorkload {
+	return FleetWorkload{
+		GuestsPerApp:     2,
+		RequestsPerGuest: 200,
+		TargetReqPerSec:  5000,
+	}
+}
+
+// Figure5FleetWorkload returns the Figure 5 style fleet workload: a
+// sub-capacity offered rate, so offered-versus-completed throughput is
+// meaningful, with a worm injecting exploit variants into guest 0's stream.
+func Figure5FleetWorkload() FleetWorkload {
+	wl := QuickFleetWorkload()
+	wl.TargetReqPerSec = 150
+	wl.RequestsPerGuest = 300
+	wl.AttackEvery = 60
+	return wl
+}
+
+// FleetSweepPoint is one (app, interval) measurement of the fleet sweep.
+type FleetSweepPoint struct {
+	IntervalMs uint64
+	// OfferedPerGuest and ThroughputPerGuest are the mean offered and
+	// completed rates across the app's guests, in requests per virtual
+	// second.
+	OfferedPerGuest    float64
+	ThroughputPerGuest float64
+	// Overhead is the throughput drop relative to the same fleet running
+	// with checkpointing disabled (the Figure 4 quantity).
+	Overhead float64
+	// AttacksHandled and AntibodiesGenerated aggregate the defence activity
+	// the injected exploits triggered (zero in benign-only sweeps).
+	AttacksHandled      int
+	AntibodiesGenerated int
+	// CapturedBytes and FullScanBytes aggregate the checkpoint managers'
+	// ByteStats across the fleet: what the sub-page incremental checkpoints
+	// captured versus what full-page full scans would have copied.
+	CapturedBytes int
+	FullScanBytes int
+}
+
+// FleetSweepApp is the sweep result for one application image.
+type FleetSweepApp struct {
+	App    string
+	Guests int
+	// BaselinePerGuest is the mean per-guest throughput with checkpointing
+	// disabled, the denominator of every point's Overhead.
+	BaselinePerGuest float64
+	Points           []FleetSweepPoint
+}
+
+// neverCheckpointMs effectively disables checkpointing for baseline runs.
+const neverCheckpointMs = uint64(1) << 40
+
+// RunFleetOverheadSweep reproduces the Figure 4/5 measurements against the
+// live fleet instead of a single scripted guest: for every application image
+// it stands up GuestsPerApp concurrently-serving guests, drives each with
+// its own open-loop workload generator, and sweeps the checkpoint interval,
+// reporting per-guest throughput and the overhead against a
+// checkpointing-disabled baseline fleet under the identical workload.
+// Throughputs are virtual-clock quantities, so benign-only sweeps are
+// deterministic per configuration.
+func RunFleetOverheadSweep(appNames []string, wl FleetWorkload, intervals []uint64) ([]FleetSweepApp, error) {
+	if wl.GuestsPerApp < 2 {
+		return nil, fmt.Errorf("experiments: fleet sweep needs at least 2 guests per app, got %d", wl.GuestsPerApp)
+	}
+	if len(intervals) == 0 {
+		intervals = []uint64{20, 100, 200}
+	}
+	var out []FleetSweepApp
+	for _, app := range appNames {
+		baseline, err := runFleetPoint(app, wl, neverCheckpointMs)
+		if err != nil {
+			return nil, err
+		}
+		res := FleetSweepApp{App: app, Guests: wl.GuestsPerApp, BaselinePerGuest: baseline.ThroughputPerGuest}
+		for _, interval := range intervals {
+			pt, err := runFleetPoint(app, wl, interval)
+			if err != nil {
+				return nil, err
+			}
+			pt.Overhead = metrics.Overhead(res.BaselinePerGuest, pt.ThroughputPerGuest)
+			res.Points = append(res.Points, pt)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FleetGuestWorkload builds the open-loop workload configuration for guest
+// guestIndex of the given app image: the benign request mix from
+// exploit.Benign and — for guest 0 when attackEvery > 0 — exploit variants
+// injected every attackEvery-th request, prebuilt so the generator callback
+// cannot fail mid-workload. Shared by RunFleetOverheadSweep and sweeperd's
+// -rate mode.
+func FleetGuestWorkload(spec *apps.Spec, guestIndex int, rate float64, requests, attackEvery int) (core.WorkloadConfig, error) {
+	appName := spec.Name
+	cfg := core.WorkloadConfig{
+		TargetReqPerSec: rate,
+		Requests:        requests,
+		Benign:          func(j int) []byte { return exploit.Benign(appName, j) },
+		Source:          "loadgen",
+	}
+	if attackEvery > 0 && guestIndex == 0 {
+		// Injections land at request indices attackEvery-1, 2*attackEvery-1,
+		// ...: exactly requests/attackEvery of them.
+		var variants [][]byte
+		for k := 0; k < requests/attackEvery; k++ {
+			payload, err := exploit.ExploitVariant(spec, k)
+			if err != nil {
+				return core.WorkloadConfig{}, err
+			}
+			variants = append(variants, payload)
+		}
+		if len(variants) > 0 {
+			cfg.AttackEvery = attackEvery
+			cfg.Attack = func(k int) []byte { return variants[k%len(variants)] }
+		}
+	}
+	return cfg, nil
+}
+
+// runFleetPoint stands up one fleet of wl.GuestsPerApp guests of the named
+// app at the given checkpoint interval, runs every generator to completion,
+// and aggregates the per-guest rates and checkpoint byte stats.
+func runFleetPoint(app string, wl FleetWorkload, intervalMs uint64) (FleetSweepPoint, error) {
+	pt := FleetSweepPoint{IntervalMs: intervalMs}
+	spec, err := apps.ByName(app)
+	if err != nil {
+		return pt, err
+	}
+	fleet := core.NewFleet()
+	guests := make([]*core.Guest, 0, wl.GuestsPerApp)
+	for i := 0; i < wl.GuestsPerApp; i++ {
+		cfg := core.DefaultConfig()
+		cfg.CheckpointIntervalMs = intervalMs
+		// Every guest gets its own randomised layout, like distinct hosts.
+		cfg.ASLRSeed = 0x5eed + int64(i)*7919
+		g, err := fleet.AddGuest(fmt.Sprintf("%s-%d", app, i), spec.Name, spec.Image, spec.Options, cfg)
+		if err != nil {
+			return pt, err
+		}
+		wcfg, err := FleetGuestWorkload(spec, i, wl.TargetReqPerSec, wl.RequestsPerGuest, wl.AttackEvery)
+		if err != nil {
+			return pt, err
+		}
+		if err := g.SetWorkload(wcfg); err != nil {
+			return pt, err
+		}
+		guests = append(guests, g)
+	}
+	fleet.Start()
+	fleet.Drain()
+	fleet.Stop()
+
+	for _, g := range guests {
+		if err := g.ServeError(); err != nil {
+			return pt, fmt.Errorf("experiments: fleet sweep %s @%dms: %w", g.Name(), intervalMs, err)
+		}
+		st, _ := fleet.Metrics().Guest(g.Name())
+		if st.Halted {
+			return pt, fmt.Errorf("experiments: fleet sweep %s @%dms: guest halted", g.Name(), intervalMs)
+		}
+		pt.OfferedPerGuest += st.OfferedReqPerSec
+		pt.ThroughputPerGuest += st.CompletedReqPerSec
+		pt.AttacksHandled += st.AttacksHandled
+		pt.AntibodiesGenerated += st.AntibodiesGenerated
+		captured, full := g.Sweeper().Checkpoints().ByteStats()
+		pt.CapturedBytes += captured
+		pt.FullScanBytes += full
+	}
+	n := float64(len(guests))
+	pt.OfferedPerGuest /= n
+	pt.ThroughputPerGuest /= n
+	return pt, nil
+}
+
+// SliceFallbackComparison measures the slicing analyzer's full-slice
+// fallback path (only slicing configured, so neither membug nor taint
+// implicates anything) on the real Squid exploit, with and without the
+// control-dependence prune: the pruned run is the production default, the
+// forced run registers slicing.Analyzer{ForceControlDeps: true} — the
+// pre-prune behaviour — under an otherwise identical configuration.
+func SliceFallbackComparison() (pruned, forced *slicing.Result, err error) {
+	runOne := func(force bool) (*slicing.Result, error) {
+		run, err := RunDefense("squid", 8, 8, func(c *core.Config) {
+			c.Analyses = []string{slicing.AnalyzerName}
+			if force {
+				reg := analysis.NewRegistry()
+				if err := reg.Register(slicing.Analyzer{ForceControlDeps: true}); err != nil {
+					panic(err) // unreachable: one registration in a fresh registry
+				}
+				c.Registry = reg
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, ok := run.Report.FindingFor(slicing.AnalyzerName).(*slicing.Result)
+		if !ok {
+			return nil, fmt.Errorf("experiments: slicing produced no result (error: %q)", run.Report.ErrorFor(slicing.AnalyzerName))
+		}
+		return res, nil
+	}
+	if pruned, err = runOne(false); err != nil {
+		return nil, nil, err
+	}
+	if forced, err = runOne(true); err != nil {
+		return nil, nil, err
+	}
+	return pruned, forced, nil
+}

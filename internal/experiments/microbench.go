@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -20,9 +21,12 @@ import (
 type HotPathMicro struct {
 	// MappedPages is the image's mapped page count at measurement time;
 	// SteadyDirtyPages is how many pages a steady-state checkpoint (one
-	// benign request served since the previous checkpoint) captures.
-	MappedPages      int
-	SteadyDirtyPages int
+	// benign request served since the previous checkpoint) captures, and
+	// SteadyCapturedBytes how much page data that capture actually copied
+	// (sub-page dirty runs by run length, whole pages by vm.PageSize).
+	MappedPages         int
+	SteadyDirtyPages    int
+	SteadyCapturedBytes int
 
 	// FullSnapshotNs / SteadySnapshotNs are the mean host-time costs of one
 	// full-scan snapshot versus one steady-state incremental snapshot.
@@ -123,6 +127,7 @@ func RunHotPathMicro() (*HotPathMicro, error) {
 				total += time.Since(start)
 				if res.SteadyDirtyPages == 0 && s.DeltaPages() > 0 {
 					res.SteadyDirtyPages = s.DeltaPages()
+					res.SteadyCapturedBytes = s.CapturedBytes()
 				}
 			}
 			return float64(total.Nanoseconds()) / snapBatch
@@ -180,6 +185,118 @@ func RunHotPathMicro() (*HotPathMicro, error) {
 	}
 	if bulk := res.BulkReadNsPerByte + res.BulkWriteNsPerByte; bulk > 0 {
 		res.BulkIOSpeedup = (res.ByteReadNsPerByte + res.ByteWriteNsPerByte) / bulk
+	}
+	return res, nil
+}
+
+// SubPageMicro compares sub-page dirty-run checkpoint capture against the
+// page-granular capture it replaced, on the two workload shapes that bound
+// the design: a scatterer that writes a few bytes into many pages per
+// checkpoint epoch (where runs should win big) and a sequential writer that
+// fills whole pages (where the sub-page path must not regress — large runs
+// fall back to whole-page freezing).
+type SubPageMicro struct {
+	// ScatteredCapturedBytes is what the sub-page snapshots captured across
+	// the scattered-write epochs; ScatteredPageBytes is what page-granular
+	// capture charges for the same epochs (touched pages times vm.PageSize).
+	ScatteredCapturedBytes int
+	ScatteredPageBytes     int
+	// ScatteredReductionX is PageBytes / CapturedBytes — the headline
+	// captured-byte reduction of the sub-page design.
+	ScatteredReductionX float64
+
+	// The same three quantities for the sequential full-page writer; the
+	// reduction is ~1.0 by design (no regression, no win).
+	SequentialCapturedBytes int
+	SequentialPageBytes     int
+	SequentialReductionX    float64
+}
+
+// RunSubPageMicro measures checkpoint capture volume under scattered small
+// writes versus sequential full-page writes, and verifies along the way that
+// every retained snapshot restores byte-identically to a shadow copy of the
+// arena (the deep proof lives in the vm package's differential tests).
+func RunSubPageMicro() (*SubPageMicro, error) {
+	const (
+		arenaBase  = uint32(0x100000)
+		arenaPages = 256
+		epochs     = 16
+	)
+	res := &SubPageMicro{}
+
+	type retained struct {
+		snap   *vm.MemSnapshot
+		shadow []byte
+	}
+	runPattern := func(writeEpoch func(m *vm.Memory, shadow []byte, epoch int) int) (captured, pageBytes int, err error) {
+		m := vm.NewMemory()
+		m.MapRegion(arenaBase, arenaPages*vm.PageSize)
+		shadow := make([]byte, arenaPages*vm.PageSize)
+		m.Snapshot() // the first snapshot captures everything; epochs start after it
+		var keep []retained
+		for e := 0; e < epochs; e++ {
+			touched := writeEpoch(m, shadow, e)
+			s := m.Snapshot()
+			captured += s.CapturedBytes()
+			pageBytes += touched * vm.PageSize
+			if e == 0 || e == epochs-1 {
+				keep = append(keep, retained{snap: s, shadow: append([]byte(nil), shadow...)})
+			}
+		}
+		for i, r := range keep {
+			got, ok := r.snap.Fork().ReadBytes(arenaBase, len(r.shadow))
+			if !ok {
+				return 0, 0, fmt.Errorf("experiments: sub-page micro: snapshot %d unreadable", i)
+			}
+			if !bytes.Equal(got, r.shadow) {
+				return 0, 0, fmt.Errorf("experiments: sub-page micro: snapshot %d does not restore byte-identically", i)
+			}
+		}
+		return captured, pageBytes, nil
+	}
+
+	// Scattered: 8 bytes at a shifting offset in each of 64 pages per epoch.
+	var err error
+	res.ScatteredCapturedBytes, res.ScatteredPageBytes, err = runPattern(func(m *vm.Memory, shadow []byte, e int) int {
+		const pages, runLen = 64, 8
+		for p := 0; p < pages; p++ {
+			off := uint32((e*97 + p*131) % (vm.PageSize - runLen))
+			addr := arenaBase + uint32(p*4)*vm.PageSize + off
+			var buf [runLen]byte
+			for i := range buf {
+				buf[i] = byte(e + p + i)
+			}
+			m.WriteBytes(addr, buf[:])
+			copy(shadow[uint32(p*4)*vm.PageSize+off:], buf[:])
+		}
+		return pages
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.ScatteredCapturedBytes > 0 {
+		res.ScatteredReductionX = float64(res.ScatteredPageBytes) / float64(res.ScatteredCapturedBytes)
+	}
+
+	// Sequential: fill 16 whole pages per epoch.
+	res.SequentialCapturedBytes, res.SequentialPageBytes, err = runPattern(func(m *vm.Memory, shadow []byte, e int) int {
+		const pages = 16
+		buf := make([]byte, vm.PageSize)
+		for p := 0; p < pages; p++ {
+			for i := range buf {
+				buf[i] = byte(e*3 + p + i)
+			}
+			base := uint32((e*pages+p)%arenaPages) * vm.PageSize
+			m.WriteBytes(arenaBase+base, buf)
+			copy(shadow[base:], buf)
+		}
+		return pages
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.SequentialCapturedBytes > 0 {
+		res.SequentialReductionX = float64(res.SequentialPageBytes) / float64(res.SequentialCapturedBytes)
 	}
 	return res, nil
 }

@@ -411,47 +411,66 @@ type Snapshot struct {
 	Regs      vm.RegSnapshot
 	Alloc     heap.State
 	Rng       uint32
-	// DirtyPages is how many pages this checkpoint actually captured — the
-	// pages written since the previous checkpoint. Steady-state checkpoints
-	// are O(DirtyPages), not O(Mem.Pages()).
-	DirtyPages   int
-	LogLen       int
-	OutputCount  int
-	ServedCount  int
-	CurrentReqID int
+	// DirtyPages is how many pages this checkpoint actually touched — the
+	// pages written since the previous checkpoint. CapturedBytes is how much
+	// page data it captured: sub-page dirty runs are charged by run length,
+	// whole-page captures by vm.PageSize. Steady-state checkpoints are
+	// O(CapturedBytes), not O(Mem.Pages()).
+	DirtyPages    int
+	CapturedBytes int
+	LogLen        int
+	OutputCount   int
+	ServedCount   int
+	CurrentReqID  int
 }
 
 // checkpointBaseCycles is the fixed virtual cost of taking a checkpoint
-// (register copy, allocator and log bookkeeping), independent of how many
-// pages were dirtied.
-const checkpointBaseCycles = 64
+// (register copy, allocator and log bookkeeping), independent of how much
+// page data was captured. checkpointCyclesPerKiB converts captured bytes to
+// virtual cycles (a full 4 KiB page costs 40 cycles, matching the per-page
+// charge the byte accounting replaced).
+const (
+	checkpointBaseCycles   = 64
+	checkpointCyclesPerKiB = 10
+)
 
 // Snapshot captures the current process state. It is cheap: memory pages are
 // shared copy-on-write with the live process, and the memory snapshot is
-// incremental — it captures only the pages written since the previous one.
+// incremental and sub-page aware — it captures only the dirty byte runs
+// written since the previous one (whole pages only where a run grew large).
 func (p *Process) Snapshot(seq int) *Snapshot {
 	// Read the dirty count before snapshotting: a no-op checkpoint (nothing
 	// written since the previous one) reuses the previous memory snapshot and
 	// must be charged as free, not as that snapshot's original delta.
 	dirty := p.Machine.Mem.DirtyPages()
+	mem := p.Machine.Mem.Snapshot()
+	captured := mem.CapturedBytes()
+	if dirty == 0 {
+		// Reused (or deletion-only) snapshot: nothing was captured now, so
+		// nothing is charged now — CapturedBytes of a reused snapshot reports
+		// its original creation cost, which was already paid.
+		captured = 0
+	}
 	s := &Snapshot{
-		SeqNo:        seq,
-		TakenAtMs:    p.Machine.NowMillis(),
-		Mem:          p.Machine.Mem.Snapshot(),
-		Regs:         p.Machine.SaveRegs(),
-		Alloc:        p.Alloc.Save(),
-		Rng:          p.rng,
-		DirtyPages:   dirty,
-		LogLen:       p.Log.Len(),
-		OutputCount:  len(p.outputs),
-		ServedCount:  p.servedCount,
-		CurrentReqID: p.currentReqID,
+		SeqNo:         seq,
+		TakenAtMs:     p.Machine.NowMillis(),
+		Mem:           mem,
+		Regs:          p.Machine.SaveRegs(),
+		Alloc:         p.Alloc.Save(),
+		Rng:           p.rng,
+		DirtyPages:    dirty,
+		CapturedBytes: captured,
+		LogLen:        p.Log.Len(),
+		OutputCount:   len(p.outputs),
+		ServedCount:   p.servedCount,
+		CurrentReqID:  p.currentReqID,
 	}
 	// Charge the cost of the checkpoint to the guest's virtual clock in
-	// proportion to the pages it captured (COW freezing plus delta-table
-	// construction) — O(dirty), not O(all mapped pages) — so Figure 4 style
-	// interval sweeps show the real trade-off of the incremental design.
-	p.Machine.AddCycles(uint64(s.DirtyPages)*40 + checkpointBaseCycles)
+	// proportion to the bytes it captured (run copies plus COW freezing and
+	// delta-table construction) — O(captured bytes), not O(all mapped pages)
+	// — so Figure 4 style interval sweeps show the real trade-off of the
+	// sub-page incremental design.
+	p.Machine.AddCycles(uint64(captured)*checkpointCyclesPerKiB/1024 + checkpointBaseCycles)
 	return s
 }
 

@@ -22,29 +22,66 @@ const PageShift = 12
 // adds O(mapped/maxSnapChainDepth) work per snapshot.
 const maxSnapChainDepth = 32
 
+// patchMaxRunBytes is the largest dirty run Snapshot() captures as a sub-page
+// patch. A page whose run grew beyond it (a sequential writer filling the
+// page) is frozen whole instead — zero copy at snapshot time, one full-page
+// COW clone on the next write — which is exactly the pre-sub-page behaviour,
+// so bulk-writing guests cannot regress.
+const patchMaxRunBytes = PageSize / 2
+
 // page is one 4 KiB guest page. owner identifies the Memory that may write
 // the page in place; a nil owner marks the page frozen — captured by a
 // snapshot (or adopted from one), shared copy-on-write, and never written in
 // place again by anyone.
+//
+// Owned pages additionally carry a dirty-run watermark [runLo, runHi): the
+// byte span written since the last snapshot epoch (runHi == 0 means clean).
+// Snapshot() uses it to capture only the run — a sub-page patch chained to
+// the parent snapshot's version of the page — instead of freezing the whole
+// page, when the page's epoch-start content is reconstructible from the
+// parent chain (inParent). The watermark fields are only ever touched while
+// the page is owned; frozen pages are immutable, as before.
 type page struct {
-	owner *Memory
-	data  [PageSize]byte
+	owner    *Memory
+	runLo    uint16
+	runHi    uint16
+	inParent bool
+	data     [PageSize]byte
 }
 
 func (p *page) clone(owner *Memory) *page {
-	np := &page{owner: owner}
+	// A page cloned from a frozen page existed, with exactly this content, in
+	// the snapshot chain the freeze belongs to: its future dirty runs can be
+	// captured as patches against that parent version.
+	np := &page{owner: owner, inParent: true}
 	np.data = p.data
 	return np
+}
+
+// markRun extends the page's dirty-run watermark to cover [off, end).
+func (p *page) markRun(off, end uint16) {
+	if p.runHi == 0 {
+		p.runLo, p.runHi = off, end
+		return
+	}
+	if off < p.runLo {
+		p.runLo = off
+	}
+	if end > p.runHi {
+		p.runHi = end
+	}
 }
 
 // Memory is a sparse, paged, byte-addressable 32-bit guest address space with
 // generation-tagged dirty tracking and copy-on-write snapshot support. Page
 // zero is never mapped, so NULL pointer dereferences fault.
 //
-// Snapshots are incremental: Snapshot() captures only the pages written,
-// mapped or unmapped since the previous snapshot (the dirty set), chaining
-// the delta to that previous snapshot. Steady-state checkpoints are therefore
-// O(dirty pages), not O(all mapped pages).
+// Snapshots are incremental and sub-page aware: Snapshot() captures only the
+// pages written, mapped or unmapped since the previous snapshot (the dirty
+// set), chaining the delta to that previous snapshot — and a page whose
+// writes stayed within a small byte run is captured as a run patch rather
+// than a whole page. Steady-state checkpoints are therefore O(dirty bytes),
+// not O(all mapped pages).
 type Memory struct {
 	// pages is the live page table. It may be shared read-only with the
 	// snapshot it was restored from (pagesShared); any structural mutation
@@ -52,11 +89,16 @@ type Memory struct {
 	pages       map[uint32]*page
 	pagesShared bool
 
-	// dirty holds the pages written or mapped since the last snapshot: it is
-	// exactly the set of pages owned by this Memory (everything else is
-	// frozen). dels holds the pages unmapped since the last snapshot.
+	// dirty holds the pages written or mapped since the last snapshot; dels
+	// holds the pages unmapped since the last snapshot. A page captured as a
+	// sub-page patch stays owned by this Memory across the snapshot (its
+	// watermark resets), so owned pages are a superset of the dirty set.
 	dirty map[uint32]struct{}
 	dels  map[uint32]struct{}
+
+	// owned counts the pages in the table owned by this Memory; the rest are
+	// frozen, i.e. shared copy-on-write with snapshots.
+	owned int
 
 	// lastSnap is the snapshot the dirty/dels sets are relative to.
 	lastSnap *MemSnapshot
@@ -86,24 +128,48 @@ func NewMemory() *Memory {
 // (channel send, WaitGroup, goroutine start).
 type MemSnapshot struct {
 	delta map[uint32]*page
-	dels  []uint32
-	count int // total mapped pages at snapshot time
-	depth int // chain length at creation
+	// patch holds the sub-page captures: for each page, only the dirty byte
+	// run written this epoch, applied over the parent chain's version of the
+	// page when the snapshot is flattened. A page appears in delta or patch,
+	// never both; the run bytes of all patches share one backing buffer, so
+	// a steady-state checkpoint allocates O(1) regardless of how many pages
+	// it patches.
+	patch    []patchRun
+	dels     []uint32
+	count    int // total mapped pages at snapshot time
+	captured int // bytes of page data captured (runs + PageSize per full page)
+	depth    int // chain length at creation
 
 	// mu guards flat and parent: flatten memoises the full page table and
-	// drops the parent link. Deltas and dels are immutable after creation.
+	// drops the parent link. Deltas, patches and dels are immutable after
+	// creation.
 	mu     sync.Mutex
 	parent *MemSnapshot
 	flat   map[uint32]*page // memoised full page table (see flatten)
 }
 
+// patchRun is one sub-page capture: the bytes of a page's dirty run, copied
+// out at snapshot time. The rest of the page is the parent snapshot's
+// version, reconstructed lazily by flatten.
+type patchRun struct {
+	pn   uint32
+	off  uint16
+	data []byte
+}
+
 // Pages returns the number of pages mapped at the time of the snapshot.
 func (s *MemSnapshot) Pages() int { return s.count }
 
-// DeltaPages returns the number of pages the snapshot had to capture: the
-// pages dirtied since the previous snapshot. The checkpoint cost charged to
-// the guest's virtual clock is proportional to this, not to Pages().
-func (s *MemSnapshot) DeltaPages() int { return len(s.delta) }
+// DeltaPages returns the number of pages the snapshot had to capture —
+// whole (frozen) or as a sub-page patch — i.e. the pages dirtied since the
+// previous snapshot.
+func (s *MemSnapshot) DeltaPages() int { return len(s.delta) + len(s.patch) }
+
+// CapturedBytes returns how many bytes of page data the snapshot captured:
+// the dirty-run length for pages captured as sub-page patches, a full
+// PageSize for pages frozen whole. The checkpoint cost charged to the
+// guest's virtual clock is proportional to this, not to Pages().
+func (s *MemSnapshot) CapturedBytes() int { return s.captured }
 
 // flatten materialises (and memoises) the snapshot's full page table by
 // walking its delta chain down to the nearest already-flattened ancestor and
@@ -145,6 +211,18 @@ func (s *MemSnapshot) flatten() map[uint32]*page {
 		for pn, p := range c.delta {
 			flat[pn] = p
 		}
+		for _, pr := range c.patch {
+			// Reconstruct the full page lazily: the parent chain's version
+			// (what flat holds at this point of the walk) with the captured
+			// dirty run applied on top. The result is frozen and private to
+			// this flatten, so it is safe to share from here on.
+			np := &page{}
+			if prev := flat[pr.pn]; prev != nil {
+				np.data = prev.data
+			}
+			copy(np.data[pr.off:], pr.data)
+			flat[pr.pn] = np
+		}
 	}
 	s.flat = flat
 	s.parent = nil
@@ -175,7 +253,12 @@ func (m *Memory) MapRegion(base, size uint32) {
 	for pn := first; ; pn++ {
 		if _, ok := m.pages[pn]; !ok {
 			m.ownPages()
+			// A freshly mapped page has no version in the parent chain (even
+			// if an older snapshot held one before an unmap, its content was
+			// different), so it is never patch-captured: inParent stays false
+			// and the next snapshot freezes it whole.
 			m.pages[pn] = &page{owner: m}
+			m.owned++
 			m.dirty[pn] = struct{}{}
 			delete(m.dels, pn)
 		}
@@ -193,8 +276,11 @@ func (m *Memory) UnmapRegion(base, size uint32) {
 	first := pageNum(base)
 	last := pageNum(base + size - 1)
 	for pn := first; ; pn++ {
-		if _, ok := m.pages[pn]; ok {
+		if p, ok := m.pages[pn]; ok {
 			m.ownPages()
+			if p.owner == m {
+				m.owned--
+			}
 			delete(m.pages, pn)
 			delete(m.dirty, pn)
 			m.dels[pn] = struct{}{}
@@ -237,8 +323,11 @@ func (m *Memory) pageFor(addr uint32) (*page, bool) {
 }
 
 // writablePage returns the page for addr, cloning it first if it is frozen
-// (shared with a snapshot or adopted from one: copy-on-write).
-func (m *Memory) writablePage(addr uint32) (*page, bool) {
+// (shared with a snapshot or adopted from one: copy-on-write), and extends
+// the page's dirty-run watermark to cover the n bytes about to be written at
+// addr. n must not run past the end of the page; bulk writers split at page
+// boundaries before calling.
+func (m *Memory) writablePage(addr, n uint32) (*page, bool) {
 	pn := pageNum(addr)
 	p, ok := m.pages[pn]
 	if !ok {
@@ -248,8 +337,16 @@ func (m *Memory) writablePage(addr uint32) (*page, bool) {
 		m.ownPages()
 		p = p.clone(m)
 		m.pages[pn] = p
+		m.owned++
+		m.dirty[pn] = struct{}{}
+	} else if p.runHi == 0 {
+		// An owned page surviving from a previous epoch (it was captured as a
+		// sub-page patch): its first write of the new epoch re-enters the
+		// dirty set.
 		m.dirty[pn] = struct{}{}
 	}
+	off := uint16(pageOff(addr))
+	p.markRun(off, off+uint16(n))
 	return p, true
 }
 
@@ -264,7 +361,7 @@ func (m *Memory) ReadU8(addr uint32) (byte, bool) {
 
 // WriteU8 writes one byte. ok is false if the page is unmapped.
 func (m *Memory) WriteU8(addr uint32, v byte) bool {
-	p, ok := m.writablePage(addr)
+	p, ok := m.writablePage(addr, 1)
 	if !ok {
 		return false
 	}
@@ -297,7 +394,7 @@ func (m *Memory) ReadWord(addr uint32) (uint32, bool) {
 // WriteWord writes a 32-bit little-endian word, possibly spanning pages.
 func (m *Memory) WriteWord(addr uint32, v uint32) bool {
 	if pageOff(addr) <= PageSize-4 {
-		p, ok := m.writablePage(addr)
+		p, ok := m.writablePage(addr, 4)
 		if !ok {
 			return false
 		}
@@ -339,13 +436,17 @@ func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, bool) {
 // into an unmapped page fails after the preceding pages were modified.
 func (m *Memory) WriteBytes(addr uint32, data []byte) bool {
 	for off := 0; off < len(data); {
-		p, ok := m.writablePage(addr)
+		n := PageSize - int(pageOff(addr))
+		if rem := len(data) - off; n > rem {
+			n = rem
+		}
+		p, ok := m.writablePage(addr, uint32(n))
 		if !ok {
 			return false
 		}
-		copied := copy(p.data[pageOff(addr):], data[off:])
-		off += copied
-		addr += uint32(copied)
+		copy(p.data[pageOff(addr):], data[off:off+n])
+		off += n
+		addr += uint32(n)
 	}
 	return true
 }
@@ -377,29 +478,75 @@ func (m *Memory) ReadCString(addr uint32, max int) (string, bool) {
 // stays valid until discarded; the live memory clones pages lazily on its
 // next write to each captured page.
 //
-// Snapshot is incremental: it captures only the pages dirtied since the
-// previous snapshot and chains the delta to it, so steady-state checkpoints
-// cost O(dirty pages). The first snapshot of a Memory (everything dirty) is
-// equivalent to a full scan.
+// Snapshot is incremental and sub-page aware: it captures only the pages
+// dirtied since the previous snapshot, and a page whose dirty run is small
+// (and whose epoch-start content the parent chain can reconstruct) is
+// captured as a byte-run patch — the run is copied out and the live page
+// stays writable, so a guest scattering small writes pays neither a full
+// page of capture per touched page nor a 4 KiB COW clone on its next write.
+// Pages dirtied beyond patchMaxRunBytes (or with no parent version) are
+// frozen whole, as before. The first snapshot of a Memory (everything dirty)
+// is equivalent to a full scan.
 func (m *Memory) Snapshot() *MemSnapshot {
 	if len(m.dirty) == 0 && len(m.dels) == 0 && m.lastSnap != nil {
 		// Nothing changed since the previous snapshot; the snapshots are
 		// indistinguishable, so a quiet guest checkpoints for free.
 		return m.lastSnap
 	}
-	delta := make(map[uint32]*page, len(m.dirty))
+	// First pass: decide per dirty page between a sub-page patch and a
+	// whole-page freeze, and size the shared run buffer. Both containers are
+	// allocated lazily: a steady-state checkpoint usually produces only
+	// patches, and its delta map would sit empty forever.
+	var delta map[uint32]*page
+	var patch []patchRun
+	var patchPages []*page
+	captured := 0
+	runBytes := 0
 	for pn := range m.dirty {
 		p := m.pages[pn]
+		if p.inParent && p.runHi != 0 {
+			if runLen := int(p.runHi) - int(p.runLo); runLen <= patchMaxRunBytes {
+				if patch == nil {
+					patch = make([]patchRun, 0, len(m.dirty))
+					patchPages = make([]*page, 0, len(m.dirty))
+				}
+				patch = append(patch, patchRun{pn: pn, off: p.runLo})
+				patchPages = append(patchPages, p)
+				runBytes += runLen
+				captured += runLen
+				continue
+			}
+		}
+		p.runLo, p.runHi = 0, 0
 		p.owner = nil // freeze: all future writes copy
+		m.owned--
+		if delta == nil {
+			delta = make(map[uint32]*page, len(m.dirty))
+		}
 		delta[pn] = p
+		captured += PageSize
+	}
+	// Second pass: copy every patched run into one backing buffer. The live
+	// pages stay owned and writable; their content now equals this
+	// snapshot's version, so the next epoch's runs patch against this
+	// snapshot in turn.
+	if runBytes > 0 {
+		backing := make([]byte, runBytes)
+		used := 0
+		for i, p := range patchPages {
+			n := copy(backing[used:], p.data[p.runLo:p.runHi])
+			patch[i].data = backing[used : used+n : used+n]
+			used += n
+			p.runLo, p.runHi = 0, 0
+		}
 	}
 	var dels []uint32
 	for pn := range m.dels {
 		dels = append(dels, pn)
 	}
-	snap := &MemSnapshot{parent: m.lastSnap, delta: delta, dels: dels, count: len(m.pages)}
+	snap := &MemSnapshot{parent: m.lastSnap, delta: delta, patch: patch, dels: dels, count: len(m.pages), captured: captured}
 	if snap.parent == nil {
-		if len(dels) == 0 {
+		if len(dels) == 0 && len(patch) == 0 {
 			snap.flat = delta // a chain root is its own page table
 		}
 	} else {
@@ -425,11 +572,13 @@ func (m *Memory) SnapshotFull() *MemSnapshot {
 			// Freeze only privately-owned pages: already-frozen pages may be
 			// shared with concurrently-running forks, and even a redundant
 			// owner write would race their reads.
+			p.runLo, p.runHi = 0, 0
 			p.owner = nil
 		}
 		pages[pn] = p
 	}
-	snap := &MemSnapshot{delta: pages, count: len(pages)}
+	m.owned = 0
+	snap := &MemSnapshot{delta: pages, count: len(pages), captured: len(pages) * PageSize}
 	snap.flat = pages
 	m.resetDirtyTracking(snap)
 	return snap
@@ -466,6 +615,7 @@ func (m *Memory) resetDirtyTracking(snap *MemSnapshot) {
 func (m *Memory) Restore(s *MemSnapshot) {
 	m.pages = s.flatten()
 	m.pagesShared = true
+	m.owned = 0 // every page in a flattened table is frozen
 	m.resetDirtyTracking(s)
 }
 
@@ -481,9 +631,9 @@ func (s *MemSnapshot) Fork() *Memory {
 }
 
 // CopyOnWritePending returns the number of live pages still shared
-// copy-on-write with snapshots. It is exported for tests and overhead
-// accounting.
-func (m *Memory) CopyOnWritePending() int { return len(m.pages) - len(m.dirty) }
+// copy-on-write with snapshots (frozen pages in the live table). It is
+// exported for tests and overhead accounting.
+func (m *Memory) CopyOnWritePending() int { return len(m.pages) - m.owned }
 
 // Dump formats a small hex dump around addr, for diagnostics.
 func (m *Memory) Dump(addr uint32, n int) string {

@@ -257,6 +257,166 @@ func TestMemoryDifferentialRandomOps(t *testing.T) {
 	}
 }
 
+// TestMemoryDifferentialSubPageRuns drives the workload shape the sub-page
+// dirty-run capture exists for — long sequences of small scattered writes
+// with frequent snapshots, so nearly every delta in the chain is a run
+// patch — against the byte-at-a-time reference model: every retained
+// snapshot (and every fork of it) must stay byte-identical to the
+// reference's deep copy, across restores, unmaps and remaps. It also pins
+// the capture accounting: across each run the patched snapshots must
+// capture strictly fewer bytes than page-granular capture would charge.
+func TestMemoryDifferentialSubPageRuns(t *testing.T) {
+	const (
+		arenaBase  = uint32(0x20000)
+		arenaPages = 10
+		arenaSize  = uint32(arenaPages * PageSize)
+	)
+	type snapPair struct {
+		snap *MemSnapshot
+		ref  *refMemory
+	}
+	for seed := int64(11); seed <= 14; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := NewMemory()
+			ref := newRefMemory()
+			m.MapRegion(arenaBase, arenaSize)
+			ref.mapRegion(arenaBase, arenaSize)
+			m.Snapshot() // root epoch: later snapshots chain patches onto it
+			var snaps []snapPair
+			capturedBytes, pageGranularBytes := 0, 0
+			randAddr := func() uint32 { return arenaBase + rng.Uint32()%arenaSize }
+
+			for step := 0; step < 4000; step++ {
+				tag := fmt.Sprintf("seed %d step %d", seed, step)
+				switch op := rng.Intn(100); {
+				case op < 70: // small scattered write, 1-16 bytes
+					addr := randAddr()
+					data := make([]byte, 1+rng.Intn(16))
+					rng.Read(data)
+					if got, want := m.WriteBytes(addr, data), ref.writeBytes(addr, data); got != want {
+						t.Fatalf("%s: WriteBytes(%#x, %d) = %v, reference %v", tag, addr, len(data), got, want)
+					}
+				case op < 74: // occasional large run, crossing the patch cutoff
+					addr := arenaBase + (rng.Uint32()%arenaSize)&^(PageSize-1)
+					data := make([]byte, patchMaxRunBytes+rng.Intn(PageSize))
+					rng.Read(data)
+					if got, want := m.WriteBytes(addr, data), ref.writeBytes(addr, data); got != want {
+						t.Fatalf("%s: bulk WriteBytes = %v, reference %v", tag, got, want)
+					}
+				case op < 78: // unmap + remap: the fresh page must not be patched
+					base := arenaBase + (rng.Uint32()%arenaSize)&^(PageSize-1)
+					m.UnmapRegion(base, PageSize)
+					ref.unmapRegion(base, PageSize)
+					m.MapRegion(base, PageSize)
+					ref.mapRegion(base, PageSize)
+				case op < 92: // snapshot: the steady state of a checkpointing guest
+					dirty := m.DirtyPages()
+					s := m.Snapshot()
+					capturedBytes += s.CapturedBytes()
+					pageGranularBytes += dirty * PageSize
+					snaps = append(snaps, snapPair{snap: s, ref: ref.snapshot()})
+					if len(snaps) > 20 {
+						snaps = snaps[1:]
+					}
+				default: // restore a retained patch-chained snapshot
+					if len(snaps) > 0 {
+						pair := snaps[rng.Intn(len(snaps))]
+						m.Restore(pair.snap)
+						ref = pair.ref.snapshot()
+					}
+				}
+				if step%251 == 0 {
+					diffCheck(t, tag, m, ref, rng)
+				}
+			}
+			fullDiffCheck(t, fmt.Sprintf("seed %d final", seed), m, ref)
+			for i, pair := range snaps {
+				fullDiffCheck(t, fmt.Sprintf("seed %d snapshot %d", seed, i), pair.snap.Fork(), pair.ref)
+			}
+			if capturedBytes >= pageGranularBytes {
+				t.Errorf("seed %d: sub-page capture %d bytes not below page-granular %d bytes",
+					seed, capturedBytes, pageGranularBytes)
+			}
+		})
+	}
+}
+
+// TestMemoryDifferentialSubPageConcurrentForks forks a snapshot whose delta
+// chain is built almost entirely from sub-page run patches, from concurrent
+// goroutines (meaningful under -race): each fork scribbles over the shared
+// reconstructed pages while comparing against its own reference copy, and
+// the snapshot itself must come out untouched.
+func TestMemoryDifferentialSubPageConcurrentForks(t *testing.T) {
+	const arenaBase = uint32(0x80000)
+	const arenaPages = 8
+	rng := rand.New(rand.NewSource(7))
+	m := NewMemory()
+	ref := newRefMemory()
+	m.MapRegion(arenaBase, arenaPages*PageSize)
+	ref.mapRegion(arenaBase, arenaPages*PageSize)
+	seedData := make([]byte, arenaPages*PageSize)
+	rng.Read(seedData)
+	m.WriteBytes(arenaBase, seedData)
+	ref.writeBytes(arenaBase, seedData)
+	m.Snapshot()
+	// Several epochs of scattered small writes: every delta is a run patch,
+	// so the snapshot under test reconstructs its pages through the patch
+	// chain when forked.
+	var snap *MemSnapshot
+	for epoch := 0; epoch < 6; epoch++ {
+		for w := 0; w < 32; w++ {
+			addr := arenaBase + rng.Uint32()%(arenaPages*PageSize-8)
+			data := []byte{byte(epoch), byte(w), 0xA5}
+			m.WriteBytes(addr, data)
+			ref.writeBytes(addr, data)
+		}
+		snap = m.Snapshot()
+	}
+	snapRef := ref.snapshot()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for f := 0; f < 8; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + f)))
+			fork := snap.Fork()
+			local := snapRef.snapshot()
+			for i := 0; i < 3000; i++ {
+				addr := arenaBase + rng.Uint32()%(arenaPages*PageSize)
+				if rng.Intn(2) == 0 {
+					v := byte(rng.Intn(256))
+					fork.WriteU8(addr, v)
+					local.write(addr, v)
+				} else {
+					got, gok := fork.ReadU8(addr)
+					want, wok := local.read(addr)
+					if gok != wok || got != want {
+						errs <- fmt.Errorf("fork %d: byte %#x = %#x/%v, reference %#x/%v", f, addr, got, gok, want, wok)
+						return
+					}
+				}
+			}
+		}(f)
+	}
+	// The origin keeps writing small runs (and checkpointing) concurrently.
+	for i := 0; i < 2000; i++ {
+		m.WriteU8(arenaBase+rng.Uint32()%(arenaPages*PageSize), 0xEE)
+		if i%257 == 0 {
+			m.Snapshot()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	fullDiffCheck(t, "patch-chained snapshot after concurrent forks", snap.Fork(), snapRef)
+}
+
 // TestMemoryDifferentialConcurrentForks checks COW aliasing across forks
 // running on concurrent goroutines (meaningful under -race): every fork of
 // one snapshot scribbles over the shared pages while comparing itself

@@ -249,6 +249,89 @@ func TestMemoryIncrementalSnapshotIsODirty(t *testing.T) {
 	}
 }
 
+func TestMemorySubPageRunCapture(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x10000, 8*PageSize)
+	first := m.Snapshot()
+	if got, want := first.CapturedBytes(), 8*PageSize; got != want {
+		t.Errorf("first snapshot captured %d bytes, want all %d", got, want)
+	}
+	// Small scattered writes: the pages are frozen, so the writes clone them
+	// (inParent), and the next snapshot captures only the runs.
+	m.WriteBytes(0x10000+100, []byte{1, 2, 3, 4})
+	m.WriteU8(0x10000+3*PageSize+9, 7)
+	s2 := m.Snapshot()
+	if got := s2.CapturedBytes(); got != 5 {
+		t.Errorf("scattered snapshot captured %d bytes, want 5 (two runs)", got)
+	}
+	if got := s2.DeltaPages(); got != 2 {
+		t.Errorf("scattered snapshot DeltaPages = %d, want 2", got)
+	}
+	// The patched pages stayed writable: the next epoch's runs are captured
+	// against s2 without any whole-page COW clone in between.
+	m.WriteBytes(0x10000+200, []byte{9, 9})
+	s3 := m.Snapshot()
+	if got := s3.CapturedBytes(); got != 2 {
+		t.Errorf("second run snapshot captured %d bytes, want 2", got)
+	}
+	// Every chained snapshot restores its exact epoch content.
+	if b, _ := s2.Fork().ReadU8(0x10000 + 100); b != 1 {
+		t.Errorf("s2 fork byte = %d, want 1", b)
+	}
+	if b, _ := s2.Fork().ReadU8(0x10000 + 200); b != 0 {
+		t.Errorf("s2 fork must not see the later run, got %d", b)
+	}
+	if b, _ := s3.Fork().ReadU8(0x10000 + 200); b != 9 {
+		t.Errorf("s3 fork byte = %d, want 9", b)
+	}
+	if b, _ := s3.Fork().ReadU8(0x10000 + 3*PageSize + 9); b != 7 {
+		t.Errorf("s3 fork must keep the earlier patch, got %d", b)
+	}
+}
+
+func TestMemoryLargeRunFallsBackToWholePage(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x10000, PageSize)
+	m.Snapshot()
+	// A run beyond the patch cutoff freezes the page whole, like the
+	// pre-sub-page design (zero copy now, full COW clone on the next write).
+	big := make([]byte, patchMaxRunBytes+1)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	m.WriteBytes(0x10000, big)
+	s := m.Snapshot()
+	if got := s.CapturedBytes(); got != PageSize {
+		t.Errorf("large-run snapshot captured %d bytes, want a whole page (%d)", got, PageSize)
+	}
+	if b, _ := s.Fork().ReadU8(0x10000 + 1); b != 1 {
+		t.Errorf("restored byte = %d, want 1", b)
+	}
+}
+
+func TestMemoryRemappedPageIsNotPatched(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x10000, PageSize)
+	m.WriteU8(0x10000, 0xAA)
+	m.Snapshot()
+	// Unmap + remap within one epoch: the fresh zero page has no parent
+	// version (the parent's content differs), so it must be captured whole.
+	m.UnmapRegion(0x10000, PageSize)
+	m.MapRegion(0x10000, PageSize)
+	m.WriteU8(0x10000+5, 1)
+	s := m.Snapshot()
+	if got := s.CapturedBytes(); got != PageSize {
+		t.Errorf("remapped page captured %d bytes, want a whole page", got)
+	}
+	f := s.Fork()
+	if b, _ := f.ReadU8(0x10000); b != 0 {
+		t.Errorf("remapped page byte 0 = %#x, want 0 (not the pre-unmap 0xAA)", b)
+	}
+	if b, _ := f.ReadU8(0x10000 + 5); b != 1 {
+		t.Errorf("remapped page byte 5 = %d, want 1", b)
+	}
+}
+
 func TestMemoryNoopSnapshotIsFree(t *testing.T) {
 	m := NewMemory()
 	m.MapRegion(0x1000, 4*PageSize)

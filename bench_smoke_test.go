@@ -185,6 +185,25 @@ var benchOnce = map[string]func(tb testing.TB){
 			tb.Errorf("bulk guest memory I/O only %.1fx faster than byte-at-a-time (want >= 2x)", r.BulkIOSpeedup)
 		}
 	},
+	"BenchmarkInterpreterDispatch": func(tb testing.TB) {
+		r, err := experiments.RunDispatchMicro()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if r.UntooledStepNs <= 0 || r.UntooledSlowPathNs <= 0 || r.TooledStepNs <= 0 {
+			tb.Fatalf("implausible dispatch times: %+v", r)
+		}
+		// The acceptance bar of the block-dispatch work: the fused block loop
+		// several times cheaper per instruction than the per-Step path
+		// (measured ~3.3x on the reference machine; 2x leaves noise headroom).
+		if r.DispatchSpeedup < 2 {
+			tb.Errorf("block dispatch only %.1fx faster than per-Step path (want >= 2x): fast %.2fns, slow %.2fns",
+				r.DispatchSpeedup, r.UntooledStepNs, r.UntooledSlowPathNs)
+		}
+		if r.TooledStepNs <= r.UntooledStepNs {
+			tb.Errorf("tooled per-instr cost %.2fns not above untooled fast path %.2fns", r.TooledStepNs, r.UntooledStepNs)
+		}
+	},
 	"BenchmarkVSEFOverhead": func(tb testing.TB) { vsefOverheadOnce(tb) },
 	"BenchmarkFigure5Recovery": func(tb testing.TB) {
 		recoveryGap, restartGap := figure5Once(tb)

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRecord(t *testing.T, dir, name string, metrics map[string]float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(benchJSON{Schema: "sweeper-bench/1", Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCompare(t *testing.T, oldM, newM map[string]float64) int {
+	t.Helper()
+	dir := t.TempDir()
+	oldPath := writeRecord(t, dir, "old.json", oldM)
+	newPath := writeRecord(t, dir, "new.json", newM)
+	n, err := compareBench(oldPath, newPath, Thresholds{Deterministic: 0.10, Ratio: 0.25, Wall: 3.0})
+	if err != nil {
+		t.Fatalf("compareBench: %v", err)
+	}
+	return n
+}
+
+// TestCompareMissingMetrics pins the schema-growth contract: a metric present
+// only in the old record, or only in the new one, is reported but never
+// flagged as a regression.
+func TestCompareMissingMetrics(t *testing.T) {
+	oldM := map[string]float64{
+		"retired_metric_ns":   100,
+		"shared_overhead_pct": 1.0,
+	}
+	newM := map[string]float64{
+		"shared_overhead_pct":            1.0,
+		"brand_new_metric_ns":            5000, // huge, but new: must not flag
+		"vm_untooled_dispatch_speedup_x": 6.0,
+	}
+	if n := runCompare(t, oldM, newM); n != 0 {
+		t.Errorf("got %d regressions, want 0: one-sided metrics must never flag", n)
+	}
+}
+
+// TestCompareZeroBaseline pins the zero-baseline guard: a metric whose old
+// value is zero cannot regress, whatever the new value is — relative
+// comparison against zero is meaningless.
+func TestCompareZeroBaseline(t *testing.T) {
+	oldM := map[string]float64{
+		"warm_overhead_pct":  0,
+		"spin_loop_ns":       0,
+		"epidemic_speedup_x": 0,
+	}
+	newM := map[string]float64{
+		"warm_overhead_pct":  50, // would be a massive regression vs any positive baseline
+		"spin_loop_ns":       1e9,
+		"epidemic_speedup_x": 0.0001, // lower-is-worse for speedups, but baseline is 0
+	}
+	if n := runCompare(t, oldM, newM); n != 0 {
+		t.Errorf("got %d regressions, want 0: zero baselines must never flag", n)
+	}
+}
+
+// TestCompareFlagsRealRegressions checks that genuine worsening beyond both
+// the relative tolerance and the absolute floor is flagged, in both
+// directions (lower-better wall timings, higher-better speedups).
+func TestCompareFlagsRealRegressions(t *testing.T) {
+	oldM := map[string]float64{
+		"dispatch_ns":         100, // lower better: 100 -> 900 is beyond 3x wall tolerance
+		"recover_speedup_x":   8,   // higher better: 8 -> 1 is beyond tolerance and floor
+		"steady_overhead_pct": 2.0, // deterministic: 2.0 -> 4.0 beyond 10% and 0.5 floor
+	}
+	newM := map[string]float64{
+		"dispatch_ns":         900,
+		"recover_speedup_x":   1,
+		"steady_overhead_pct": 4.0,
+	}
+	if n := runCompare(t, oldM, newM); n != 3 {
+		t.Errorf("got %d regressions, want 3", n)
+	}
+}
+
+// TestCompareTolerancesAndFloors checks the non-flagging side: worsening
+// inside the relative tolerance, or beyond it but under the absolute floor,
+// stays green — as do sub-scale wall baselines and informational counts.
+func TestCompareTolerancesAndFloors(t *testing.T) {
+	oldM := map[string]float64{
+		"dispatch_ns":           100,
+		"steady_overhead_pct":   0.05,
+		"bulk_read_ns_per_byte": 0.01, // below minComparableWall: never compared
+		"snapshot_mapped_pages": 10,   // informational class
+	}
+	newM := map[string]float64{
+		"dispatch_ns":           250,  // 2.5x: inside the 3x wall tolerance
+		"steady_overhead_pct":   0.09, // 80% worse but under the 0.5-point floor
+		"bulk_read_ns_per_byte": 0.2,  // 20x a sub-scale baseline
+		"snapshot_mapped_pages": 1e6,  // counts are reported, never flagged
+	}
+	if n := runCompare(t, oldM, newM); n != 0 {
+		t.Errorf("got %d regressions, want 0", n)
+	}
+}
+
+// TestCompareLoadErrors pins error handling for unreadable or schema-less
+// records.
+func TestCompareLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeRecord(t, dir, "good.json", map[string]float64{"x_ns": 1})
+	if _, err := compareBench(filepath.Join(dir, "absent.json"), good, Thresholds{}); err == nil {
+		t.Error("missing old record: want error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"sweeper-bench/1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compareBench(good, bad, Thresholds{}); err == nil {
+		t.Error("record without metrics map: want error")
+	}
+}

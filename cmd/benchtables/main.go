@@ -56,6 +56,15 @@ func writeBenchJSON(path string, sizes experiments.Sizes, paperScale bool) error
 	metrics["bytewise_write_ns_per_byte"] = micro.ByteWriteNsPerByte
 	metrics["bulk_io_speedup_x"] = micro.BulkIOSpeedup
 
+	disp, err := experiments.RunDispatchMicro()
+	if err != nil {
+		return err
+	}
+	metrics["vm_untooled_step_ns"] = disp.UntooledStepNs
+	metrics["vm_untooled_step_slowpath_ns"] = disp.UntooledSlowPathNs
+	metrics["vm_tooled_step_ns"] = disp.TooledStepNs
+	metrics["vm_untooled_dispatch_speedup_x"] = disp.DispatchSpeedup
+
 	for _, app := range []string{"apache1", "apache2", "cvs", "squid"} {
 		points, err := experiments.Figure4ForApp(app, []uint64{20, 100, 200}, sizes.Figure4Requests)
 		if err != nil {

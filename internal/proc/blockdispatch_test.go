@@ -1,0 +1,57 @@
+package proc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sweeper/internal/vm"
+)
+
+// TestBlockDispatchCycleAccountingParity runs the same served workload on two
+// identical processes — one on the block-dispatch fast path, one forced onto
+// the per-Step slow path — checkpointing between requests, and requires the
+// virtual clock, instruction counts, checkpoint timestamps and outputs to
+// agree exactly. The checkpoint interval machinery derives everything from
+// Machine.Cycles(), so any per-block accounting drift would surface here as a
+// shifted checkpoint or a diverged virtual timestamp.
+func TestBlockDispatchCycleAccountingParity(t *testing.T) {
+	reqs := []string{"alpha", "beta", "a-much-longer-request-payload", "d"}
+	run := func(fast bool) (cycles, instrs []uint64, takenAt []uint64, outs [][]byte) {
+		p, proxy := newProc(t, echoServer())
+		p.Machine.SetBlockDispatch(fast)
+		for seq, r := range reqs {
+			proxy.Submit([]byte(r), "client", false)
+			if stop := p.Run(0); stop.Reason != vm.StopWaitInput {
+				t.Fatalf("fast=%v req %d: stop = %v (fault %v)", fast, seq, stop.Reason, stop.Fault)
+			}
+			cycles = append(cycles, p.Machine.Cycles())
+			instrs = append(instrs, p.Machine.InstrCount())
+			takenAt = append(takenAt, p.Snapshot(seq).TakenAtMs)
+		}
+		for _, o := range p.Outputs() {
+			outs = append(outs, o.Data)
+		}
+		return
+	}
+	fc, fi, ft, fo := run(true)
+	sc, si, st, so := run(false)
+	for i := range reqs {
+		if fc[i] != sc[i] {
+			t.Errorf("after request %d: cycles %d (block dispatch) != %d (per-Step)", i, fc[i], sc[i])
+		}
+		if fi[i] != si[i] {
+			t.Errorf("after request %d: instrCount %d (block dispatch) != %d (per-Step)", i, fi[i], si[i])
+		}
+		if ft[i] != st[i] {
+			t.Errorf("checkpoint %d: TakenAtMs %d (block dispatch) != %d (per-Step)", i, ft[i], st[i])
+		}
+	}
+	if len(fo) != len(so) {
+		t.Fatalf("output counts diverge: %d vs %d", len(fo), len(so))
+	}
+	for i := range fo {
+		if !bytes.Equal(fo[i], so[i]) {
+			t.Errorf("output %d diverges: %q vs %q", i, fo[i], so[i])
+		}
+	}
+}

@@ -106,6 +106,16 @@ type Machine struct {
 	callDispatch  bool // a CallHook is attached
 	probeCount    int
 
+	// Block dispatch state (see blocks.go). blocks is the Program's shared
+	// decoded-block map; probeGap clamps fused runs short of probed indexes;
+	// fastDispatch caches "Run may use the fused loop": block dispatch is
+	// enabled and no instr/mem tool is attached.
+	blocks        *blockInfo
+	uops          []uint64 // packed relocated instructions for the fused loop
+	probeGap      []int32
+	blockDispatch bool
+	fastDispatch  bool
+
 	sys SyscallHandler
 
 	cycles     uint64
@@ -147,6 +157,10 @@ func NewMachine(prog *Program, layout Layout, sys SyscallHandler) (*Machine, err
 		}
 	}
 	m.probes = make([][]Probe, len(m.code))
+	m.blocks = prog.blockMap()
+	m.uops = packUops(m.code, m.blocks.runLen)
+	m.blockDispatch = true
+	m.refreshDispatch()
 
 	// Map segments.
 	dataSize := uint32(len(prog.Data))
@@ -184,11 +198,37 @@ func (m *Machine) InstrAt(idx int) Instr {
 }
 
 // AddrOfIndex converts an instruction index to its loaded code address.
+//
+// Contract with IndexOfAddr: for every idx in [0, len(code)] — the one-past-
+// the-end index included, since it is the return address a call at the last
+// instruction pushes — AddrOfIndex returns CodeBase + idx*InstrSize, and
+// IndexOfAddr inverts it for idx in [0, len(code)) while rejecting the
+// one-past-the-end address (it is not executable). Out-of-range indexes are
+// clamped to the segment bounds rather than fabricating addresses: a negative
+// index would otherwise wrap through uint32 into an address far outside the
+// code segment (the old FaultBadPC garbage-address bug), and indexes past the
+// end would alias unrelated memory. Block-boundary math relies on this.
 func (m *Machine) AddrOfIndex(idx int) uint32 {
+	if idx < 0 {
+		idx = 0
+	} else if idx > len(m.code) {
+		idx = len(m.code)
+	}
 	return m.layout.CodeBase + uint32(idx)*InstrSize
 }
 
-// IndexOfAddr converts a code address back into an instruction index.
+// badPCFault raises the fault for a PC outside the code segment. The fault
+// address is the clamped segment bound (AddrOfIndex), and the raw index goes
+// in the detail, so a wild jump to index -1 reports CodeBase rather than a
+// wrapped garbage address.
+func (m *Machine) badPCFault() *StopInfo {
+	return m.fault(FaultBadPC, m.AddrOfIndex(m.PC), false,
+		fmt.Sprintf("program counter %d outside code segment [0,%d)", m.PC, len(m.code)))
+}
+
+// IndexOfAddr converts a code address back into an instruction index. It is
+// the inverse of AddrOfIndex for in-range indexes; see AddrOfIndex for the
+// round-trip contract.
 func (m *Machine) IndexOfAddr(addr uint32) (int, bool) {
 	if addr < m.layout.CodeBase {
 		return 0, false
@@ -235,11 +275,29 @@ func (m *Machine) NowMillis() uint64 { return m.cycles / (CyclesPerMicrosecond *
 // InstrCount returns the number of retired instructions.
 func (m *Machine) InstrCount() uint64 { return m.instrCount }
 
-// refreshDispatch recomputes the cached hot-path dispatch flags.
+// refreshDispatch recomputes the cached hot-path dispatch flags. Everything
+// that changes instrumentation (AttachTool, DetachTool, AddProbe,
+// RemoveProbes, ClearProbes, SetBlockDispatch) funnels through here, which is
+// what keeps the fused fast path honest: attaching an instr or mem tool
+// drops fastDispatch so every instruction goes through Step's hook dispatch,
+// and probe changes rebuild the probe-gap table the fused loop clamps on.
 func (m *Machine) refreshDispatch() {
 	m.instrDispatch = len(m.tools.instr) > 0 || m.probeCount > 0
 	m.memDispatch = len(m.tools.mem) > 0
 	m.callDispatch = len(m.tools.call) > 0
+	m.fastDispatch = m.blockDispatch && len(m.tools.instr) == 0 && len(m.tools.mem) == 0
+	if m.fastDispatch && m.probeCount > 0 {
+		m.rebuildProbeGap()
+	}
+}
+
+// SetBlockDispatch enables or disables basic-block dispatch in Run (enabled
+// by default). Disabling forces every instruction through the Step slow
+// path; differential tests and the dispatch micro-benchmarks use it to
+// compare the two engines on identical guests.
+func (m *Machine) SetBlockDispatch(enabled bool) {
+	m.blockDispatch = enabled
+	m.refreshDispatch()
 }
 
 // AttachTool attaches an instrumentation tool; it takes effect from the next
@@ -449,7 +507,7 @@ func (m *Machine) Step() *StopInfo {
 		return &StopInfo{Reason: StopHalt}
 	}
 	if m.PC < 0 || m.PC >= len(m.code) {
-		return m.fault(FaultBadPC, m.AddrOfIndex(m.PC), false, "program counter outside code segment")
+		return m.badPCFault()
 	}
 	idx := m.PC
 	in := m.code[idx]
@@ -791,23 +849,37 @@ func (m *Machine) Step() *StopInfo {
 }
 
 // Run executes instructions until the machine stops or the budget (number of
-// instructions; 0 means unlimited) is exhausted. The loop allocates nothing
-// on the per-step path: a StopInfo is built only when execution actually
-// stops, and the budget comparison is skipped entirely for unbudgeted runs.
+// instructions; 0 means unlimited) is exhausted. Nothing is allocated on the
+// hot path: a StopInfo is built only when execution actually stops.
+//
+// Untooled machines execute through the fused basic-block dispatcher
+// (runFused, see blocks.go); instructions the fused loop cannot express —
+// probed indexes, syscalls, halts, call/ret under call hooks — fall back to
+// Step one instruction at a time, as does the whole run when an instr or mem
+// tool is attached. Both engines retire the same instructions with the same
+// accounting, so StopInstrBudget fires at exactly the same instruction
+// either way.
 func (m *Machine) Run(budget uint64) *StopInfo {
-	if budget == 0 {
-		for {
-			if stop := m.Step(); stop != nil {
+	remaining := ^uint64(0) // unlimited
+	if budget > 0 {
+		remaining = budget
+	}
+	for {
+		if m.fastDispatch && !m.stopped && m.pendingViolation == nil {
+			stop, executed := m.runFused(remaining)
+			remaining -= executed
+			if stop != nil {
 				return stop
 			}
 		}
-	}
-	for executed := uint64(0); executed < budget; executed++ {
+		if remaining == 0 {
+			return &StopInfo{Reason: StopInstrBudget}
+		}
 		if stop := m.Step(); stop != nil {
 			return stop
 		}
+		remaining--
 	}
-	return &StopInfo{Reason: StopInstrBudget}
 }
 
 // Halted reports whether the machine has permanently stopped.

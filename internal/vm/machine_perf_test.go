@@ -127,6 +127,41 @@ func BenchmarkUntooledStep(b *testing.B) {
 	m.Run(uint64(b.N))
 }
 
+// BenchmarkUntooledStepSlowPath is the same loop with block dispatch
+// disabled — the per-Step path BenchmarkUntooledStep is measured against.
+func BenchmarkUntooledStepSlowPath(b *testing.B) {
+	m := spinMachine(b)
+	m.SetBlockDispatch(false)
+	m.Run(10_000)
+	b.ResetTimer()
+	m.Run(uint64(b.N))
+}
+
+// BenchmarkUntooledALU measures block dispatch on a pure ALU loop (no memory
+// traffic), isolating the interpreter's dispatch cost from the store/load
+// work the spin loop's push/pop pair carries.
+func BenchmarkUntooledALU(b *testing.B) {
+	bd := asm.New("alu")
+	bd.Func("main")
+	bd.MovI(vm.R1, 0)
+	bd.Label("main.loop")
+	bd.AddI(vm.R1, 1)
+	bd.AddI(vm.R2, 3)
+	bd.AddI(vm.R3, 5)
+	bd.Jmp("main.loop")
+	prog, err := bd.Build()
+	if err != nil {
+		b.Fatalf("assembling: %v", err)
+	}
+	m, err := vm.NewMachine(prog, vm.DefaultLayout(), nil)
+	if err != nil {
+		b.Fatalf("loading: %v", err)
+	}
+	m.Run(10_000)
+	b.ResetTimer()
+	m.Run(uint64(b.N))
+}
+
 // BenchmarkTooledStep is the same loop with one no-op instrumentation tool
 // attached, for comparison with BenchmarkUntooledStep.
 func BenchmarkTooledStep(b *testing.B) {

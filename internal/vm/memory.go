@@ -102,6 +102,27 @@ type Memory struct {
 
 	// lastSnap is the snapshot the dirty/dels sets are relative to.
 	lastSnap *MemSnapshot
+
+	// One-entry translation caches for the interpreter hot path: the last
+	// page resolved for a read (rtlb) and the last page resolved writable
+	// (wtlb), keyed by page number. A wtlb hit carries the writablePage
+	// invariants with it — the page is owned, watermarked and in the dirty
+	// set — so a hot write skips the owner check, the dirty-set insert and
+	// the page-table lookup, leaving only the watermark update and the store.
+	// Snapshot/Restore/Unmap invalidate (see invalidateTLB); the COW clone in
+	// writablePage redirects rtlb so reads never see a stale frozen page.
+	rtlb   *page
+	wtlb   *page
+	rtlbPN uint32
+	wtlbPN uint32
+}
+
+// invalidateTLB drops the one-entry translation caches. Any operation that
+// freezes pages, resets dirty-run watermarks, or replaces page-table entries
+// wholesale must call it: a stale wtlb entry would let writes bypass
+// copy-on-write and dirty tracking.
+func (m *Memory) invalidateTLB() {
+	m.rtlb, m.wtlb = nil, nil
 }
 
 // NewMemory returns an empty address space with no pages mapped.
@@ -273,6 +294,7 @@ func (m *Memory) UnmapRegion(base, size uint32) {
 	if size == 0 {
 		return
 	}
+	m.invalidateTLB()
 	first := pageNum(base)
 	last := pageNum(base + size - 1)
 	for pn := first; ; pn++ {
@@ -319,6 +341,9 @@ func (m *Memory) MappedPageBases() []uint32 {
 
 func (m *Memory) pageFor(addr uint32) (*page, bool) {
 	p, ok := m.pages[pageNum(addr)]
+	if ok {
+		m.rtlb, m.rtlbPN = p, pageNum(addr)
+	}
 	return p, ok
 }
 
@@ -339,6 +364,10 @@ func (m *Memory) writablePage(addr, n uint32) (*page, bool) {
 		m.pages[pn] = p
 		m.owned++
 		m.dirty[pn] = struct{}{}
+		if m.rtlbPN == pn {
+			// Reads must see the clone, not the frozen original.
+			m.rtlb = p
+		}
 	} else if p.runHi == 0 {
 		// An owned page surviving from a previous epoch (it was captured as a
 		// sub-page patch): its first write of the new epoch re-enters the
@@ -347,11 +376,17 @@ func (m *Memory) writablePage(addr, n uint32) (*page, bool) {
 	}
 	off := uint16(pageOff(addr))
 	p.markRun(off, off+uint16(n))
+	// The page now satisfies every wtlb invariant: owned, watermarked
+	// (markRun ran with n >= 1) and in the dirty set.
+	m.wtlb, m.wtlbPN = p, pn
 	return p, true
 }
 
 // ReadU8 reads one byte. ok is false if the page is unmapped.
 func (m *Memory) ReadU8(addr uint32) (byte, bool) {
+	if p := m.rtlb; p != nil && pageNum(addr) == m.rtlbPN {
+		return p.data[pageOff(addr)], true
+	}
 	p, ok := m.pageFor(addr)
 	if !ok {
 		return 0, false
@@ -361,6 +396,12 @@ func (m *Memory) ReadU8(addr uint32) (byte, bool) {
 
 // WriteU8 writes one byte. ok is false if the page is unmapped.
 func (m *Memory) WriteU8(addr uint32, v byte) bool {
+	if p := m.wtlb; p != nil && pageNum(addr) == m.wtlbPN {
+		off := uint16(pageOff(addr))
+		p.markRun(off, off+1)
+		p.data[off] = v
+		return true
+	}
 	p, ok := m.writablePage(addr, 1)
 	if !ok {
 		return false
@@ -371,12 +412,16 @@ func (m *Memory) WriteU8(addr uint32, v byte) bool {
 
 // ReadWord reads a 32-bit little-endian word, possibly spanning pages.
 func (m *Memory) ReadWord(addr uint32) (uint32, bool) {
-	if pageOff(addr) <= PageSize-4 {
-		p, ok := m.pageFor(addr)
-		if !ok {
-			return 0, false
+	off := pageOff(addr)
+	if off <= PageSize-4 {
+		p := m.rtlb
+		if p == nil || pageNum(addr) != m.rtlbPN {
+			var ok bool
+			p, ok = m.pageFor(addr)
+			if !ok {
+				return 0, false
+			}
 		}
-		off := pageOff(addr)
 		d := p.data[off : off+4]
 		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, true
 	}
@@ -393,12 +438,19 @@ func (m *Memory) ReadWord(addr uint32) (uint32, bool) {
 
 // WriteWord writes a 32-bit little-endian word, possibly spanning pages.
 func (m *Memory) WriteWord(addr uint32, v uint32) bool {
-	if pageOff(addr) <= PageSize-4 {
-		p, ok := m.writablePage(addr, 4)
-		if !ok {
-			return false
+	off := pageOff(addr)
+	if off <= PageSize-4 {
+		p := m.wtlb
+		if p != nil && pageNum(addr) == m.wtlbPN {
+			o := uint16(off)
+			p.markRun(o, o+4)
+		} else {
+			var ok bool
+			p, ok = m.writablePage(addr, 4)
+			if !ok {
+				return false
+			}
 		}
-		off := pageOff(addr)
 		p.data[off] = byte(v)
 		p.data[off+1] = byte(v >> 8)
 		p.data[off+2] = byte(v >> 16)
@@ -488,6 +540,7 @@ func (m *Memory) ReadCString(addr uint32, max int) (string, bool) {
 // frozen whole, as before. The first snapshot of a Memory (everything dirty)
 // is equivalent to a full scan.
 func (m *Memory) Snapshot() *MemSnapshot {
+	m.invalidateTLB()
 	if len(m.dirty) == 0 && len(m.dels) == 0 && m.lastSnap != nil {
 		// Nothing changed since the previous snapshot; the snapshots are
 		// indistinguishable, so a quiet guest checkpoints for free.
@@ -566,6 +619,7 @@ func (m *Memory) Snapshot() *MemSnapshot {
 // Snapshot()'s. It is kept as the reference implementation for differential
 // tests and as the baseline the snapshot micro-benchmarks compare against.
 func (m *Memory) SnapshotFull() *MemSnapshot {
+	m.invalidateTLB()
 	pages := make(map[uint32]*page, len(m.pages))
 	for pn, p := range m.pages {
 		if p.owner == m {
@@ -613,6 +667,7 @@ func (m *Memory) resetDirtyTracking(snap *MemSnapshot) {
 // epoch restarts relative to the restored snapshot, so the next Snapshot()
 // captures exactly what the re-execution touched.
 func (m *Memory) Restore(s *MemSnapshot) {
+	m.invalidateTLB()
 	m.pages = s.flatten()
 	m.pagesShared = true
 	m.owned = 0 // every page in a flattened table is frozen

@@ -1,6 +1,9 @@
 package vm
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // RelocKind says what a relocation entry resolves against.
 type RelocKind uint8
@@ -35,6 +38,12 @@ type Program struct {
 	Symbols     map[string]int    // code label -> instruction index
 	DataSymbols map[string]uint32 // data label -> offset within Data
 	Entry       int               // entry instruction index
+
+	// blocks caches the decoded basic-block map (see blocks.go), built
+	// lazily on first load and shared by every Machine running this image:
+	// blocks depend only on opcodes, which relocation never touches. Do not
+	// copy a Program by value once it has been loaded.
+	blocks atomic.Pointer[blockInfo]
 }
 
 // SymbolFor returns the name of the function containing instruction idx,

@@ -425,6 +425,18 @@ func BenchmarkSnapshotSubPageVsPage(b *testing.B) {
 	b.ReportMetric(sequential/n, "sequential-captured-byte-reduction-x")
 }
 
+func BenchmarkSnapshotAlternatingWriter(b *testing.B) {
+	var alternating float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSubPageMicro()
+		if err != nil {
+			b.Fatal(err)
+		}
+		alternating += r.AlternatingReductionX
+	}
+	b.ReportMetric(alternating/float64(b.N), "alternating-captured-byte-reduction-x")
+}
+
 func BenchmarkSnapshotDirtyVsFullScan(b *testing.B) {
 	var full, steady, speedup float64
 	for i := 0; i < b.N; i++ {

@@ -88,8 +88,11 @@ func loadBench(path string) (map[string]float64, error) {
 }
 
 // compareBench diffs two BENCH_<n>.json records and returns the number of
-// flagged regressions (callers exit nonzero on any). Metrics present in only
-// one record are reported but never flagged: the schema is allowed to grow.
+// flagged regressions (callers exit nonzero on any). The schema is allowed to
+// grow — metrics present only in the NEW record are reported and never
+// flagged — but it is not allowed to shrink: a metric present in OLD and
+// missing from NEW means a benchmark was deleted (or silently stopped
+// reporting), and that fails the gate rather than vanishing from the table.
 func compareBench(oldPath, newPath string, th Thresholds) (int, error) {
 	oldM, err := loadBench(oldPath)
 	if err != nil {
@@ -112,7 +115,11 @@ func compareBench(oldPath, newPath string, th Thresholds) (int, error) {
 		oldV := oldM[name]
 		newV, ok := newM[name]
 		if !ok {
-			rows = append(rows, comparison{name: name, old: oldV, note: "missing from new record"})
+			regressions++
+			rows = append(rows, comparison{
+				name: name, old: oldV, regression: true,
+				note: "REGRESSION: metric missing from new record",
+			})
 			continue
 		}
 		class, higherBetter, floor := classify(name)

@@ -32,21 +32,29 @@ func runCompare(t *testing.T, oldM, newM map[string]float64) int {
 	return n
 }
 
-// TestCompareMissingMetrics pins the schema-growth contract: a metric present
-// only in the old record, or only in the new one, is reported but never
-// flagged as a regression.
+// TestCompareMissingMetrics pins the one-sided-metric contract: the schema
+// may grow (a metric present only in the new record never flags) but may not
+// shrink (a metric present in the old record and missing from the new one is
+// a deleted benchmark, and deleting a benchmark must fail the gate — not
+// silently pass).
 func TestCompareMissingMetrics(t *testing.T) {
-	oldM := map[string]float64{
-		"retired_metric_ns":   100,
-		"shared_overhead_pct": 1.0,
-	}
-	newM := map[string]float64{
+	base := map[string]float64{"shared_overhead_pct": 1.0}
+
+	newOnly := map[string]float64{
 		"shared_overhead_pct":            1.0,
 		"brand_new_metric_ns":            5000, // huge, but new: must not flag
 		"vm_untooled_dispatch_speedup_x": 6.0,
 	}
-	if n := runCompare(t, oldM, newM); n != 0 {
-		t.Errorf("got %d regressions, want 0: one-sided metrics must never flag", n)
+	if n := runCompare(t, base, newOnly); n != 0 {
+		t.Errorf("got %d regressions, want 0: new-only metrics must never flag", n)
+	}
+
+	oldOnly := map[string]float64{
+		"shared_overhead_pct": 1.0,
+		"retired_metric_ns":   100,
+	}
+	if n := runCompare(t, oldOnly, base); n != 1 {
+		t.Errorf("got %d regressions, want 1: a metric deleted from the new record must fail the gate", n)
 	}
 }
 

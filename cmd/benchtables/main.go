@@ -109,6 +109,7 @@ func writeBenchJSON(path string, sizes experiments.Sizes, paperScale bool) error
 	metrics["snapshot_steady_captured_bytes"] = float64(micro.SteadyCapturedBytes)
 	metrics["subpage_scattered_reduction_x"] = sub.ScatteredReductionX
 	metrics["subpage_sequential_reduction_x"] = sub.SequentialReductionX
+	metrics["subpage_alternating_reduction_x"] = sub.AlternatingReductionX
 
 	sweep, err := experiments.RunFleetOverheadSweep(
 		[]string{"apache1", "apache2", "cvs", "squid"}, experiments.QuickFleetWorkload(), []uint64{20, 100, 200})
@@ -136,6 +137,23 @@ func writeBenchJSON(path string, sizes experiments.Sizes, paperScale bool) error
 	if pruned.Nodes > 0 {
 		metrics["slice_fallback_reduction_x"] = float64(forced.Nodes) / float64(pruned.Nodes)
 	}
+
+	// Client-observed latency over real loopback sockets (the Figure 5 view
+	// from outside the daemon): percentiles before, during and after an
+	// absorbed worm attack, plus the recovery tail degradation ratio.
+	cl, err := experiments.RunClientLatency("squid")
+	if err != nil {
+		return err
+	}
+	metrics["client_latency_before_p50_ms"] = cl.BeforeP50Ms
+	metrics["client_latency_before_p95_ms"] = cl.BeforeP95Ms
+	metrics["client_latency_before_p99_ms"] = cl.BeforeP99Ms
+	metrics["client_latency_during_p99_ms"] = cl.DuringP99Ms
+	metrics["client_latency_after_p50_ms"] = cl.AfterP50Ms
+	metrics["client_latency_after_p95_ms"] = cl.AfterP95Ms
+	metrics["client_latency_after_p99_ms"] = cl.AfterP99Ms
+	metrics["client_latency_recovery_degradation_x"] = cl.RecoveryDegradationX
+	metrics["client_latency_sojourn_p99_ms"] = cl.SojournP99Ms
 
 	out := benchJSON{
 		Schema:      "sweeper-bench/1",

@@ -32,6 +32,17 @@
 //	# only ever sees the antibody arrive over the wire
 //	sweeperd -app squid -listen 127.0.0.1:7070 -linger 3s
 //	sweeperd -app squid -listen 127.0.0.1:7071 -peers 127.0.0.1:7070 -variants 0 -linger 3s
+//
+// With -tcp-listen, every guest gets a real TCP front end serving the framed
+// request protocol (see internal/netproxy): connections are accepted, each
+// length-prefixed request flows through the guest's filtering proxy, and the
+// response (the guest's output, or the absorbed/filtered verdict) is written
+// back on the same connection. -per-guest-port assigns guest i the base port
+// plus i; client-observed latency percentiles are printed at shutdown. The
+// daemon keeps serving until interrupted. Drive it with wormsim -connect:
+//
+//	sweeperd -app squid -guests 2 -benign 0 -variants 0 -tcp-listen 127.0.0.1:7400 -per-guest-port
+//	wormsim -connect 127.0.0.1:7400 -app squid -requests 50 -attack
 package main
 
 import (
@@ -40,7 +51,11 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"sweeper/internal/apps"
@@ -86,6 +101,8 @@ func main() {
 		verifyAdopt  = flag.Bool("verify-adopt", false, "replay each received antibody's exploit in a sandbox before adoption (default on when -listen or -peers is set)")
 		pollMs       = flag.Int("poll-ms", 25, "federation poll interval in milliseconds")
 		linger       = flag.Duration("linger", 0, "keep the daemon alive this long after the scripted workload, serving peers and absorbing gossip")
+		tcpListen    = flag.String("tcp-listen", "", "serve framed TCP requests to the guests from this base address (e.g. 127.0.0.1:7400); the daemon then runs until interrupted")
+		perGuestPort = flag.Bool("per-guest-port", false, "with -tcp-listen: guest i listens on the base port plus i (required for more than one guest unless the base port is 0)")
 	)
 	flag.Parse()
 	if *guests < 1 {
@@ -206,6 +223,32 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// TCP front ends: one listener per guest, attached before the serving
+	// goroutines launch.
+	if *tcpListen != "" {
+		host, portStr, err := net.SplitHostPort(*tcpListen)
+		if err != nil {
+			log.Fatalf("sweeperd: -tcp-listen %s: %v", *tcpListen, err)
+		}
+		basePort, err := strconv.Atoi(portStr)
+		if err != nil {
+			log.Fatalf("sweeperd: -tcp-listen %s: bad port: %v", *tcpListen, err)
+		}
+		allGuests := fleet.Guests()
+		if len(allGuests) > 1 && basePort != 0 && !*perGuestPort {
+			log.Fatalf("sweeperd: %d guests cannot share TCP port %d; pass -per-guest-port (or a base port of 0)", len(allGuests), basePort)
+		}
+		for i, g := range allGuests {
+			port := basePort
+			if *perGuestPort && basePort != 0 {
+				port = basePort + i
+			}
+			if err := g.AttachListener(net.JoinHostPort(host, strconv.Itoa(port))); err != nil {
+				log.Fatalf("sweeperd: %v", err)
+			}
+			fmt.Printf("  tcp front end: %s on %s\n", g.Name(), g.ListenAddr())
+		}
+	}
 	fmt.Println()
 	fleet.Start()
 
@@ -278,6 +321,16 @@ func main() {
 		}
 	}
 
+	// With TCP front ends attached, the daemon's real work happens now: keep
+	// serving socket traffic until interrupted.
+	if *tcpListen != "" {
+		fmt.Println("\nserving TCP requests until interrupted (ctrl-c to stop)...")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("sweeperd: shutting down")
+	}
+
 	// The worm now tries every guest in the fleet: the antibodies generated
 	// at guest 0 — or, with -variants 0 in a federated consumer, received
 	// from peers and verified — have been distributed through the shared
@@ -316,6 +369,15 @@ func main() {
 		totals.AntibodiesGenerated, totals.AntibodiesAdopted, totals.AntibodiesVerified,
 		totals.AntibodiesRejected, totals.FilteredInputs)
 	fmt.Printf("shared store: %d antibodies\n", fleet.Store().Len())
+	for _, g := range fleet.Guests() {
+		lat := g.FrontLatency()
+		if lat == nil || lat.Count() == 0 {
+			continue
+		}
+		p50, p95, p99 := lat.Percentiles()
+		fmt.Printf("%-12s tcp front end: %d responses, client-observed p50=%v p95=%v p99=%v\n",
+			g.Name(), lat.Count(), p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
+	}
 	for _, g := range fleet.Guests() {
 		ck := g.Sweeper().Checkpoints()
 		captured, full := ck.ByteStats()

@@ -7,6 +7,7 @@ import (
 
 	"sweeper/internal/antibody"
 	"sweeper/internal/metrics"
+	"sweeper/internal/netproxy"
 	"sweeper/internal/proc"
 	"sweeper/internal/vm"
 )
@@ -62,6 +63,13 @@ type Guest struct {
 	// verifyRetries counts re-runs of verifications whose sandbox failed
 	// transiently; after the bounded retries the rejection becomes final.
 	verifyRetries map[string]int
+
+	// listener is the guest's optional TCP front end (see front.go);
+	// outCursor tracks how far into the process's append-only output stream
+	// responses have been written back. Both are touched only on the serving
+	// goroutine once the fleet has started.
+	listener  *netproxy.Listener
+	outCursor int
 
 	serveErr error
 }
@@ -213,8 +221,9 @@ func (g *Guest) workloadRunnable() bool {
 	return g.gen != nil && !g.genDone && g.serveErr == nil
 }
 
-// Stop drains outstanding work, terminates every guest goroutine and waits
-// for them to exit.
+// Stop drains outstanding work, terminates every guest goroutine, waits for
+// them to exit and closes any attached TCP front ends (failing their
+// still-open connections with StatusError).
 func (f *Fleet) Stop() {
 	f.Drain()
 	for _, g := range f.Guests() {
@@ -224,6 +233,11 @@ func (f *Fleet) Stop() {
 		g.mu.Unlock()
 	}
 	f.wg.Wait()
+	for _, g := range f.Guests() {
+		if g.listener != nil {
+			g.listener.Close()
+		}
+	}
 }
 
 // publishFrom records a guest-generated antibody in the shared store; the
@@ -437,6 +451,11 @@ func (g *Guest) loop() {
 				g.serveErr = err
 				g.mu.Unlock()
 			}
+		}
+		if g.listener != nil && g.s.Halted() {
+			// The guest is gone; connections waiting on queued requests would
+			// otherwise block forever.
+			g.listener.ResolveAll(netproxy.StatusError)
 		}
 		g.updateMetrics()
 

@@ -194,6 +194,12 @@ type Sweeper struct {
 	// it to model distribution to other hosts.
 	OnAntibody func(*antibody.Antibody)
 
+	// OnAttack, when set, is called on the serving goroutine as soon as an
+	// attack report is recorded (its deferred tier may still be running).
+	// The TCP front end uses it to answer the excised culprit request's
+	// connection with StatusAbsorbed without waiting for the queue to drain.
+	OnAttack func(*AttackReport)
+
 	attackSeq int
 	halted    bool
 }
@@ -417,6 +423,15 @@ func (s *Sweeper) Submit(payload []byte, src string, malicious bool) bool {
 	return accepted
 }
 
+// SubmitTracked is Submit returning the proxy-assigned request ID as well,
+// so a caller that must route a response back to this exact request — the
+// TCP front end — can key its bookkeeping on it. The ID is valid even when
+// the request was filtered.
+func (s *Sweeper) SubmitTracked(payload []byte, src string, malicious bool) (reqID int, accepted bool) {
+	req, accepted := s.proxy.Submit(payload, src, malicious)
+	return req.ID, accepted
+}
+
 func (s *Sweeper) onRequestBoundary() {
 	s.completions.Record(s.proc.Machine.NowMillis())
 	s.ckpt.MaybeCheckpoint(s.proc)
@@ -467,6 +482,9 @@ func (s *Sweeper) ServeAll() (ServeResult, error) {
 			s.attacksMu.Lock()
 			s.attacks = append(s.attacks, report)
 			s.attacksMu.Unlock()
+			if s.OnAttack != nil {
+				s.OnAttack(report)
+			}
 			res.AttacksHandled++
 			if !report.Recovered {
 				s.halted = true

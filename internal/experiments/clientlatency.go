@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sweeper/internal/apps"
+	"sweeper/internal/core"
+	"sweeper/internal/exploit"
+	"sweeper/internal/metrics"
+	"sweeper/internal/netproxy"
+)
+
+// ClientLatency is the Figure 5 client view measured over real loopback
+// sockets: what clients of the protected service observe — p50/p95/p99
+// request latency in wall-clock milliseconds — before a worm attack arrives,
+// during the window in which Sweeper detects, analyses and recovers from it,
+// and after service has resumed with the antibody installed.
+type ClientLatency struct {
+	// Percentiles of client-observed request latency (request written →
+	// response read, over a real TCP connection), per phase.
+	BeforeP50Ms, BeforeP95Ms, BeforeP99Ms float64
+	DuringP50Ms, DuringP95Ms, DuringP99Ms float64
+	AfterP50Ms, AfterP95Ms, AfterP99Ms    float64
+
+	// RecoveryDegradationX is AfterP99Ms / BeforeP99Ms — how much worse the
+	// tail is after an absorbed attack than before any attack. The paper's
+	// point is that it stays near 1 (the service is intact), versus a
+	// restart-based recovery whose clients re-warm a cold cache.
+	RecoveryDegradationX float64
+
+	// AttackAbsorbed reports that the exploit connection received
+	// StatusAbsorbed (its request was excised and the service survived);
+	// RepeatFiltered that an identical second exploit bounced off the
+	// generated antibody as StatusFiltered.
+	AttackAbsorbed bool
+	RepeatFiltered bool
+
+	// Requests counts the benign requests measured per phase; Clients the
+	// concurrent connections driving them.
+	Requests int
+	Clients  int
+
+	// SojournP99Ms is the server-side arrival→completion p99 over the whole
+	// run, from the listener's own recorder (the in-daemon view of the same
+	// traffic the client percentiles see from outside).
+	SojournP99Ms float64
+}
+
+// runLatencyPhase drives `perClient` benign requests on each of `clients`
+// concurrent connections, timing every request round-trip into rec.
+func runLatencyPhase(addr, app string, clients, perClient, seqBase int, rec *metrics.LatencyRecorder) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := netproxy.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				req := exploit.Benign(app, seqBase+i*perClient+j)
+				start := time.Now()
+				status, _, err := c.Do(req)
+				if err != nil {
+					errs <- fmt.Errorf("client %d request %d: %w", i, j, err)
+					return
+				}
+				rec.Record(time.Since(start))
+				if status != netproxy.StatusOK {
+					errs <- fmt.Errorf("client %d request %d: status %s", i, j, netproxy.StatusName(status))
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// RunClientLatency reproduces the Figure 5 client view over real sockets: a
+// fleet guest serves framed TCP requests through its netproxy.Listener while
+// loopback clients measure per-request latency before, during and after a
+// worm attack that Sweeper absorbs (rollback, culprit excision, antibody
+// generation, resumed service — no restart).
+func RunClientLatency(appName string) (*ClientLatency, error) {
+	const (
+		clients   = 4
+		perClient = 60
+	)
+	spec, err := apps.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	f := core.NewFleet()
+	cfg := core.DefaultConfig()
+	cfg.ASLRSeed = 1009
+	g, err := f.AddGuest(appName+"-front", spec.Name, spec.Image, spec.Options, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.AttachListener("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	f.Start()
+	defer f.Stop()
+	addr := g.ListenAddr()
+	payload, err := exploit.Exploit(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ClientLatency{Requests: clients * perClient, Clients: clients}
+	before := metrics.NewLatencyRecorder()
+	during := metrics.NewLatencyRecorder()
+	after := metrics.NewLatencyRecorder()
+
+	// Phase 1 — before: steady benign traffic, no attack.
+	if err := runLatencyPhase(addr, appName, clients, perClient, 0, before); err != nil {
+		return nil, fmt.Errorf("experiments: client latency before-phase: %w", err)
+	}
+
+	// Phase 2 — during: the same benign load with the worm firing mid-storm.
+	// The attacker's connection blocks until recovery excises its request,
+	// so benign requests measured here ride over detection, rollback,
+	// analysis and replay.
+	attackErr := make(chan error, 1)
+	var attackWg sync.WaitGroup
+	attackWg.Add(1)
+	go func() {
+		defer attackWg.Done()
+		c, err := netproxy.Dial(addr)
+		if err != nil {
+			attackErr <- err
+			return
+		}
+		defer c.Close()
+		status, _, err := c.Do(payload)
+		if err != nil {
+			attackErr <- fmt.Errorf("exploit request: %w", err)
+			return
+		}
+		if status == netproxy.StatusAbsorbed {
+			res.AttackAbsorbed = true
+		}
+		status, _, err = c.Do(payload)
+		if err != nil {
+			attackErr <- fmt.Errorf("repeat exploit request: %w", err)
+			return
+		}
+		if status == netproxy.StatusFiltered {
+			res.RepeatFiltered = true
+		}
+		attackErr <- nil
+	}()
+	if err := runLatencyPhase(addr, appName, clients, perClient, clients*perClient, during); err != nil {
+		return nil, fmt.Errorf("experiments: client latency during-phase: %w", err)
+	}
+	attackWg.Wait()
+	if err := <-attackErr; err != nil {
+		return nil, fmt.Errorf("experiments: client latency attack: %w", err)
+	}
+
+	// Phase 3 — after: recovered service, antibody installed.
+	if err := runLatencyPhase(addr, appName, clients, perClient, 2*clients*perClient, after); err != nil {
+		return nil, fmt.Errorf("experiments: client latency after-phase: %w", err)
+	}
+
+	res.BeforeP50Ms, res.BeforeP95Ms, res.BeforeP99Ms = pctMs(before)
+	res.DuringP50Ms, res.DuringP95Ms, res.DuringP99Ms = pctMs(during)
+	res.AfterP50Ms, res.AfterP95Ms, res.AfterP99Ms = pctMs(after)
+	if res.BeforeP99Ms > 0 {
+		res.RecoveryDegradationX = res.AfterP99Ms / res.BeforeP99Ms
+	}
+	res.SojournP99Ms = ms(g.FrontLatency().Quantile(0.99))
+	if !res.AttackAbsorbed {
+		return nil, fmt.Errorf("experiments: client latency: the exploit was not absorbed (service restart or hang)")
+	}
+	return res, nil
+}
+
+func pctMs(rec *metrics.LatencyRecorder) (p50, p95, p99 float64) {
+	a, b, c := rec.Percentiles()
+	return ms(a), ms(b), ms(c)
+}

@@ -210,6 +210,16 @@ type SubPageMicro struct {
 	SequentialCapturedBytes int
 	SequentialPageBytes     int
 	SequentialReductionX    float64
+
+	// The same three quantities for the alternating-end writer (a few bytes
+	// at the header AND trailer of each touched page per epoch) — the shape
+	// that defeated the single-watermark tracker, where one [lo,hi) span
+	// covers nearly the whole page and capture used to regress to
+	// whole-page freezing. With run-list tracking the reduction should be
+	// of the same order as the scattered case.
+	AlternatingCapturedBytes int
+	AlternatingPageBytes     int
+	AlternatingReductionX    float64
 }
 
 // RunSubPageMicro measures checkpoint capture volume under scattered small
@@ -297,6 +307,32 @@ func RunSubPageMicro() (*SubPageMicro, error) {
 	}
 	if res.SequentialCapturedBytes > 0 {
 		res.SequentialReductionX = float64(res.SequentialPageBytes) / float64(res.SequentialCapturedBytes)
+	}
+
+	// Alternating ends: 8 bytes at the header and 8 at the trailer of each
+	// of 64 pages per epoch.
+	res.AlternatingCapturedBytes, res.AlternatingPageBytes, err = runPattern(func(m *vm.Memory, shadow []byte, e int) int {
+		const pages, runLen = 64, 8
+		for p := 0; p < pages; p++ {
+			pageOff := uint32(p*4) * vm.PageSize
+			var hdr, trl [runLen]byte
+			for i := range hdr {
+				hdr[i] = byte(e + p + i)
+				trl[i] = byte(e ^ (p + i))
+			}
+			m.WriteBytes(arenaBase+pageOff, hdr[:])
+			copy(shadow[pageOff:], hdr[:])
+			taddr := pageOff + vm.PageSize - runLen
+			m.WriteBytes(arenaBase+taddr, trl[:])
+			copy(shadow[taddr:], trl[:])
+		}
+		return pages
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.AlternatingCapturedBytes > 0 {
+		res.AlternatingReductionX = float64(res.AlternatingPageBytes) / float64(res.AlternatingCapturedBytes)
 	}
 	return res, nil
 }

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	l := NewLatencyRecorder()
+	if l.Count() != 0 || l.Quantile(0.5) != 0 || l.Mean() != 0 {
+		t.Errorf("empty recorder not zero: %v", l)
+	}
+}
+
+func TestLatencyRecorderQuantiles(t *testing.T) {
+	l := NewLatencyRecorder()
+	// 1..1000 µs uniformly: p50 ≈ 500µs, p95 ≈ 950µs, p99 ≈ 990µs, within
+	// the histogram's 1/2^3 relative bucket error.
+	for i := 1; i <= 1000; i++ {
+		l.Record(time.Duration(i) * time.Microsecond)
+	}
+	if l.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", l.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := l.Quantile(c.q)
+		lo := c.want - c.want/4
+		hi := c.want + c.want/4
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%.2f) = %v, want within [%v, %v]", c.q, got, lo, hi)
+		}
+	}
+	mean := l.Mean()
+	if mean < 400*time.Microsecond || mean > 600*time.Microsecond {
+		t.Errorf("Mean = %v, want ~500µs", mean)
+	}
+	p50, p95, p99 := l.Percentiles()
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("percentiles not monotonic: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+}
+
+func TestLatencyRecorderWideRange(t *testing.T) {
+	l := NewLatencyRecorder()
+	// Magnitudes from ns to minutes must each land in a sane bucket.
+	for _, d := range []time.Duration{3 * time.Nanosecond, 7 * time.Microsecond,
+		12 * time.Millisecond, 2 * time.Second, 3 * time.Minute} {
+		r := NewLatencyRecorder()
+		r.Record(d)
+		got := r.Quantile(0.5)
+		if got < d-d/4-1 || got > d+d/4+1 {
+			t.Errorf("single obs %v resolved to %v", d, got)
+		}
+		l.Record(d)
+	}
+	if l.Count() != 5 {
+		t.Errorf("Count = %d, want 5", l.Count())
+	}
+	if max := l.Quantile(1.0); max < 2*time.Minute {
+		t.Errorf("Quantile(1.0) = %v, want the minutes-scale observation", max)
+	}
+}
+
+func TestLatencyRecorderReset(t *testing.T) {
+	l := NewLatencyRecorder()
+	l.Record(time.Millisecond)
+	l.Reset()
+	if l.Count() != 0 || l.Quantile(0.99) != 0 {
+		t.Errorf("Reset did not clear: %v", l)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	l := NewLatencyRecorder()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Record(time.Duration(1+(g*per+i)%1000) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Count() != goroutines*per {
+		t.Errorf("Count = %d, want %d", l.Count(), goroutines*per)
+	}
+	p50 := l.Quantile(0.5)
+	if p50 < 300*time.Microsecond || p50 > 700*time.Microsecond {
+		t.Errorf("concurrent p50 = %v, want ~500µs", p50)
+	}
+}
+
+func BenchmarkLatencyRecorderRecord(b *testing.B) {
+	l := NewLatencyRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Record(time.Duration(i%1_000_000) * time.Nanosecond)
+	}
+}

@@ -127,3 +127,101 @@ func TestConcurrentSubmitters(t *testing.T) {
 		t.Errorf("delivered %d unique requests", len(seen))
 	}
 }
+
+// TestAddFilterDuringSubmitStorm installs input-signature filters while
+// submitter goroutines storm the proxy and a consumer drains it — the
+// antibody-installed-mid-epidemic shape. Whatever interleaving happens, no
+// request may be dropped or double-delivered: every submitted request ends
+// up either filtered or delivered exactly once, and the Stats totals
+// balance. Run under -race this also proves the locking.
+func TestAddFilterDuringSubmitStorm(t *testing.T) {
+	p := New()
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				payload := fmt.Sprintf("req %d/%d", w, i)
+				if i%3 == 0 {
+					payload += " ATTACK"
+				}
+				p.Submit([]byte(payload), "c", false)
+			}
+		}(w)
+	}
+	// Mid-storm, antibodies arrive: one filter matching the attack marker,
+	// plus transient filters that are installed and removed again.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.AddFilter(&substringFilter{name: "sig-attack", sub: []byte("ATTACK")})
+		for i := 0; i < 50; i++ {
+			name := fmt.Sprintf("transient-%d", i)
+			p.AddFilter(&substringFilter{name: name, sub: []byte("NEVERMATCHES")})
+			if !p.RemoveFilter(name) {
+				t.Errorf("transient filter %s vanished", name)
+				return
+			}
+		}
+	}()
+	// A concurrent consumer drains deliveries while the storm runs.
+	delivered := make(map[int]bool)
+	var consumerWg sync.WaitGroup
+	stop := make(chan struct{})
+	consumerWg.Add(1)
+	go func() {
+		defer consumerWg.Done()
+		for {
+			r, ok := p.Next()
+			if !ok {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+			if delivered[r.ID] {
+				t.Errorf("request %d delivered twice", r.ID)
+				return
+			}
+			delivered[r.ID] = true
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	consumerWg.Wait()
+	// Drain what the consumer left behind after stop.
+	for {
+		r, ok := p.Next()
+		if !ok {
+			break
+		}
+		if delivered[r.ID] {
+			t.Fatalf("request %d delivered twice", r.ID)
+		}
+		delivered[r.ID] = true
+	}
+	st := p.Stats()
+	if st.Submitted != workers*each {
+		t.Errorf("submitted = %d, want %d", st.Submitted, workers*each)
+	}
+	if st.Pending != 0 {
+		t.Errorf("pending = %d after drain", st.Pending)
+	}
+	if st.Filtered+st.Delivered != st.Submitted {
+		t.Errorf("stats do not balance: %d filtered + %d delivered != %d submitted",
+			st.Filtered, st.Delivered, st.Submitted)
+	}
+	if len(delivered) != st.Delivered {
+		t.Errorf("consumer saw %d unique requests, proxy counted %d deliveries", len(delivered), st.Delivered)
+	}
+	// No filtered request may also have been delivered.
+	for _, d := range p.FilteredRequests() {
+		if delivered[d.Request.ID] {
+			t.Errorf("request %d both filtered (by %s) and delivered", d.Request.ID, d.Filter)
+		}
+	}
+}

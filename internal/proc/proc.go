@@ -107,6 +107,13 @@ type Process struct {
 	// before the next one is fetched). The Sweeper core uses it to take
 	// checkpoints between requests, as Rx does.
 	OnRequestBoundary func()
+
+	// OnRequestServed, when set, is invoked with the ID of the request that
+	// just finished service, at its live-mode boundary. Recovery replays of
+	// already-answered requests do not re-fire it (the boundary happens in
+	// replay mode), so the TCP front end can write exactly one response per
+	// request. Clones never inherit it.
+	OnRequestServed func(reqID int)
 }
 
 // New loads prog at the given layout and returns a ready-to-run process whose
@@ -255,8 +262,12 @@ func (p *Process) sysRecv(m *vm.Machine) (vm.SyscallResult, *vm.Fault) {
 
 	// Completing a recv means the previous request finished service.
 	if p.currentReqID != 0 {
+		served := p.currentReqID
 		p.servedCount++
 		p.currentReqID = 0
+		if p.mode == ModeLive && p.OnRequestServed != nil {
+			p.OnRequestServed(served)
+		}
 	}
 	if p.mode == ModeLive && p.OnRequestBoundary != nil {
 		p.OnRequestBoundary()

@@ -29,23 +29,36 @@ const maxSnapChainDepth = 32
 // so bulk-writing guests cannot regress.
 const patchMaxRunBytes = PageSize / 2
 
+// maxPageRuns is how many disjoint dirty runs a page tracks per epoch before
+// new writes start merging into the nearest existing run. A single watermark
+// regressed to whole-page capture for alternating-end writers (a guest
+// touching both a page's header and trailer each request blows one [lo,hi)
+// span past patchMaxRunBytes); a small fixed list keeps those guests sub-page
+// while bounding the per-write tracking cost.
+const maxPageRuns = 3
+
+// byteRun is one dirty byte span [lo, hi) within a page.
+type byteRun struct {
+	lo, hi uint16
+}
+
 // page is one 4 KiB guest page. owner identifies the Memory that may write
 // the page in place; a nil owner marks the page frozen — captured by a
 // snapshot (or adopted from one), shared copy-on-write, and never written in
 // place again by anyone.
 //
-// Owned pages additionally carry a dirty-run watermark [runLo, runHi): the
-// byte span written since the last snapshot epoch (runHi == 0 means clean).
-// Snapshot() uses it to capture only the run — a sub-page patch chained to
+// Owned pages additionally carry up to maxPageRuns dirty runs: the disjoint
+// byte spans written since the last snapshot epoch (nruns == 0 means clean).
+// Snapshot() uses them to capture only the runs — sub-page patches chained to
 // the parent snapshot's version of the page — instead of freezing the whole
 // page, when the page's epoch-start content is reconstructible from the
-// parent chain (inParent). The watermark fields are only ever touched while
-// the page is owned; frozen pages are immutable, as before.
+// parent chain (inParent). The run fields are only ever touched while the
+// page is owned; frozen pages are immutable, as before.
 type page struct {
 	owner    *Memory
-	runLo    uint16
-	runHi    uint16
+	nruns    uint8
 	inParent bool
+	runs     [maxPageRuns]byteRun
 	data     [PageSize]byte
 }
 
@@ -58,17 +71,111 @@ func (p *page) clone(owner *Memory) *page {
 	return np
 }
 
-// markRun extends the page's dirty-run watermark to cover [off, end).
+// markRun records the write [off, end) in the page's dirty-run list. The
+// single-run overlap case — a guest hammering one spot or streaming
+// sequentially, by far the hottest pattern — is handled here inline (two
+// compares, like the old single-watermark scheme, and no coalescing since
+// there is nothing to merge with); everything else goes to markRunSlow.
 func (p *page) markRun(off, end uint16) {
-	if p.runHi == 0 {
-		p.runLo, p.runHi = off, end
+	if p.nruns == 1 {
+		r := &p.runs[0]
+		if off <= r.hi && end >= r.lo {
+			if off < r.lo {
+				r.lo = off
+			}
+			if end > r.hi {
+				r.hi = end
+			}
+			return
+		}
+	}
+	p.markRunSlow(off, end)
+}
+
+// markRunSlow is the multi-run path: extend the run the write overlaps or
+// touches, start a new run while slots are free, and once the list is full
+// merge into the run whose extension captures the fewest extra bytes.
+func (p *page) markRunSlow(off, end uint16) {
+	n := int(p.nruns)
+	for i := 0; i < n; i++ {
+		r := &p.runs[i]
+		if off <= r.hi && end >= r.lo {
+			if off < r.lo {
+				r.lo = off
+			}
+			if end > r.hi {
+				r.hi = end
+			}
+			p.coalesceRuns(i)
+			return
+		}
+	}
+	if n < maxPageRuns {
+		p.runs[n] = byteRun{lo: off, hi: end}
+		p.nruns++
 		return
 	}
-	if off < p.runLo {
-		p.runLo = off
+	// All slots taken and the write is disjoint from every run: absorb it
+	// into the run that grows least, trading a few captured gap bytes for the
+	// bounded list.
+	best, bestCost := 0, PageSize+1
+	for i := 0; i < n; i++ {
+		r := p.runs[i]
+		cost := 0
+		if off < r.lo {
+			cost = int(r.lo) - int(off)
+		} else {
+			cost = int(end) - int(r.hi)
+		}
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
 	}
-	if end > p.runHi {
-		p.runHi = end
+	r := &p.runs[best]
+	if off < r.lo {
+		r.lo = off
+	}
+	if end > r.hi {
+		r.hi = end
+	}
+	p.coalesceRuns(best)
+}
+
+// coalesceRuns merges any run that the just-extended run i now overlaps or
+// touches, keeping the list disjoint. With at most three runs a single pass
+// restarted on merge is cheap and simple.
+func (p *page) coalesceRuns(i int) {
+	for {
+		merged := false
+		ri := &p.runs[i]
+		for j := int(p.nruns) - 1; j >= 0; j-- {
+			if j == i {
+				continue
+			}
+			rj := p.runs[j]
+			if rj.lo > ri.hi || rj.hi < ri.lo {
+				continue
+			}
+			if rj.lo < ri.lo {
+				ri.lo = rj.lo
+			}
+			if rj.hi > ri.hi {
+				ri.hi = rj.hi
+			}
+			// Remove run j by swapping the last run into its slot.
+			last := int(p.nruns) - 1
+			p.runs[j] = p.runs[last]
+			p.nruns--
+			if i == last {
+				i = j
+				ri = &p.runs[i]
+			}
+			merged = true
+			break
+		}
+		if !merged {
+			return
+		}
 	}
 }
 
@@ -156,6 +263,7 @@ type MemSnapshot struct {
 	// a steady-state checkpoint allocates O(1) regardless of how many pages
 	// it patches.
 	patch    []patchRun
+	patched  int // distinct pages in patch (a page may contribute several runs)
 	dels     []uint32
 	count    int // total mapped pages at snapshot time
 	captured int // bytes of page data captured (runs + PageSize per full page)
@@ -184,7 +292,7 @@ func (s *MemSnapshot) Pages() int { return s.count }
 // DeltaPages returns the number of pages the snapshot had to capture —
 // whole (frozen) or as a sub-page patch — i.e. the pages dirtied since the
 // previous snapshot.
-func (s *MemSnapshot) DeltaPages() int { return len(s.delta) + len(s.patch) }
+func (s *MemSnapshot) DeltaPages() int { return len(s.delta) + s.patched }
 
 // CapturedBytes returns how many bytes of page data the snapshot captured:
 // the dirty-run length for pages captured as sub-page patches, a full
@@ -368,7 +476,7 @@ func (m *Memory) writablePage(addr, n uint32) (*page, bool) {
 			// Reads must see the clone, not the frozen original.
 			m.rtlb = p
 		}
-	} else if p.runHi == 0 {
+	} else if p.nruns == 0 {
 		// An owned page surviving from a previous epoch (it was captured as a
 		// sub-page patch): its first write of the new epoch re-enters the
 		// dirty set.
@@ -398,7 +506,19 @@ func (m *Memory) ReadU8(addr uint32) (byte, bool) {
 func (m *Memory) WriteU8(addr uint32, v byte) bool {
 	if p := m.wtlb; p != nil && pageNum(addr) == m.wtlbPN {
 		off := uint16(pageOff(addr))
-		p.markRun(off, off+1)
+		// Hand-inlined markRun single-run case: the interpreter's store hot
+		// path must not pay a call per byte (markRun exceeds the inline
+		// budget), and a wtlb hit almost always extends run 0.
+		if r := &p.runs[0]; p.nruns == 1 && off <= r.hi && off+1 >= r.lo {
+			if off < r.lo {
+				r.lo = off
+			}
+			if off+1 > r.hi {
+				r.hi = off + 1
+			}
+		} else {
+			p.markRun(off, off+1)
+		}
 		p.data[off] = v
 		return true
 	}
@@ -443,7 +563,17 @@ func (m *Memory) WriteWord(addr uint32, v uint32) bool {
 		p := m.wtlb
 		if p != nil && pageNum(addr) == m.wtlbPN {
 			o := uint16(off)
-			p.markRun(o, o+4)
+			// Hand-inlined markRun single-run case; see WriteU8.
+			if r := &p.runs[0]; p.nruns == 1 && o <= r.hi && o+4 >= r.lo {
+				if o < r.lo {
+					r.lo = o
+				}
+				if o+4 > r.hi {
+					r.hi = o + 4
+				}
+			} else {
+				p.markRun(o, o+4)
+			}
 		} else {
 			var ok bool
 			p, ok = m.writablePage(addr, 4)
@@ -547,30 +677,39 @@ func (m *Memory) Snapshot() *MemSnapshot {
 		return m.lastSnap
 	}
 	// First pass: decide per dirty page between a sub-page patch and a
-	// whole-page freeze, and size the shared run buffer. Both containers are
-	// allocated lazily: a steady-state checkpoint usually produces only
-	// patches, and its delta map would sit empty forever.
+	// whole-page freeze (freezing as it goes), and size the patch containers.
+	// Everything is allocated lazily: a steady-state checkpoint usually
+	// produces only patches, and its delta map would sit empty forever. A
+	// patched page may carry several runs, so the patchRun entries themselves
+	// are built in the second pass once the run count is known.
+	type patchPage struct {
+		pn uint32
+		p  *page
+	}
 	var delta map[uint32]*page
-	var patch []patchRun
-	var patchPages []*page
+	var patchPages []patchPage
 	captured := 0
 	runBytes := 0
+	patchedRuns := 0
 	for pn := range m.dirty {
 		p := m.pages[pn]
-		if p.inParent && p.runHi != 0 {
-			if runLen := int(p.runHi) - int(p.runLo); runLen <= patchMaxRunBytes {
-				if patch == nil {
-					patch = make([]patchRun, 0, len(m.dirty))
-					patchPages = make([]*page, 0, len(m.dirty))
+		if p.inParent && p.nruns != 0 {
+			runLen := 0
+			for i := 0; i < int(p.nruns); i++ {
+				runLen += int(p.runs[i].hi) - int(p.runs[i].lo)
+			}
+			if runLen <= patchMaxRunBytes {
+				if patchPages == nil {
+					patchPages = make([]patchPage, 0, len(m.dirty))
 				}
-				patch = append(patch, patchRun{pn: pn, off: p.runLo})
-				patchPages = append(patchPages, p)
+				patchPages = append(patchPages, patchPage{pn: pn, p: p})
+				patchedRuns += int(p.nruns)
 				runBytes += runLen
 				captured += runLen
 				continue
 			}
 		}
-		p.runLo, p.runHi = 0, 0
+		p.nruns = 0
 		p.owner = nil // freeze: all future writes copy
 		m.owned--
 		if delta == nil {
@@ -579,25 +718,32 @@ func (m *Memory) Snapshot() *MemSnapshot {
 		delta[pn] = p
 		captured += PageSize
 	}
-	// Second pass: copy every patched run into one backing buffer. The live
-	// pages stay owned and writable; their content now equals this
+	// Second pass: copy every patched run into one backing buffer, so a
+	// steady-state checkpoint allocates O(1) however many pages it patches.
+	// The live pages stay owned and writable; their content now equals this
 	// snapshot's version, so the next epoch's runs patch against this
 	// snapshot in turn.
-	if runBytes > 0 {
+	var patch []patchRun
+	if len(patchPages) > 0 {
+		patch = make([]patchRun, 0, patchedRuns)
 		backing := make([]byte, runBytes)
 		used := 0
-		for i, p := range patchPages {
-			n := copy(backing[used:], p.data[p.runLo:p.runHi])
-			patch[i].data = backing[used : used+n : used+n]
-			used += n
-			p.runLo, p.runHi = 0, 0
+		for _, pp := range patchPages {
+			p := pp.p
+			for i := 0; i < int(p.nruns); i++ {
+				r := p.runs[i]
+				n := copy(backing[used:], p.data[r.lo:r.hi])
+				patch = append(patch, patchRun{pn: pp.pn, off: r.lo, data: backing[used : used+n : used+n]})
+				used += n
+			}
+			p.nruns = 0
 		}
 	}
 	var dels []uint32
 	for pn := range m.dels {
 		dels = append(dels, pn)
 	}
-	snap := &MemSnapshot{parent: m.lastSnap, delta: delta, patch: patch, dels: dels, count: len(m.pages), captured: captured}
+	snap := &MemSnapshot{parent: m.lastSnap, delta: delta, patch: patch, patched: len(patchPages), dels: dels, count: len(m.pages), captured: captured}
 	if snap.parent == nil {
 		if len(dels) == 0 && len(patch) == 0 {
 			snap.flat = delta // a chain root is its own page table
@@ -626,7 +772,7 @@ func (m *Memory) SnapshotFull() *MemSnapshot {
 			// Freeze only privately-owned pages: already-frozen pages may be
 			// shared with concurrently-running forks, and even a redundant
 			// owner write would race their reads.
-			p.runLo, p.runHi = 0, 0
+			p.nruns = 0
 			p.owner = nil
 		}
 		pages[pn] = p

@@ -343,6 +343,104 @@ func TestMemoryDifferentialSubPageRuns(t *testing.T) {
 	}
 }
 
+// TestMemoryDifferentialAlternatingEndWriters drives the workload shape that
+// defeated the single-watermark tracker: every epoch touches a few bytes at
+// both the header and the trailer of each hot page (plus occasional random
+// interior scribbles), then checkpoints. With one [lo,hi) run the span covers
+// nearly the whole page and capture regresses to whole-page freezing; the
+// run-list tracker must keep every such snapshot sub-page while every
+// retained snapshot (and fork) stays byte-identical to the reference model.
+func TestMemoryDifferentialAlternatingEndWriters(t *testing.T) {
+	const (
+		arenaBase  = uint32(0x30000)
+		arenaPages = 6
+		arenaSize  = uint32(arenaPages * PageSize)
+	)
+	type snapPair struct {
+		snap *MemSnapshot
+		ref  *refMemory
+	}
+	for seed := int64(21); seed <= 23; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := NewMemory()
+			ref := newRefMemory()
+			m.MapRegion(arenaBase, arenaSize)
+			ref.mapRegion(arenaBase, arenaSize)
+			m.Snapshot() // root epoch
+			var snaps []snapPair
+			wholePageFallbacks, capturedBytes, pageGranularBytes := 0, 0, 0
+
+			for epoch := 0; epoch < 300; epoch++ {
+				tag := fmt.Sprintf("seed %d epoch %d", seed, epoch)
+				// Header + trailer writes on every page, the paper's
+				// "length field up front, checksum at the end" shape.
+				for pg := uint32(0); pg < arenaPages; pg++ {
+					base := arenaBase + pg*PageSize
+					hdr := make([]byte, 2+rng.Intn(12))
+					rng.Read(hdr)
+					if got, want := m.WriteBytes(base, hdr), ref.writeBytes(base, hdr); got != want {
+						t.Fatalf("%s: header WriteBytes = %v, reference %v", tag, got, want)
+					}
+					trl := make([]byte, 2+rng.Intn(12))
+					rng.Read(trl)
+					taddr := base + PageSize - uint32(len(trl))
+					if got, want := m.WriteBytes(taddr, trl), ref.writeBytes(taddr, trl); got != want {
+						t.Fatalf("%s: trailer WriteBytes = %v, reference %v", tag, got, want)
+					}
+					// Sometimes a third interior touch, still sub-page.
+					if rng.Intn(3) == 0 {
+						addr := base + PageSize/4 + rng.Uint32()%(PageSize/2)
+						v := byte(rng.Intn(256))
+						m.WriteU8(addr, v)
+						ref.write(addr, v)
+					}
+				}
+				dirty := m.DirtyPages()
+				s := m.Snapshot()
+				capturedBytes += s.CapturedBytes()
+				pageGranularBytes += dirty * PageSize
+				if s.CapturedBytes() >= dirty*PageSize {
+					wholePageFallbacks++
+				}
+				snaps = append(snaps, snapPair{snap: s, ref: ref.snapshot()})
+				if len(snaps) > 12 {
+					snaps = snaps[1:]
+				}
+				switch {
+				case epoch%37 == 17 && len(snaps) > 0: // rollback, as recovery does
+					pair := snaps[rng.Intn(len(snaps))]
+					m.Restore(pair.snap)
+					ref = pair.ref.snapshot()
+				case epoch%53 == 29: // remap one page: fresh page must not be patched
+					base := arenaBase + (rng.Uint32()%arenaSize)&^(PageSize-1)
+					m.UnmapRegion(base, PageSize)
+					ref.unmapRegion(base, PageSize)
+					m.MapRegion(base, PageSize)
+					ref.mapRegion(base, PageSize)
+				}
+				if epoch%23 == 0 {
+					diffCheck(t, tag, m, ref, rng)
+				}
+			}
+			fullDiffCheck(t, fmt.Sprintf("seed %d final", seed), m, ref)
+			for i, pair := range snaps {
+				fullDiffCheck(t, fmt.Sprintf("seed %d snapshot %d", seed, i), pair.snap.Fork(), pair.ref)
+			}
+			if wholePageFallbacks != 0 {
+				t.Errorf("seed %d: %d snapshots fell back to whole-page capture; alternating-end writers must stay sub-page", seed, wholePageFallbacks)
+			}
+			// The point of the fix: capture must be a small fraction of
+			// page-granular, not marginally below it.
+			if capturedBytes*10 >= pageGranularBytes {
+				t.Errorf("seed %d: sub-page capture %d bytes not <10%% of page-granular %d bytes",
+					seed, capturedBytes, pageGranularBytes)
+			}
+		})
+	}
+}
+
 // TestMemoryDifferentialSubPageConcurrentForks forks a snapshot whose delta
 // chain is built almost entirely from sub-page run patches, from concurrent
 // goroutines (meaningful under -race): each fork scribbles over the shared

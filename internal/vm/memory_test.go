@@ -289,6 +289,62 @@ func TestMemorySubPageRunCapture(t *testing.T) {
 	}
 }
 
+func TestMemoryAlternatingEndWritesStaySubPage(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x10000, PageSize)
+	m.Snapshot()
+	// The carried-forward watermark bug: touching a page's header AND trailer
+	// in one epoch spans nearly the whole page with a single [lo,hi) run and
+	// regresses to whole-page freezing. The run list must capture the two
+	// small spans instead, epoch after epoch.
+	for epoch := 0; epoch < 4; epoch++ {
+		m.WriteBytes(0x10000, []byte{byte(epoch), 1, 2, 3})            // header
+		m.WriteBytes(0x10000+PageSize-8, []byte{4, 5, 6, byte(epoch)}) // trailer
+		s := m.Snapshot()
+		if got := s.CapturedBytes(); got != 8 {
+			t.Fatalf("epoch %d: alternating-end snapshot captured %d bytes, want 8 (two 4-byte runs)", epoch, got)
+		}
+		f := s.Fork()
+		if b, _ := f.ReadU8(0x10000); b != byte(epoch) {
+			t.Errorf("epoch %d: header byte = %d, want %d", epoch, b, epoch)
+		}
+		if b, _ := f.ReadU8(0x10000 + PageSize - 5); b != byte(epoch) {
+			t.Errorf("epoch %d: trailer byte = %d, want %d", epoch, b, epoch)
+		}
+	}
+}
+
+func TestMemoryRunListMergesAndFallsBack(t *testing.T) {
+	m := NewMemory()
+	m.MapRegion(0x10000, PageSize)
+	m.Snapshot()
+	// More disjoint spots than run slots: the extra writes merge into the
+	// nearest run, so capture grows by the gaps but stays sub-page.
+	offsets := []uint32{0, 1000, 2000, 3000, 4000}
+	for _, off := range offsets {
+		m.WriteU8(0x10000+off, 0xEE)
+	}
+	s := m.Snapshot()
+	got := s.CapturedBytes()
+	if got < len(offsets) || got > patchMaxRunBytes {
+		t.Errorf("five-spot snapshot captured %d bytes, want within [%d, %d]", got, len(offsets), patchMaxRunBytes)
+	}
+	f := s.Fork()
+	for _, off := range offsets {
+		if b, _ := f.ReadU8(0x10000 + off); b != 0xEE {
+			t.Errorf("restored byte at +%d = %#x, want 0xEE", off, b)
+		}
+	}
+	// Adjacent and overlapping writes coalesce back into one run.
+	m.WriteBytes(0x10000+100, []byte{1, 1})
+	m.WriteBytes(0x10000+104, []byte{2, 2})
+	m.WriteBytes(0x10000+102, []byte{3, 3}) // bridges the two runs
+	s2 := m.Snapshot()
+	if got := s2.CapturedBytes(); got != 6 {
+		t.Errorf("bridged runs captured %d bytes, want one 6-byte run", got)
+	}
+}
+
 func TestMemoryLargeRunFallsBackToWholePage(t *testing.T) {
 	m := NewMemory()
 	m.MapRegion(0x10000, PageSize)

@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Perf smoke assertions that compare two timed code paths scale
+// their bars down under instrumentation: the detector multiplies the cost of
+// every memory access, which compresses ratios between paths whose work is
+// dominated by short instrumented loops.
+const raceEnabled = true

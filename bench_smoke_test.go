@@ -241,6 +241,7 @@ var benchOnce = map[string]func(tb testing.TB){
 	"BenchmarkFigure8EpidemicHitlist4000": func(tb testing.TB) {
 		communityFigureOnce(4000, epidemic.DefaultRho, epidemic.Figure78Alphas(), 0.0001, 10)
 	},
+	"BenchmarkEpidemicLiveCommunity": func(tb testing.TB) { epidemicLiveOnce(tb) },
 	"BenchmarkAblationProactiveProtection": func(tb testing.TB) {
 		with, without := proactiveAblationOnce()
 		if with >= without {

@@ -582,6 +582,55 @@ func BenchmarkFigure8EpidemicHitlist4000(b *testing.B) {
 	benchmarkCommunityFigure(b, 4000, epidemic.DefaultRho, epidemic.Figure78Alphas(), 0.0001, 10)
 }
 
+// --- Figures 6-8 live: the epidemic measured on a real daemon community ---
+
+// epidemicLiveOnce runs one worm outbreak against 100 real in-process
+// daemons — 5 producers with the full analysis pipeline, 95 consumers
+// receiving antibodies over the in-process federation hub — and checks the
+// community-defence invariants hold at production scale.
+func epidemicLiveOnce(tb testing.TB) *experiments.EpidemicPointResult {
+	res, err := experiments.RunEpidemicPoint(experiments.EpidemicPointConfig{
+		Community:  100,
+		Alpha:      0.05,
+		GammaTicks: 8,
+		Seed:       7,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if !res.Converged {
+		tb.Fatalf("stores did not converge on %d antibodies", res.AntibodiesTotal)
+	}
+	if res.Immune != res.Protected {
+		tb.Fatalf("only %d of %d daemons immune after the community response", res.Immune, res.Protected)
+	}
+	if res.FinalInfected >= res.N {
+		tb.Fatalf("the whole community was infected despite the response")
+	}
+	if res.SharedPageFraction < 0.75 {
+		tb.Fatalf("shared base pages %.3f of resident pages, want >= 0.75", res.SharedPageFraction)
+	}
+	return res
+}
+
+// BenchmarkEpidemicLiveCommunity is the live counterpart of the Figure 6
+// model sweeps: the infection outcome of a real 100-daemon community per
+// outbreak, plus the shared base-image fraction that keeps a community that
+// size resident in one process.
+func BenchmarkEpidemicLiveCommunity(b *testing.B) {
+	var infected, shared, t0 float64
+	for i := 0; i < b.N; i++ {
+		r := epidemicLiveOnce(b)
+		infected += r.InfectionRatio
+		shared += r.SharedPageFraction
+		t0 += float64(r.T0)
+	}
+	n := float64(b.N)
+	b.ReportMetric(infected/n*100, "live-infection-%")
+	b.ReportMetric(t0/n, "t0-ticks")
+	b.ReportMetric(shared/n, "shared-base-page-fraction")
+}
+
 // --- Ablations and cross-checks ---
 
 func proactiveAblationOnce() (with, without float64) {

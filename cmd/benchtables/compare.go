@@ -48,6 +48,13 @@ func classify(name string) (class metricClass, higherBetter bool, floor float64)
 		return classRatio, true, 0.5
 	case strings.Contains(name, "overhead_pct"):
 		return classDeterministic, false, 0.5 // percentage points
+	case strings.Contains(name, "infected_pct"):
+		// Live epidemic outcomes are seeded-PRNG deterministic, but any code
+		// change to the defence pipeline legitimately moves them; gate only
+		// gross blow-ups (the community failing to contain the worm).
+		return classDeterministic, false, 10 // percentage points
+	case strings.Contains(name, "shared_fraction") || strings.Contains(name, "fraction"):
+		return classDeterministic, true, 0.05 // fractions of pages shared
 	case strings.Contains(name, "virtual_ms"):
 		return classDeterministic, false, 10 // virtual milliseconds
 	case strings.Contains(name, "req_per_s"):

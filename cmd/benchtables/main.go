@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"sweeper/internal/experiments"
+	"sweeper/internal/vm"
 )
 
 // benchJSON is the machine-readable benchmark record written by -json: one
@@ -154,6 +155,41 @@ func writeBenchJSON(path string, sizes experiments.Sizes, paperScale bool) error
 	metrics["client_latency_after_p99_ms"] = cl.AfterP99Ms
 	metrics["client_latency_recovery_degradation_x"] = cl.RecoveryDegradationX
 	metrics["client_latency_sojourn_p99_ms"] = cl.SojournP99Ms
+
+	// The live epidemic grid (Figures 6-8 measured on real 100-host
+	// in-process communities) and the shared base-image economy that makes
+	// those communities affordable. The infection outcomes are driven by a
+	// seeded PRNG over virtual ticks, so they are deterministic per record.
+	eps, err := experiments.RunEpidemicSweep(experiments.DefaultEpidemicSweepConfig())
+	if err != nil {
+		return err
+	}
+	for _, p := range eps.Figure6 {
+		key := fmt.Sprintf("epidemic_fig6_alpha%g", p.Config.Alpha*100)
+		metrics[key+"_infected_pct"] = 100 * p.InfectionRatio
+		metrics[key+"_model_infected_pct"] = 100 * p.ModelInfectionRatio
+	}
+	for _, p := range eps.Figure7 {
+		key := fmt.Sprintf("epidemic_fig7_deploy%g", p.Config.Deploy*100)
+		metrics[key+"_infected_pct"] = 100 * p.InfectionRatio
+	}
+	for _, p := range eps.Figure8 {
+		key := fmt.Sprintf("epidemic_fig8_gamma%d", p.Config.GammaTicks)
+		metrics[key+"_infected_pct"] = 100 * p.InfectionRatio
+		metrics[key+"_model_infected_pct"] = 100 * p.ModelInfectionRatio
+	}
+	base := eps.Figure6[len(eps.Figure6)-1]
+	metrics["epidemic_t0_ticks"] = float64(base.T0)
+	metrics["epidemic_antibodies_count"] = float64(base.AntibodiesTotal)
+	metrics["epidemic_adoptions_count"] = float64(base.Adopted)
+	metrics["epidemic_shared_page_fraction"] = base.SharedPageFraction
+
+	bs := vm.DefaultBaseStore().Stats()
+	metrics["base_store_distinct_pages"] = float64(bs.DistinctPages)
+	metrics["base_store_installed_pages"] = float64(bs.InstalledPages)
+	if bs.InstalledPages > 0 {
+		metrics["base_store_shared_fraction"] = 1 - float64(bs.DistinctPages)/float64(bs.InstalledPages)
+	}
 
 	out := benchJSON{
 		Schema:      "sweeper-bench/1",

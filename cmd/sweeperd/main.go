@@ -19,6 +19,8 @@
 // do not trust each other — every received antibody is re-verified by
 // replaying its attached exploit input in a clone sandbox before adoption
 // (disable with -verify-adopt=false to see why that would be a bad idea).
+// -auth-token sets a community shared secret: served pushes and polls without
+// it are rejected, and every outgoing request carries it.
 //
 // Examples:
 //
@@ -100,6 +102,7 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated federation peers to gossip antibodies with (host:port)")
 		verifyAdopt  = flag.Bool("verify-adopt", false, "replay each received antibody's exploit in a sandbox before adoption (default on when -listen or -peers is set)")
 		pollMs       = flag.Int("poll-ms", 25, "federation poll interval in milliseconds")
+		authToken    = flag.String("auth-token", "", "federation shared-secret: require it on every served push/poll and attach it to every outgoing request (empty = open federation)")
 		linger       = flag.Duration("linger", 0, "keep the daemon alive this long after the scripted workload, serving peers and absorbing gossip")
 		tcpListen    = flag.String("tcp-listen", "", "serve framed TCP requests to the guests from this base address (e.g. 127.0.0.1:7400); the daemon then runs until interrupted")
 		perGuestPort = flag.Bool("per-guest-port", false, "with -tcp-listen: guest i listens on the base port plus i (required for more than one guest unless the base port is 0)")
@@ -169,15 +172,22 @@ func main() {
 		if err != nil {
 			log.Fatalf("sweeperd: -listen %s: %v", *listen, err)
 		}
-		srv := &http.Server{Handler: federate.NewServer(fleet.Store(), fedRec)}
+		fedSrv := federate.NewServer(fleet.Store(), fedRec)
+		fedSrv.SetAuthToken(*authToken)
+		srv := &http.Server{Handler: fedSrv}
 		go srv.Serve(lis)
 		defer srv.Close()
-		fmt.Printf("  federation: serving antibodies on %s\n", lis.Addr())
+		auth := "open"
+		if *authToken != "" {
+			auth = "token required"
+		}
+		fmt.Printf("  federation: serving antibodies on %s (%s)\n", lis.Addr(), auth)
 	}
 	if *peers != "" {
 		node = federate.NewNode(fleet.Store(), fedRec, federate.Config{
 			Name:         "sweeperd@" + *listen,
 			PollInterval: time.Duration(*pollMs) * time.Millisecond,
+			AuthToken:    *authToken,
 		})
 		defer node.Close()
 		for _, addr := range strings.Split(*peers, ",") {

@@ -143,16 +143,20 @@ func TestSnapshotIsUsableForRollback(t *testing.T) {
 }
 
 // TestIncrementalCheckpointPageStats checks that steady-state checkpoints
-// capture only dirty pages: after the first (full) checkpoint, each serving
-// interval dirties a handful of pages, so the cumulative captured count must
-// stay far below what full scans would have walked.
+// capture only dirty pages: each serving interval dirties a handful of
+// pages, so the cumulative captured count must stay far below what full
+// scans would have walked. The first checkpoint of an untouched process is
+// free: the clean image is the shared base-image snapshot itself.
 func TestIncrementalCheckpointPageStats(t *testing.T) {
 	p := newCVSProcess(t, 12)
 	m := checkpoint.NewManager(checkpoint.Policy{IntervalMs: 1, MaxKept: 50})
 
 	first := m.Checkpoint(p)
-	if first.DirtyPages != first.Mem.Pages() {
-		t.Errorf("first checkpoint captured %d pages, want all %d", first.DirtyPages, first.Mem.Pages())
+	if first.DirtyPages != 0 {
+		t.Errorf("first checkpoint of an untouched process captured %d pages, want 0 (shared base image)", first.DirtyPages)
+	}
+	if first.Mem.Pages() == 0 {
+		t.Error("first checkpoint covers no pages; base image missing")
 	}
 	for i := 0; i < 6; i++ {
 		if stop := p.Run(20_000); stop.Reason != vm.StopWaitInput && stop.Reason != vm.StopInstrBudget {

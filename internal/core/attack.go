@@ -236,6 +236,12 @@ func (s *Sweeper) newAntibodyID(stage antibody.Stage) string {
 }
 
 func (s *Sweeper) publish(a *antibody.Antibody) {
+	if !s.cfg.ProduceAntibodies {
+		// Consumer role: the attack is detected, analysed and recovered from,
+		// but nothing leaves this host — the report keeps the antibody stages
+		// for inspection, Antibodies() and the fan-out stay empty.
+		return
+	}
 	s.antibodies = append(s.antibodies, a)
 	if s.OnAntibody != nil {
 		s.OnAntibody(a)

@@ -338,11 +338,13 @@ func (g *Guest) markOwn(id string) { g.adopted[id] = true }
 // process, input signatures on the proxy. With cfg.VerifyAdoption set, the
 // antibody is first re-verified by replaying its attached exploit input on a
 // clone sandbox (see Sweeper.VerifyAntibody) and rejected — counted, never
-// installed — if the exploit does not reproduce a violation here. A more
-// refined stage of the same attack's antibody replaces the earlier one — the
-// new stage is applied first and the old one removed only on success, so a
-// failed application never leaves the guest less protected than before. Runs
-// on the guest's goroutine.
+// installed — if the exploit does not reproduce a violation here; when the
+// replay regenerated local analysis findings, the guest synthesises its own
+// antibody from them and installs that instead of the sender's (see
+// Sweeper.RegenerateAntibody). A more refined stage of the same attack's
+// antibody replaces the earlier one — the new stage is applied first and the
+// old one removed only on success, so a failed application never leaves the
+// guest less protected than before. Runs on the guest's goroutine.
 func (g *Guest) adopt(a *antibody.Antibody) {
 	if g.adopted[a.ID] {
 		return
@@ -357,6 +359,7 @@ func (g *Guest) adopt(a *antibody.Antibody) {
 		// is not worth a verification sandbox run).
 		return
 	}
+	install := a
 	if g.s.cfg.VerifyAdoption {
 		const maxVerifyRetries = 3
 		dec := g.s.VerifyAntibody(a, g.installedAntibodies()...)
@@ -383,8 +386,14 @@ func (g *Guest) adopt(a *antibody.Antibody) {
 		if !dec.Adoptable {
 			return
 		}
+		if regen := g.s.RegenerateAntibody(a, dec); regen != nil {
+			// The locally synthesised antibody displaces the sender's:
+			// nothing of the received probe or filter definitions is
+			// installed, only evidence this host re-derived itself.
+			install = regen
+		}
 	}
-	ap, err := a.Apply(g.s.Process(), g.s.Proxy())
+	ap, err := install.Apply(g.s.Process(), g.s.Proxy())
 	if err != nil {
 		return
 	}
@@ -393,7 +402,12 @@ func (g *Guest) adopt(a *antibody.Antibody) {
 	}
 	g.applied[family] = ap
 	g.appliedRank[family] = rank
-	g.fleet.rec.Update(g.name, func(st *metrics.GuestStats) { st.AntibodiesAdopted++ })
+	g.fleet.rec.Update(g.name, func(st *metrics.GuestStats) {
+		st.AntibodiesAdopted++
+		if install != a {
+			st.AntibodiesRegenerated++
+		}
+	})
 }
 
 // loop is the guest's serving goroutine: apply queued antibodies, serve

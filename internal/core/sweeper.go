@@ -113,6 +113,15 @@ type Config struct {
 	// report seals without them. Zero means the default of 16.
 	DeferredQueueDepth int
 
+	// ProduceAntibodies gates antibody publication. When false the Sweeper
+	// still detects attacks, recovers in place and keeps its full report, but
+	// publishes nothing — no store entries, no OnAntibody callbacks. This is
+	// the consumer role of the paper's producer/consumer deployment split
+	// (Section 6): consumer hosts rely on antibodies federated from the
+	// producer fraction α of the community instead of generating their own.
+	// Default true (DefaultConfig).
+	ProduceAntibodies bool
+
 	// RandSeed seeds the guest-visible RNG.
 	RandSeed uint32
 
@@ -138,6 +147,7 @@ func DefaultConfig() Config {
 		ParallelAnalysis:     true,
 		PoolClones:           true,
 		RegenerateOnVerify:   true,
+		ProduceAntibodies:    true,
 		ReplayBudget:         200_000_000,
 		ServeBudget:          0,
 		DeferredQueueDepth:   16,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sweeper/internal/analysis"
+	"sweeper/internal/analysis/membug"
 	"sweeper/internal/analysis/taint"
 	"sweeper/internal/antibody"
 	"sweeper/internal/monitor"
@@ -175,6 +176,51 @@ func (s *Sweeper) ReplayExploit(payload []byte, installed []*antibody.Antibody) 
 	// A payload that neither quiesces nor violates (e.g. runs the budget out
 	// or halts the sandbox) is deterministic: rejecting it is final.
 	return ExploitReplay{Reason: fmt.Sprintf("exploit replay did not reproduce a violation (stop: %v)", stop.Reason)}
+}
+
+// RegenerateAntibody synthesises a local replacement for a verified received
+// antibody from the evidence this host re-derived itself: VSEF probes built
+// from the regenerated memory-bug and taint findings, plus an exact input
+// signature over the attached exploit input (which this host just replayed
+// and watched reproduce — it is the one part of the sender's antibody that
+// was independently validated). Installing the regenerated antibody removes
+// the last trust in the sender's contents: nothing of the received probe or
+// filter definitions survives, only the exploit they were claimed to stop.
+//
+// Returns nil when the regenerated findings cannot produce any VSEF — the
+// caller falls back to the verified sender antibody.
+func (s *Sweeper) RegenerateAntibody(a *antibody.Antibody, dec VerifyDecision) *antibody.Antibody {
+	if !dec.Reproduced || len(dec.Regenerated) == 0 || len(a.ExploitInput) == 0 {
+		return nil
+	}
+	// "+regen" keeps antibodyFamily(ID) — everything up to the last '-' —
+	// identical to the sender's, so stage replacement keeps working across
+	// regenerated and original antibodies of the same attack.
+	id := a.ID + "+regen"
+	var vsefs []*antibody.VSEF
+	if res, ok := dec.Regenerated[membug.AnalyzerName].(*membug.Result); ok && res.Primary != nil {
+		if v := antibody.FromMemBug(id+"-vsef", a.Program, res.Primary); v != nil {
+			vsefs = append(vsefs, v)
+		}
+	}
+	if res, ok := dec.Regenerated[taint.AnalyzerName].(*taint.Result); ok && res.Tracker != nil {
+		if v := antibody.FromTaint(id+"-taint-vsef", a.Program, res.Tracker); v != nil {
+			vsefs = append(vsefs, v)
+		}
+	}
+	if len(vsefs) == 0 {
+		return nil
+	}
+	return &antibody.Antibody{
+		ID:           id,
+		Program:      a.Program,
+		Stage:        a.Stage,
+		VSEFs:        vsefs,
+		Sigs:         []*antibody.Signature{antibody.ExactSignature(id+"-sig", a.ExploitInput)},
+		ExploitInput: a.ExploitInput,
+		CreatedAtMs:  s.proc.Machine.NowMillis(),
+		Notes:        []string{"regenerated locally from verified exploit replay of " + a.ID},
+	}
 }
 
 // hasFastAnalyzers reports whether any configured analyzer runs in the fast

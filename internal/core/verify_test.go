@@ -242,6 +242,79 @@ func TestVerifyRegeneratesFastTierFindings(t *testing.T) {
 	}
 }
 
+// TestAdoptInstallsRegeneratedAntibody: a verifying consumer whose sandbox
+// regenerated the fast-tier evidence does not install the sender's antibody
+// at all — it synthesises its own (locally derived VSEFs plus an exact
+// signature over the just-replayed exploit input) and installs that,
+// removing the last trust in received antibody contents. The regenerated
+// antibody must protect exactly like the original.
+func TestAdoptInstallsRegeneratedAntibody(t *testing.T) {
+	final := genuineFinalAntibody(t, "squid")
+	f := newVerifyingConsumer(t, "squid", "squid-consumer", 161803)
+	if !f.Store().Publish(final) {
+		t.Fatal("store rejected the genuine antibody")
+	}
+	f.Drain()
+
+	st, _ := f.Metrics().Guest("squid-consumer")
+	if st.AntibodiesAdopted != 1 {
+		t.Fatalf("AntibodiesAdopted = %d, want 1", st.AntibodiesAdopted)
+	}
+	if st.AntibodiesRegenerated != 1 {
+		t.Errorf("AntibodiesRegenerated = %d, want 1 (DefaultConfig regenerates on verify)", st.AntibodiesRegenerated)
+	}
+	if st.FindingsRegenerated == 0 {
+		t.Error("no findings regenerated; the local antibody had nothing to build from")
+	}
+	// The locally synthesised signature must filter the exploit like the
+	// sender's would have.
+	if f.Submit("squid-consumer", final.ExploitInput, "worm", true) {
+		t.Error("guest accepted the exploit after regenerated adoption")
+	}
+	// Benign traffic still flows.
+	if !f.Submit("squid-consumer", exploit.Benign("squid", 9), "client", false) {
+		t.Error("regenerated antibody censored benign traffic")
+	}
+	f.Stop()
+
+	// RegenerateAntibody itself: the ID keeps the sender's antibody family,
+	// so stage replacement still works across regenerated/original stages.
+	if got, want := antibodyFamily(final.ID+"+regen"), antibodyFamily(final.ID); got != want {
+		t.Errorf("regenerated family %q != original family %q", got, want)
+	}
+
+	// With regeneration disabled, the consumer verifies and falls back to
+	// installing the sender's antibody, and counts no regeneration.
+	spec, err := apps.ByName("squid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := NewFleet()
+	cfg := DefaultConfig()
+	cfg.ASLRSeed = 141421
+	cfg.VerifyAdoption = true
+	cfg.RegenerateOnVerify = false
+	if _, err := f2.AddGuest("plain-consumer", spec.Name, spec.Image, spec.Options, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f2.Start()
+	f2.Submit("plain-consumer", exploit.Benign("squid", 0), "client", false)
+	f2.Drain()
+	if !f2.Store().Publish(final) {
+		t.Fatal("store rejected the genuine antibody")
+	}
+	f2.Drain()
+	st2, _ := f2.Metrics().Guest("plain-consumer")
+	if st2.AntibodiesAdopted != 1 || st2.AntibodiesRegenerated != 0 {
+		t.Errorf("adopted=%d regenerated=%d, want 1/0 with regeneration disabled",
+			st2.AntibodiesAdopted, st2.AntibodiesRegenerated)
+	}
+	if f2.Submit("plain-consumer", final.ExploitInput, "worm", true) {
+		t.Error("fallback consumer accepted the exploit after adoption")
+	}
+	f2.Stop()
+}
+
 // TestVerifyReproducesViaConfiguredMonitors: an exploit that the live guest
 // detects through an attached monitor (shadow stack; no ASLR, so no fault)
 // must also reproduce in the verification sandbox — the clone carries no

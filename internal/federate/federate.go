@@ -30,6 +30,15 @@ type Config struct {
 	PollInterval time.Duration
 	// RequestTimeout bounds every HTTP call to a peer (default 5s).
 	RequestTimeout time.Duration
+	// AuthToken, when set, is attached to every push and poll this node
+	// sends (HTTP peers carry it in the X-Sweeper-Token header). Servers
+	// configured with a token reject requests that do not present it.
+	AuthToken string
+	// MaxPushFanout, when positive, bounds how many peers each push batch
+	// is delivered to: batches go to a rotating window of MaxPushFanout
+	// peers, and the remaining peers' poll loops recover the antibodies.
+	// Zero pushes to every peer (the small-community default).
+	MaxPushFanout int
 }
 
 func (c *Config) defaults() {
@@ -53,8 +62,9 @@ type Node struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    []*antibody.Antibody
-	peers    []*Peer
-	fromPeer map[string]*Peer // antibody ID -> peer it arrived from
+	peers    []Transport
+	fromPeer map[string]Transport // antibody ID -> peer it arrived from
+	fanout   int                  // rotating fan-out window cursor
 	closed   bool
 
 	done chan struct{}
@@ -70,7 +80,7 @@ func NewNode(store *antibody.Store, rec *metrics.FederationRecorder, cfg Config)
 		cfg:      cfg,
 		store:    store,
 		rec:      rec,
-		fromPeer: make(map[string]*Peer),
+		fromPeer: make(map[string]Transport),
 		done:     make(chan struct{}),
 	}
 	n.cond = sync.NewCond(&n.mu)
@@ -83,24 +93,30 @@ func NewNode(store *antibody.Store, rec *metrics.FederationRecorder, cfg Config)
 // Store returns the node's local store.
 func (n *Node) Store() *antibody.Store { return n.store }
 
-// AddPeer connects to the peer at addr ("host:port" or a full URL). The
-// first pull — the full-store replay a joining daemon performs — happens
-// synchronously so the caller learns immediately whether the peer is
-// reachable; the poll loop then keeps the stores converged.
+// AddPeer connects to the HTTP peer at addr ("host:port" or a full URL),
+// carrying the node's auth token if one is configured.
 func (n *Node) AddPeer(addr string) error {
-	p := NewPeer(addr, n.cfg.RequestTimeout)
-	page, err := p.Pull(0)
+	return n.AddTransport(NewPeer(addr, n.cfg.RequestTimeout).WithAuthToken(n.cfg.AuthToken))
+}
+
+// AddTransport connects to a peer over any Transport (an HTTP Peer or an
+// in-process hub endpoint). The first pull — the full-store replay a joining
+// daemon performs — happens synchronously so the caller learns immediately
+// whether the peer is reachable; the poll loop then keeps the stores
+// converged.
+func (n *Node) AddTransport(t Transport) error {
+	page, err := t.Pull(0)
 	if err != nil {
-		return fmt.Errorf("federate: joining peer %s: %w", p.URL(), err)
+		return fmt.Errorf("federate: joining peer %s: %w", t.URL(), err)
 	}
-	n.importFrom(p, page.Antibodies)
+	n.importFrom(t, page.Antibodies)
 	n.mu.Lock()
-	n.peers = append(n.peers, p)
+	n.peers = append(n.peers, t)
 	peerCount := len(n.peers)
 	n.mu.Unlock()
 	n.rec.Update(func(s *metrics.FederationStats) { s.Peers = peerCount })
 	n.wg.Add(1)
-	go n.pollLoop(p, page.Next)
+	go n.pollLoop(t, page.Next)
 	return nil
 }
 
@@ -144,7 +160,7 @@ func (n *Node) enqueue(a *antibody.Antibody) {
 // Duplicates are dropped by the store (no subscriber fires, so nothing is
 // re-pushed: this ends the gossip loop); fresh ones are tagged with their
 // source peer so the push loop does not echo them straight back.
-func (n *Node) importFrom(p *Peer, abs []*antibody.Antibody) {
+func (n *Node) importFrom(p Transport, abs []*antibody.Antibody) {
 	for _, a := range abs {
 		if a == nil || a.ID == "" {
 			continue
@@ -165,11 +181,12 @@ func (n *Node) importFrom(p *Peer, abs []*antibody.Antibody) {
 	}
 }
 
-// pushLoop drains the publish queue, pushing each batch to every peer except
-// an antibody's own source. Push failures are only counted: the receiving
-// side's poll loop recovers anything a push missed. Source tags are consumed
-// with the batch — an ID is pushed at most once (store dedup prevents
-// re-notification), so keeping tags longer would only leak memory.
+// pushLoop drains the publish queue, pushing each batch to every peer in the
+// fan-out window except an antibody's own source. Push failures are only
+// counted: the receiving side's poll loop recovers anything a push missed.
+// Source tags are consumed with the batch — an ID is pushed at most once
+// (store dedup prevents re-notification), so keeping tags longer would only
+// leak memory.
 func (n *Node) pushLoop() {
 	defer n.wg.Done()
 	for {
@@ -183,8 +200,8 @@ func (n *Node) pushLoop() {
 		}
 		batch := n.queue
 		n.queue = nil
-		peers := append([]*Peer(nil), n.peers...)
-		sources := make(map[string]*Peer, len(batch))
+		peers := n.fanoutWindow()
+		sources := make(map[string]Transport, len(batch))
 		for _, a := range batch {
 			if p, ok := n.fromPeer[a.ID]; ok {
 				sources[a.ID] = p
@@ -212,8 +229,25 @@ func (n *Node) pushLoop() {
 	}
 }
 
+// fanoutWindow returns the peers the next push batch goes to: all of them,
+// or — when MaxPushFanout bounds the gossip — a rotating window of that many
+// peers, advanced per batch so every peer is pushed to eventually. Caller
+// holds n.mu.
+func (n *Node) fanoutWindow() []Transport {
+	k := n.cfg.MaxPushFanout
+	if k <= 0 || len(n.peers) <= k {
+		return append([]Transport(nil), n.peers...)
+	}
+	window := make([]Transport, 0, k)
+	for i := 0; i < k; i++ {
+		window = append(window, n.peers[(n.fanout+i)%len(n.peers)])
+	}
+	n.fanout = (n.fanout + k) % len(n.peers)
+	return window
+}
+
 // pollLoop periodically pulls the peer's store from the given cursor onward.
-func (n *Node) pollLoop(p *Peer, cursor int) {
+func (n *Node) pollLoop(p Transport, cursor int) {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.cfg.PollInterval)
 	defer ticker.Stop()

@@ -1,0 +1,210 @@
+package federate
+
+import (
+	"fmt"
+	"sync"
+
+	"sweeper/internal/antibody"
+	"sweeper/internal/metrics"
+)
+
+// Hub is an in-process federation fabric: a registry of named endpoints,
+// each the channel-backed equivalent of one daemon's HTTP Server. Dialing an
+// endpoint yields a Transport with the HTTP peer's exact semantics — push
+// with per-antibody accept counts, cursor-paged pulls, structural
+// validation, auth-token rejection — so one process can host hundreds of
+// sweeperd-equivalent daemons without sockets. Antibodies cross the hub by
+// reference; they are immutable once published, as everywhere else.
+type Hub struct {
+	mu  sync.Mutex
+	eps map[string]*Endpoint
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{eps: make(map[string]*Endpoint)}
+}
+
+// Register creates and serves the named endpoint around the store. The
+// token, when non-empty, must be presented by every dialer (mirroring
+// Server.SetAuthToken). Registering a taken name fails.
+func (h *Hub) Register(name string, store *antibody.Store, rec *metrics.FederationRecorder, token string) (*Endpoint, error) {
+	if name == "" {
+		return nil, fmt.Errorf("federate: inproc endpoint needs a name")
+	}
+	ep := &Endpoint{
+		name:  name,
+		store: store,
+		rec:   rec,
+		token: token,
+		reqs:  make(chan inprocReq),
+		done:  make(chan struct{}),
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, taken := h.eps[name]; taken {
+		return nil, fmt.Errorf("federate: inproc endpoint %q already registered", name)
+	}
+	h.eps[name] = ep
+	go ep.serve()
+	return ep, nil
+}
+
+// Dial returns a Transport to the named endpoint, presenting the given
+// token. Dialing is name resolution only; a bad token fails at the first
+// push or pull, like HTTP.
+func (h *Hub) Dial(name, token string) (Transport, error) {
+	h.mu.Lock()
+	ep, ok := h.eps[name]
+	h.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("federate: inproc endpoint %q not registered", name)
+	}
+	return &inprocPeer{ep: ep, token: token}, nil
+}
+
+// Close shuts down every endpoint.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	eps := make([]*Endpoint, 0, len(h.eps))
+	for _, ep := range h.eps {
+		eps = append(eps, ep)
+	}
+	h.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// Endpoint is one daemon's in-process federation server: a dispatcher
+// goroutine consuming push/pull requests off a channel, so request handling
+// is serialised exactly like an HTTP handler invocation and the store/metrics
+// interaction stays identical to Server's.
+type Endpoint struct {
+	name  string
+	store *antibody.Store
+	rec   *metrics.FederationRecorder
+	token string
+
+	reqs      chan inprocReq
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// inprocReq is one request crossing the hub: a push (env != nil) or a pull
+// (pullSince). The reply channel is buffered so the dispatcher never blocks
+// on a caller that gave up.
+type inprocReq struct {
+	token     string
+	env       *antibody.PushEnvelope
+	pullSince int
+	reply     chan inprocResp
+}
+
+type inprocResp struct {
+	accepted int
+	page     *antibody.PullPage
+	err      error
+}
+
+// Name returns the endpoint's hub name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// Close stops the dispatcher; in-flight and future requests fail like a
+// connection refused, which the poll loops absorb.
+func (ep *Endpoint) Close() {
+	ep.closeOnce.Do(func() { close(ep.done) })
+}
+
+// serve is the dispatcher loop.
+func (ep *Endpoint) serve() {
+	for {
+		select {
+		case <-ep.done:
+			return
+		case req := <-ep.reqs:
+			req.reply <- ep.handle(req)
+		}
+	}
+}
+
+// handle services one request with Server's semantics.
+func (ep *Endpoint) handle(req inprocReq) inprocResp {
+	if ep.token != "" && req.token != ep.token {
+		ep.rec.Update(func(st *metrics.FederationStats) { st.Rejected++ })
+		return inprocResp{err: fmt.Errorf("federate: inproc %s: bad or missing auth token", ep.name)}
+	}
+	if req.env == nil {
+		abs, next := ep.store.Since(req.pullSince)
+		return inprocResp{page: &antibody.PullPage{Next: next, Antibodies: abs}}
+	}
+	for _, a := range req.env.Antibodies {
+		if a == nil || a.ID == "" || a.Program == "" {
+			ep.rec.Update(func(st *metrics.FederationStats) { st.Rejected++ })
+			return inprocResp{err: fmt.Errorf("federate: inproc %s: antibody without id or program", ep.name)}
+		}
+	}
+	accepted := 0
+	for _, a := range req.env.Antibodies {
+		if ep.store.Publish(a) {
+			accepted++
+			ep.rec.Update(func(st *metrics.FederationStats) { st.Received++ })
+		} else {
+			ep.rec.Update(func(st *metrics.FederationStats) { st.Duplicates++ })
+		}
+	}
+	return inprocResp{accepted: accepted}
+}
+
+// call sends one request to the endpoint's dispatcher and waits for the
+// reply, failing if the endpoint closed.
+func (ep *Endpoint) call(req inprocReq) (inprocResp, error) {
+	req.reply = make(chan inprocResp, 1)
+	select {
+	case ep.reqs <- req:
+	case <-ep.done:
+		return inprocResp{}, fmt.Errorf("federate: inproc %s: endpoint closed", ep.name)
+	}
+	select {
+	case resp := <-req.reply:
+		return resp, nil
+	case <-ep.done:
+		return inprocResp{}, fmt.Errorf("federate: inproc %s: endpoint closed", ep.name)
+	}
+}
+
+// inprocPeer is the dialer side: a Transport backed by an Endpoint's request
+// channel.
+type inprocPeer struct {
+	ep    *Endpoint
+	token string
+}
+
+// URL identifies the peer as inproc://name.
+func (p *inprocPeer) URL() string { return "inproc://" + p.ep.name }
+
+// Push delivers antibodies to the endpoint's store and returns how many it
+// had not seen before.
+func (p *inprocPeer) Push(from string, abs []*antibody.Antibody) (int, error) {
+	resp, err := p.ep.call(inprocReq{
+		token: p.token,
+		env:   &antibody.PushEnvelope{From: from, Antibodies: abs},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.accepted, resp.err
+}
+
+// Pull fetches the endpoint's store from the cursor onward; Pull(0) replays
+// the full store.
+func (p *inprocPeer) Pull(cursor int) (*antibody.PullPage, error) {
+	resp, err := p.ep.call(inprocReq{token: p.token, pullSince: cursor})
+	if err != nil {
+		return nil, err
+	}
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	return resp.page, nil
+}

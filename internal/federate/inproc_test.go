@@ -1,0 +1,369 @@
+package federate
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sweeper/internal/antibody"
+	"sweeper/internal/metrics"
+)
+
+// inprocDaemon is one simulated sweeperd on the in-process hub.
+type inprocDaemon struct {
+	store *antibody.Store
+	rec   *metrics.FederationRecorder
+	ep    *Endpoint
+	node  *Node
+}
+
+func newInprocDaemon(t *testing.T, hub *Hub, name, token string) *inprocDaemon {
+	t.Helper()
+	d := &inprocDaemon{
+		store: antibody.NewStore(),
+		rec:   metrics.NewFederationRecorder(),
+	}
+	ep, err := hub.Register(name, d.store, d.rec, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ep = ep
+	t.Cleanup(ep.Close)
+	d.node = NewNode(d.store, d.rec, Config{Name: name, PollInterval: 2 * time.Millisecond, AuthToken: token})
+	t.Cleanup(d.node.Close)
+	return d
+}
+
+func dialInproc(t *testing.T, hub *Hub, name, token string) Transport {
+	t.Helper()
+	tr, err := hub.Dial(name, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestInprocJoinReplaysFullStore: the in-process transport preserves the
+// replay-on-join semantics — AddTransport's synchronous Pull(0) delivers a
+// populated peer's whole store.
+func TestInprocJoinReplaysFullStore(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	seeded := newInprocDaemon(t, hub, "seeded", "")
+	for i := 0; i < 5; i++ {
+		seeded.store.Publish(ab(fmt.Sprintf("seed-%d", i), "squid"))
+	}
+	joiner := newInprocDaemon(t, hub, "joiner", "")
+	if err := joiner.node.AddTransport(dialInproc(t, hub, "seeded", "")); err != nil {
+		t.Fatal(err)
+	}
+	if got := joiner.store.Len(); got != 5 {
+		t.Fatalf("joiner store holds %d antibodies after join, want 5", got)
+	}
+}
+
+// TestInprocGossipConverges: a 5-daemon in-process community on a sparse
+// ring topology converges via push plus poll, and dedup terminates the
+// gossip (no daemon re-receives an ID it already stored).
+func TestInprocGossipConverges(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	const n = 5
+	ds := make([]*inprocDaemon, n)
+	for i := range ds {
+		ds[i] = newInprocDaemon(t, hub, fmt.Sprintf("d%d", i), "")
+	}
+	// Ring: each daemon peers with its two neighbours only.
+	for i, d := range ds {
+		for _, j := range []int{(i + 1) % n, (i + n - 1) % n} {
+			if err := d.node.AddTransport(dialInproc(t, hub, fmt.Sprintf("d%d", j), "")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		ds[0].store.Publish(ab(fmt.Sprintf("ring-%d", i), "squid"))
+	}
+	waitFor(t, 5*time.Second, "ring convergence", func() bool {
+		for _, d := range ds {
+			if d.store.Len() != 3 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestInprocAuthTokenRejected: an endpoint registered with a token refuses
+// pushes and pulls that do not present it, counting each rejection, while a
+// correctly tokened dialer passes.
+func TestInprocAuthTokenRejected(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	d := newInprocDaemon(t, hub, "guarded", "s3cret")
+
+	bad := dialInproc(t, hub, "guarded", "wrong")
+	if _, err := bad.Push("rogue", []*antibody.Antibody{ab("x", "squid")}); err == nil {
+		t.Fatal("push with wrong token succeeded")
+	}
+	if _, err := bad.Pull(0); err == nil {
+		t.Fatal("pull with wrong token succeeded")
+	}
+	if got := d.rec.Snapshot().Rejected; got != 2 {
+		t.Fatalf("Rejected = %d, want 2", got)
+	}
+	if d.store.Len() != 0 {
+		t.Fatalf("store holds %d antibodies from rejected pushes", d.store.Len())
+	}
+
+	good := dialInproc(t, hub, "guarded", "s3cret")
+	if acc, err := good.Push("peer", []*antibody.Antibody{ab("x", "squid")}); err != nil || acc != 1 {
+		t.Fatalf("tokened push = (%d, %v), want (1, nil)", acc, err)
+	}
+}
+
+// TestInprocStructuralValidation: like the HTTP server, the endpoint refuses
+// a push containing an antibody without an ID or program, rejecting the
+// whole batch and counting it.
+func TestInprocStructuralValidation(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	d := newInprocDaemon(t, hub, "strict", "")
+	tr := dialInproc(t, hub, "strict", "")
+	if _, err := tr.Push("peer", []*antibody.Antibody{ab("ok", "squid"), {ID: "no-program"}}); err == nil {
+		t.Fatal("structurally invalid push succeeded")
+	}
+	if d.store.Len() != 0 {
+		t.Fatalf("store holds %d antibodies from an invalid batch", d.store.Len())
+	}
+	if got := d.rec.Snapshot().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+}
+
+// TestInprocClosedEndpointFails: dialers of a closed endpoint get errors
+// (like connection refused), which AddTransport surfaces.
+func TestInprocClosedEndpointFails(t *testing.T) {
+	hub := NewHub()
+	d := newInprocDaemon(t, hub, "gone", "")
+	d.ep.Close()
+	tr := dialInproc(t, hub, "gone", "")
+	if _, err := tr.Pull(0); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("pull of closed endpoint: %v, want closed error", err)
+	}
+	other := newInprocDaemon(t, hub, "other", "")
+	if err := other.node.AddTransport(tr); err == nil {
+		t.Fatal("joining a closed endpoint succeeded")
+	}
+}
+
+// TestBoundedFanoutStillConverges: with MaxPushFanout 1 in a 4-peer star,
+// each batch is pushed to one peer only — but the rotating window plus the
+// poll loops still converge every store.
+func TestBoundedFanoutStillConverges(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	center := &inprocDaemon{store: antibody.NewStore(), rec: metrics.NewFederationRecorder()}
+	ep, err := hub.Register("center", center.store, center.rec, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	center.node = NewNode(center.store, center.rec, Config{
+		Name: "center", PollInterval: 2 * time.Millisecond, MaxPushFanout: 1,
+	})
+	defer center.node.Close()
+
+	const spokes = 4
+	ds := make([]*inprocDaemon, spokes)
+	for i := range ds {
+		ds[i] = newInprocDaemon(t, hub, fmt.Sprintf("s%d", i), "")
+		if err := center.node.AddTransport(dialInproc(t, hub, fmt.Sprintf("s%d", i), "")); err != nil {
+			t.Fatal(err)
+		}
+		// Spokes poll the center so bounded pushes are recovered.
+		if err := ds[i].node.AddTransport(dialInproc(t, hub, "center", "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		center.store.Publish(ab(fmt.Sprintf("fan-%d", i), "squid"))
+	}
+	waitFor(t, 5*time.Second, "bounded fan-out convergence", func() bool {
+		for _, d := range ds {
+			if d.store.Len() != 6 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestHTTPAuthTokenRejected: the HTTP server mirrors the endpoint's token
+// check — wrong-token pushes and pulls get 401 and are counted Rejected;
+// AddPeer attaches the node's configured token so a tokened community still
+// converges.
+func TestHTTPAuthTokenRejected(t *testing.T) {
+	a := newDaemonWithToken(t, "a", "s3cret")
+	b := newDaemonWithToken(t, "b", "s3cret")
+
+	rogue := NewPeer(a.srv.URL, time.Second) // no token
+	if _, err := rogue.Push("rogue", []*antibody.Antibody{ab("x", "squid")}); err == nil {
+		t.Fatal("tokenless push accepted by guarded server")
+	}
+	if _, err := rogue.Pull(0); err == nil {
+		t.Fatal("tokenless pull accepted by guarded server")
+	}
+	if got := a.rec.Snapshot().Rejected; got != 2 {
+		t.Fatalf("Rejected = %d, want 2", got)
+	}
+
+	if err := b.node.AddPeer(a.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	a.store.Publish(ab("guarded-1", "squid"))
+	waitFor(t, 5*time.Second, "tokened convergence", func() bool { return b.store.Len() == 1 })
+}
+
+// TestMixedTransportCommunityDedup: one community, two fabrics — daemons
+// connected both over loopback HTTP and the in-process hub. Every antibody
+// reaches every store exactly once at the subscriber level: the cross-fabric
+// echoes are absorbed by store dedup.
+func TestMixedTransportCommunityDedup(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	a := newDaemon(t, "a")
+	b := newDaemon(t, "b")
+	for name, d := range map[string]*daemon{"a": a, "b": b} {
+		if _, err := hub.Register(name, d.store, d.rec, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a -> b over HTTP, b -> a over the hub: a full mesh spanning fabrics.
+	if err := a.node.AddPeer(b.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.node.AddTransport(dialInproc(t, hub, "a", "")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		a.store.Publish(ab(fmt.Sprintf("mix-a-%d", i), "squid"))
+		b.store.Publish(ab(fmt.Sprintf("mix-b-%d", i), "squid"))
+	}
+	waitFor(t, 5*time.Second, "mixed-transport convergence", func() bool {
+		return a.store.Len() == 8 && b.store.Len() == 8
+	})
+	// Dedup: each antibody notified each store's subscribers exactly once.
+	time.Sleep(20 * time.Millisecond) // let late echoes arrive
+	for i := 0; i < 4; i++ {
+		for _, d := range []*daemon{a, b} {
+			for _, id := range []string{fmt.Sprintf("mix-a-%d", i), fmt.Sprintf("mix-b-%d", i)} {
+				if got := d.notifyCount(id); got != 1 {
+					t.Errorf("%s notified %d times for %s, want 1", d.node.cfg.Name, got, id)
+				}
+			}
+		}
+	}
+}
+
+// TestSinceCursorUnderConcurrentPublishes: the replay-on-join pull races a
+// publisher; whatever the cursor cut, join-replay plus the poll loop must
+// deliver every antibody exactly once to the joiner's subscribers (the
+// Store.Since cursor-clamp edge cases under the new transport).
+func TestSinceCursorUnderConcurrentPublishes(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	src := newInprocDaemon(t, hub, "src", "")
+
+	const total = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			src.store.Publish(ab(fmt.Sprintf("race-%d", i), "squid"))
+		}
+	}()
+
+	joiner := &inprocDaemon{store: antibody.NewStore(), rec: metrics.NewFederationRecorder()}
+	notified := make(map[string]int)
+	var mu sync.Mutex
+	joiner.store.Subscribe(func(a *antibody.Antibody) {
+		mu.Lock()
+		notified[a.ID]++
+		mu.Unlock()
+	})
+	if _, err := hub.Register("racing-joiner", joiner.store, joiner.rec, ""); err != nil {
+		t.Fatal(err)
+	}
+	joiner.node = NewNode(joiner.store, joiner.rec, Config{Name: "racing-joiner", PollInterval: time.Millisecond})
+	defer joiner.node.Close()
+	// Join mid-publish: Pull(0) replays a prefix, the poll loop picks up
+	// from the returned cursor while the publisher keeps going.
+	if err := joiner.node.AddTransport(dialInproc(t, hub, "src", "")); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	waitFor(t, 10*time.Second, "post-race convergence", func() bool { return joiner.store.Len() == total })
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < total; i++ {
+		id := fmt.Sprintf("race-%d", i)
+		if notified[id] != 1 {
+			t.Fatalf("%s delivered %d times to the joiner, want exactly 1", id, notified[id])
+		}
+	}
+}
+
+// TestSinceCursorBeyondEnd: a poll cursor past the store's end (the store
+// was rebuilt, or the cursor came from a larger peer) clamps instead of
+// panicking, and the next publication is still delivered from the clamped
+// cursor.
+func TestSinceCursorBeyondEnd(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	d := newInprocDaemon(t, hub, "clamp", "")
+	d.store.Publish(ab("one", "squid"))
+	tr := dialInproc(t, hub, "clamp", "")
+	page, err := tr.Pull(9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Antibodies) != 0 || page.Next != 1 {
+		t.Fatalf("Pull(9999) = %d antibodies, next %d; want 0 antibodies, next clamped to 1", len(page.Antibodies), page.Next)
+	}
+	d.store.Publish(ab("two", "squid"))
+	page, err = tr.Pull(page.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Antibodies) != 1 || page.Antibodies[0].ID != "two" {
+		t.Fatalf("pull from clamped cursor returned %d antibodies, want exactly the new one", len(page.Antibodies))
+	}
+}
+
+// newDaemonWithToken is newDaemon with a shared-secret token on both the
+// server and the node.
+func newDaemonWithToken(t *testing.T, name, token string) *daemon {
+	t.Helper()
+	d := &daemon{
+		store:    antibody.NewStore(),
+		rec:      metrics.NewFederationRecorder(),
+		notified: make(map[string]int),
+	}
+	d.store.Subscribe(func(a *antibody.Antibody) {
+		d.mu.Lock()
+		d.notified[a.ID]++
+		d.mu.Unlock()
+	})
+	srv := NewServer(d.store, d.rec)
+	srv.SetAuthToken(token)
+	d.srv = httptest.NewServer(srv)
+	t.Cleanup(d.srv.Close)
+	d.node = NewNode(d.store, d.rec, Config{Name: name, PollInterval: 5 * time.Millisecond, AuthToken: token})
+	t.Cleanup(d.node.Close)
+	return d
+}

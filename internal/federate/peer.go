@@ -16,9 +16,14 @@ import (
 // server side) is read; antibodies are small, so anything bigger is abuse.
 const maxBodyBytes = 32 << 20
 
+// AuthHeader is the HTTP header carrying the federation shared-secret token
+// (see Config.AuthToken).
+const AuthHeader = "X-Sweeper-Token"
+
 // Peer is an HTTP client for one remote federation server.
 type Peer struct {
 	base   string
+	token  string
 	client *http.Client
 }
 
@@ -34,8 +39,34 @@ func NewPeer(addr string, timeout time.Duration) *Peer {
 	}
 }
 
+// WithAuthToken sets the shared-secret token attached to every request and
+// returns the peer for chaining. An empty token sends no header.
+func (p *Peer) WithAuthToken(token string) *Peer {
+	p.token = token
+	return p
+}
+
 // URL returns the peer's base URL.
 func (p *Peer) URL() string { return p.base }
+
+// do issues one request with the auth token attached.
+func (p *Peer) do(method, url string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if p.token != "" {
+		req.Header.Set(AuthHeader, p.token)
+	}
+	return p.client.Do(req)
+}
 
 // Push delivers antibodies to the peer's store and returns how many the peer
 // had not seen before.
@@ -44,7 +75,7 @@ func (p *Peer) Push(from string, abs []*antibody.Antibody) (accepted int, err er
 	if err != nil {
 		return 0, fmt.Errorf("federate: encoding push to %s: %w", p.base, err)
 	}
-	resp, err := p.client.Post(p.base+"/v1/antibodies", "application/json", bytes.NewReader(body))
+	resp, err := p.do(http.MethodPost, p.base+"/v1/antibodies", body)
 	if err != nil {
 		return 0, fmt.Errorf("federate: push to %s: %w", p.base, err)
 	}
@@ -63,7 +94,7 @@ func (p *Peer) Push(from string, abs []*antibody.Antibody) (accepted int, err er
 // Pull fetches the peer's store from the given publication cursor onward.
 // Pull(0) is the full-store replay performed on join.
 func (p *Peer) Pull(cursor int) (*antibody.PullPage, error) {
-	resp, err := p.client.Get(fmt.Sprintf("%s/v1/antibodies?since=%d", p.base, cursor))
+	resp, err := p.do(http.MethodGet, fmt.Sprintf("%s/v1/antibodies?since=%d", p.base, cursor), nil)
 	if err != nil {
 		return nil, fmt.Errorf("federate: pull from %s: %w", p.base, err)
 	}
@@ -81,7 +112,7 @@ func (p *Peer) Pull(cursor int) (*antibody.PullPage, error) {
 
 // Health checks that the peer answers.
 func (p *Peer) Health() error {
-	resp, err := p.client.Get(p.base + "/v1/health")
+	resp, err := p.do(http.MethodGet, p.base+"/v1/health", nil)
 	if err != nil {
 		return fmt.Errorf("federate: health check of %s: %w", p.base, err)
 	}

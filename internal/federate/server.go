@@ -20,6 +20,7 @@ type Server struct {
 	store *antibody.Store
 	rec   *metrics.FederationRecorder
 	mux   *http.ServeMux
+	token string
 }
 
 // NewServer returns a peer-facing HTTP handler around the store.
@@ -30,10 +31,20 @@ func NewServer(store *antibody.Store, rec *metrics.FederationRecorder) *Server {
 	return s
 }
 
+// SetAuthToken requires every push and poll to present the shared-secret
+// token (in the X-Sweeper-Token header); requests without it are rejected
+// and counted. Call before serving; an empty token disables the check.
+func (s *Server) SetAuthToken(token string) { s.token = token }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *Server) handleAntibodies(w http.ResponseWriter, r *http.Request) {
+	if s.token != "" && r.Header.Get(AuthHeader) != s.token {
+		s.rec.Update(func(st *metrics.FederationStats) { st.Rejected++ })
+		http.Error(w, "bad or missing auth token", http.StatusUnauthorized)
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		s.handlePull(w, r)
@@ -75,6 +86,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, a := range env.Antibodies {
 		if a == nil || a.ID == "" || a.Program == "" {
+			s.rec.Update(func(st *metrics.FederationStats) { st.Rejected++ })
 			http.Error(w, "antibody without id or program", http.StatusBadRequest)
 			return
 		}

@@ -19,6 +19,10 @@ type FederationStats struct {
 	Duplicates int
 	// Polls counts completed poll rounds against peers.
 	Polls int
+	// Rejected counts requests this daemon's server refused at the boundary:
+	// pushes and polls with a bad or missing auth token, and structurally
+	// invalid pushes (antibodies without an ID or program).
+	Rejected int
 }
 
 // FederationRecorder aggregates FederationStats. It is safe for concurrent

@@ -216,6 +216,15 @@ func (p *Process) Diverged() (bool, string) { return p.diverged, p.divergence }
 // Run executes the guest until it stops (budget of 0 means unlimited).
 func (p *Process) Run(budget uint64) *vm.StopInfo { return p.Machine.Run(budget) }
 
+// SharedBasePages reports how many of the process's mapped pages are still
+// backed by the process-wide content-addressed base store (untouched since
+// image install) versus the total mapped pages — the shared-vs-private page
+// accounting behind the scale mode's sublinear memory claim. The process
+// must be quiescent; the caller synchronises with the serving goroutine.
+func (p *Process) SharedBasePages() (shared, total int) {
+	return vm.DefaultBaseStore().SharedPagesIn(p.Machine.Mem)
+}
+
 // --- vm.SyscallHandler ---
 
 // Syscall services one guest syscall. It implements vm.SyscallHandler.

@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// BaseStore is a process-wide, content-addressed store of frozen base-image
+// pages. Loading a program maps its initial data segment and zeroed stack
+// through the store: every page is hashed and interned, so all same-content
+// pages — across guests, across clone fleets, and across differently
+// randomised layouts (segment shifts are page-aligned multiples of PageSize,
+// so page contents are layout-independent) — are backed by one immutable page
+// object. Guests copy-on-write privately on first touch, exactly like
+// snapshot sharing, so memory for N same-program guests grows with the pages
+// they dirty, not with N times the image size.
+//
+// Interned pages are frozen (owner nil) before they are ever shared and are
+// never written in place, which is the same invariant MemSnapshot sharing
+// relies on; handing them to concurrently-running Memories is safe.
+type BaseStore struct {
+	mu     sync.Mutex
+	pages  map[[32]byte]*page // content hash -> canonical frozen page
+	byPtr  map[*page]struct{} // identity set of the canonical pages
+	images map[imageKey]*MemSnapshot
+
+	installs       int // base images handed to machines
+	installedPages int // page-table entries those installs shared
+}
+
+// imageKey memoises one built base image: the program's data-segment content
+// plus the layout coordinates that decide which page numbers it occupies.
+type imageKey struct {
+	dataHash  [32]byte
+	dataBase  uint32
+	stackBase uint32
+	stackSize uint32
+}
+
+// NewBaseStore returns an empty store. Most callers want DefaultBaseStore;
+// a private store exists for tests that need isolated accounting.
+func NewBaseStore() *BaseStore {
+	return &BaseStore{
+		pages:  make(map[[32]byte]*page),
+		byPtr:  make(map[*page]struct{}),
+		images: make(map[imageKey]*MemSnapshot),
+	}
+}
+
+var defaultBaseStore = NewBaseStore()
+
+// DefaultBaseStore returns the process-wide store every NewMachine installs
+// base images from.
+func DefaultBaseStore() *BaseStore { return defaultBaseStore }
+
+// BaseStoreStats is a point-in-time accounting snapshot of a BaseStore.
+type BaseStoreStats struct {
+	// DistinctPages is how many unique page contents the store holds — the
+	// real backing memory, shared by every install.
+	DistinctPages int
+	// Images is how many distinct (program data, layout) base images were
+	// built.
+	Images int
+	// Installs counts machines that installed a base image.
+	Installs int
+	// InstalledPages counts the page-table entries handed out across all
+	// installs; InstalledPages / DistinctPages is the sharing factor.
+	InstalledPages int
+}
+
+// Stats returns the store's accounting counters.
+func (b *BaseStore) Stats() BaseStoreStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BaseStoreStats{
+		DistinctPages:  len(b.pages),
+		Images:         len(b.images),
+		Installs:       b.installs,
+		InstalledPages: b.installedPages,
+	}
+}
+
+// BaseImage returns the chain-root snapshot of prog's clean initial memory —
+// the data segment (zero-padded to at least one page) plus the zeroed stack —
+// under the given layout, building and memoising it on first use. Restoring
+// the returned snapshot into a fresh Memory reproduces exactly the segment
+// state NewMachine used to build eagerly, but with every page shared.
+func (b *BaseStore) BaseImage(prog *Program, layout Layout) *MemSnapshot {
+	dataSize := uint32(len(prog.Data))
+	if dataSize < PageSize {
+		dataSize = PageSize
+	}
+	key := imageKey{
+		dataHash:  prog.dataHash(),
+		dataBase:  layout.DataBase,
+		stackBase: layout.StackBase,
+		stackSize: layout.StackSize,
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.images[key]; ok {
+		b.installs++
+		b.installedPages += s.Pages()
+		return s
+	}
+	// Build the segments exactly as the eager path did, then intern every
+	// page, so the shared image is byte-identical to the unshared one.
+	scratch := NewMemory()
+	scratch.MapRegion(layout.DataBase, dataSize)
+	if len(prog.Data) > 0 {
+		scratch.WriteBytes(layout.DataBase, prog.Data)
+	}
+	scratch.MapRegion(layout.StackBase, layout.StackSize)
+	flat := make(map[uint32]*page, len(scratch.pages))
+	for pn, p := range scratch.pages {
+		flat[pn] = b.intern(p)
+	}
+	// A chain root with captured == 0: installing (and re-checkpointing) a
+	// clean image costs the guest's virtual clock nothing, because nothing
+	// was copied at run time.
+	s := &MemSnapshot{delta: flat, count: len(flat)}
+	s.flat = flat
+	b.images[key] = s
+	b.installs++
+	b.installedPages += len(flat)
+	return s
+}
+
+// intern returns the canonical frozen page for p's content, adopting p as the
+// canonical copy if the content is new. Caller holds b.mu.
+func (b *BaseStore) intern(p *page) *page {
+	h := sha256.Sum256(p.data[:])
+	if canon, ok := b.pages[h]; ok {
+		return canon
+	}
+	p.owner = nil // freeze: shared from here on, never written in place
+	p.nruns = 0
+	p.inParent = false
+	b.pages[h] = p
+	b.byPtr[p] = struct{}{}
+	return p
+}
+
+// SharedPagesIn reports how many of m's live page-table entries still point
+// at store-backed base pages (untouched since install) versus the total
+// mapped pages. The Memory must be quiescent: the caller synchronises with
+// the goroutine running the guest.
+func (b *BaseStore) SharedPagesIn(m *Memory) (shared, total int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range m.pages {
+		if _, ok := b.byPtr[p]; ok {
+			shared++
+		}
+	}
+	return shared, len(m.pages)
+}

@@ -1,0 +1,174 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testProgram returns a minimal loadable program with the given data segment.
+func testProgram(name string, data []byte) *Program {
+	return &Program{
+		Name: name,
+		Code: []Instr{{Op: OpHalt}},
+		Data: data,
+	}
+}
+
+func patternData(n int, seed byte) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(i)*7 + seed
+	}
+	return d
+}
+
+// TestBaseImageMatchesEagerMapping checks the shared base image reproduces
+// exactly the segment state the eager mapping path used to build.
+func TestBaseImageMatchesEagerMapping(t *testing.T) {
+	data := patternData(3*PageSize+123, 1)
+	layout := DefaultLayout()
+	m, err := NewMachine(testProgram("base-eq", data), layout, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := NewMemory()
+	want.MapRegion(layout.DataBase, uint32(len(data)))
+	want.WriteBytes(layout.DataBase, data)
+	want.MapRegion(layout.StackBase, layout.StackSize)
+
+	if got, wantN := m.Mem.MappedPages(), want.MappedPages(); got != wantN {
+		t.Fatalf("mapped pages = %d, want %d", got, wantN)
+	}
+	for _, base := range want.MappedPageBases() {
+		g, ok := m.Mem.ReadBytes(base, PageSize)
+		if !ok {
+			t.Fatalf("page %#x unmapped in base-imaged machine", base)
+		}
+		w, _ := want.ReadBytes(base, PageSize)
+		if !bytes.Equal(g, w) {
+			t.Fatalf("page %#x content differs from eager mapping", base)
+		}
+	}
+}
+
+// TestBaseStoreSharesPagesAcrossMachines checks that same-program machines
+// share all their initial pages, across layouts too (segment shifts are
+// page-aligned), and that writes diverge privately via COW.
+func TestBaseStoreSharesPagesAcrossMachines(t *testing.T) {
+	store := DefaultBaseStore()
+	prog := testProgram("base-share", patternData(4*PageSize, 2))
+	layout := DefaultLayout()
+
+	m1, err := NewMachine(prog, layout, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, total := store.SharedPagesIn(m1.Mem)
+	if shared != total || total == 0 {
+		t.Fatalf("fresh machine shares %d of %d pages, want all", shared, total)
+	}
+
+	// A second machine under a page-shifted layout shares the same backing
+	// pages: content interning is layout-independent.
+	shifted := layout
+	shifted.DataBase += 4 * PageSize
+	shifted.StackBase -= 8 * PageSize
+	m2, err := NewMachine(prog, shifted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := store.Stats()
+	if s2, t2 := store.SharedPagesIn(m2.Mem); s2 != t2 {
+		t.Fatalf("shifted-layout machine shares %d of %d pages", s2, t2)
+	}
+	// Same program content under a third layout must intern zero new pages.
+	again := layout
+	again.DataBase += 16 * PageSize
+	if _, err := NewMachine(prog, again, nil); err != nil {
+		t.Fatal(err)
+	}
+	if after := store.Stats(); after.DistinctPages != before.DistinctPages {
+		t.Errorf("third layout interned %d new pages, want 0",
+			after.DistinctPages-before.DistinctPages)
+	}
+
+	// Writing diverges privately: m1's write must not show through to m2.
+	addr := layout.DataBase
+	if !m1.Mem.WriteU8(addr, 0xAB) {
+		t.Fatal("write failed")
+	}
+	b2, _ := m2.Mem.ReadU8(shifted.DataBase)
+	if b2 == 0xAB {
+		t.Fatal("write to one machine leaked into another's base pages")
+	}
+	s1, t1 := store.SharedPagesIn(m1.Mem)
+	if s1 != t1-1 {
+		t.Errorf("after one page write, %d of %d pages shared, want %d", s1, t1, t1-1)
+	}
+}
+
+// TestBaseStoreSublinearGrowth proves the headline accounting claim: the
+// installed page-table entries grow linearly with the number of same-program
+// machines while the distinct backing pages stay constant, so the shared
+// fraction of a fleet exceeds 90%.
+func TestBaseStoreSublinearGrowth(t *testing.T) {
+	store := NewBaseStore()
+	prog := testProgram("base-sublinear", patternData(8*PageSize, 3))
+	layout := DefaultLayout()
+
+	var first BaseStoreStats
+	const fleet = 32
+	for i := 0; i < fleet; i++ {
+		// Distinct page-aligned layouts, like ASLR would produce.
+		l := layout
+		l.DataBase += uint32(i) * PageSize
+		store.BaseImage(prog, l)
+		if i == 0 {
+			first = store.Stats()
+		}
+	}
+	st := store.Stats()
+	if st.Installs != fleet {
+		t.Fatalf("Installs = %d, want %d", st.Installs, fleet)
+	}
+	if st.DistinctPages != first.DistinctPages {
+		t.Errorf("fleet of %d grew distinct pages %d -> %d; backing memory must stay constant",
+			fleet, first.DistinctPages, st.DistinctPages)
+	}
+	sharedFraction := 1 - float64(st.DistinctPages)/float64(st.InstalledPages)
+	if sharedFraction < 0.90 {
+		t.Errorf("shared fraction %.3f < 0.90 (distinct %d, installed %d)",
+			sharedFraction, st.DistinctPages, st.InstalledPages)
+	}
+}
+
+// TestBaseImageZeroCaptureCost checks the base image charges no captured
+// bytes: installing (or re-checkpointing) a clean image must cost the
+// guest's virtual clock nothing.
+func TestBaseImageZeroCaptureCost(t *testing.T) {
+	m, err := NewMachine(testProgram("base-free", patternData(2*PageSize, 4)), DefaultLayout(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Mem.Snapshot() // untouched: must be the base image itself
+	if s.CapturedBytes() != 0 {
+		t.Errorf("clean-image snapshot captured %d bytes, want 0", s.CapturedBytes())
+	}
+	if s.Pages() != m.Mem.MappedPages() {
+		t.Errorf("snapshot covers %d pages, memory maps %d", s.Pages(), m.Mem.MappedPages())
+	}
+
+	// After a write, the next snapshot chains onto the base image and
+	// captures only the touched page (or its sub-page run).
+	m.Mem.WriteU8(DefaultLayout().DataBase, 1)
+	s2 := m.Mem.Snapshot()
+	if s2.DeltaPages() != 1 {
+		t.Errorf("post-write snapshot captured %d pages, want 1", s2.DeltaPages())
+	}
+	// Restore must reproduce the written state, not the clean image.
+	fork := s2.Fork()
+	if b, _ := fork.ReadU8(DefaultLayout().DataBase); b != 1 {
+		t.Errorf("restored fork reads %d at written address, want 1", b)
+	}
+}

@@ -162,17 +162,12 @@ func NewMachine(prog *Program, layout Layout, sys SyscallHandler) (*Machine, err
 	m.blockDispatch = true
 	m.refreshDispatch()
 
-	// Map segments.
-	dataSize := uint32(len(prog.Data))
-	if dataSize < PageSize {
-		dataSize = PageSize
-	}
-	m.Mem.MapRegion(layout.DataBase, dataSize)
-	if len(prog.Data) > 0 {
-		m.Mem.WriteBytes(layout.DataBase, prog.Data)
-	}
-	m.Mem.MapRegion(layout.StackBase, layout.StackSize)
-	// The heap region is mapped lazily by the allocator.
+	// Map segments by restoring the program's shared base image: data and
+	// stack pages are content-interned in the process-wide BaseStore, so
+	// every same-program machine starts on the same immutable backing pages
+	// and copies-on-write privately on first touch. The heap region is
+	// mapped lazily by the allocator.
+	m.Mem.Restore(defaultBaseStore.BaseImage(prog, layout))
 
 	m.PC = prog.Entry
 	m.Regs[SP] = layout.StackTop()

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sync/atomic"
 )
@@ -44,6 +45,22 @@ type Program struct {
 	// blocks depend only on opcodes, which relocation never touches. Do not
 	// copy a Program by value once it has been loaded.
 	blocks atomic.Pointer[blockInfo]
+
+	// dataDigest caches the sha256 of Data, keying the program's shared base
+	// image in the BaseStore (see basestore.go). Data is immutable once the
+	// program is loadable, so a racing double computation is benign.
+	dataDigest atomic.Pointer[[sha256.Size]byte]
+}
+
+// dataHash returns (and caches) the sha256 digest of the initial data
+// segment.
+func (p *Program) dataHash() [sha256.Size]byte {
+	if h := p.dataDigest.Load(); h != nil {
+		return *h
+	}
+	h := sha256.Sum256(p.Data)
+	p.dataDigest.Store(&h)
+	return h
 }
 
 // SymbolFor returns the name of the function containing instruction idx,

@@ -41,7 +41,12 @@ var benchOnce = map[string]func(tb testing.TB){
 		if freshNs <= 0 || pooledNs <= 0 {
 			tb.Fatalf("implausible clone setup times: fresh %v ns, pooled %v ns", freshNs, pooledNs)
 		}
-		if pooledNs >= freshNs {
+		// Since the shared relocated image landed, a fresh clone no longer
+		// relocates code or packs micro-ops, so the two paths are close
+		// enough that race-detector instrumentation (which inflates the
+		// pooled reset's map copies most) can invert the ordering; the
+		// ordering bar only holds on uninstrumented builds.
+		if !raceEnabled && pooledNs >= freshNs {
 			tb.Errorf("pooled clone setup (%.0f ns) not below fresh clone setup (%.0f ns)", pooledNs, freshNs)
 		}
 	},
@@ -223,6 +228,14 @@ var benchOnce = map[string]func(tb testing.TB){
 		}
 		if r.TooledStepNs <= r.UntooledStepNs {
 			tb.Errorf("tooled per-instr cost %.2fns not above untooled fast path %.2fns", r.TooledStepNs, r.UntooledStepNs)
+		}
+		// The tooled-path acceptance bar: with a hook attached the block
+		// engines must still beat the per-Step path by a clear margin
+		// (measured ~2x on the reference machine; 1.5x leaves noise headroom).
+		// Ratio-based so it holds on any machine speed.
+		if r.TooledSpeedup < 1.5 {
+			tb.Errorf("tooled block dispatch only %.1fx faster than tooled per-Step path (want >= 1.5x): fast %.2fns, slow %.2fns",
+				r.TooledSpeedup, r.TooledStepNs, r.TooledSlowPathNs)
 		}
 	},
 	"BenchmarkVSEFOverhead": func(tb testing.TB) { vsefOverheadOnce(tb) },

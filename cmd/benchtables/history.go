@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchRecordPattern matches the committed trajectory records (BENCH_4.json,
+// BENCH_5.json, ...) and captures their sequence number so the history table
+// sorts numerically rather than lexically.
+var benchRecordPattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// historyRecord is one committed BENCH_<n>.json loaded for trajectory review.
+type historyRecord struct {
+	path    string
+	seq     int
+	metrics map[string]float64
+}
+
+// loadHistory loads every path whose base name matches BENCH_<n>.json, in
+// sequence order. Explicit paths that do not match the pattern are an error
+// (a typo'd file name should not silently vanish from the table).
+func loadHistory(paths []string) ([]historyRecord, error) {
+	var recs []historyRecord
+	for _, p := range paths {
+		m := benchRecordPattern.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			return nil, fmt.Errorf("%s: not a BENCH_<n>.json record", p)
+		}
+		seq, err := strconv.Atoi(m[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		metrics, err := loadBench(p)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, historyRecord{path: p, seq: seq, metrics: metrics})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	return recs, nil
+}
+
+// historyBench tabulates metrics across the committed BENCH_<n>.json records,
+// one column per record, so the perf trajectory of a metric is reviewable
+// run-over-run instead of only pairwise via -compare. `pattern` filters metric
+// names by substring ("" or "all" prints every metric); unset metrics render
+// as "-" since the schema is allowed to grow over time.
+func historyBench(pattern string, paths []string) error {
+	if len(paths) == 0 {
+		glob, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+		for _, p := range glob {
+			if benchRecordPattern.MatchString(filepath.Base(p)) {
+				paths = append(paths, p)
+			}
+		}
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("-history: no BENCH_<n>.json records found (run from the repo root or pass paths)")
+	}
+	recs, err := loadHistory(paths)
+	if err != nil {
+		return err
+	}
+
+	if pattern == "all" {
+		pattern = ""
+	}
+	nameSet := make(map[string]bool)
+	for _, r := range recs {
+		for name := range r.metrics {
+			if strings.Contains(name, pattern) {
+				nameSet[name] = true
+			}
+		}
+	}
+	if len(nameSet) == 0 {
+		return fmt.Errorf("-history: no metric matches %q", pattern)
+	}
+	names := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-46s", "metric")
+	for _, r := range recs {
+		fmt.Printf(" %12s", fmt.Sprintf("BENCH_%d", r.seq))
+	}
+	fmt.Println()
+	for _, name := range names {
+		fmt.Printf("%-46s", name)
+		for _, r := range recs {
+			if v, ok := r.metrics[name]; ok {
+				fmt.Printf(" %12.4f", v)
+			} else {
+				fmt.Printf(" %12s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 //	benchtables -paper -all     # larger, paper-scale workloads
 //	benchtables -json BENCH_5.json  # machine-readable perf trajectory point
 //	benchtables -compare BENCH_4.json BENCH_5.json  # diff two records, exit 1 on regression
+//	benchtables -history vm_tooled     # tabulate matching metrics across all BENCH_<n>.json
 package main
 
 import (
@@ -64,7 +65,9 @@ func writeBenchJSON(path string, sizes experiments.Sizes, paperScale bool) error
 	metrics["vm_untooled_step_ns"] = disp.UntooledStepNs
 	metrics["vm_untooled_step_slowpath_ns"] = disp.UntooledSlowPathNs
 	metrics["vm_tooled_step_ns"] = disp.TooledStepNs
+	metrics["vm_tooled_step_slowpath_ns"] = disp.TooledSlowPathNs
 	metrics["vm_untooled_dispatch_speedup_x"] = disp.DispatchSpeedup
+	metrics["vm_tooled_dispatch_speedup_x"] = disp.TooledSpeedup
 
 	for _, app := range []string{"apache1", "apache2", "cvs", "squid"} {
 		points, err := experiments.Figure4ForApp(app, []uint64{20, 100, 200}, sizes.Figure4Requests)
@@ -215,12 +218,19 @@ func main() {
 		paper    = flag.Bool("paper", false, "use paper-scale workload sizes (slower)")
 		jsonPath = flag.String("json", "", "run the quick perf suite and write machine-readable results (BENCH_<n>.json) to this file")
 		compare  = flag.Bool("compare", false, "compare two BENCH_<n>.json records (old new); exit 1 when a metric regressed beyond its tolerance")
+		history  = flag.String("history", "", "tabulate metrics matching this substring (\"all\" for every metric) across committed BENCH_<n>.json records; positional args select records, default all in cwd")
 		detThr   = flag.Float64("threshold", 0.20, "with -compare: relative worsening tolerated for deterministic virtual-clock metrics")
 		ratioThr = flag.Float64("ratio-threshold", 0.50, "with -compare: relative drop tolerated for speedup/reduction ratios")
 		wallThr  = flag.Float64("wall-threshold", 4.0, "with -compare: relative worsening tolerated for wall-clock timings (records may come from different machines)")
 	)
 	flag.Parse()
 
+	if *history != "" {
+		if err := historyBench(*history, flag.Args()); err != nil {
+			log.Fatalf("benchtables: %v", err)
+		}
+		return
+	}
 	if *compare {
 		paths := flag.Args()
 		if len(paths) != 2 {

@@ -53,6 +53,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof: profiling handlers on the default mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -106,6 +107,7 @@ func main() {
 		linger       = flag.Duration("linger", 0, "keep the daemon alive this long after the scripted workload, serving peers and absorbing gossip")
 		tcpListen    = flag.String("tcp-listen", "", "serve framed TCP requests to the guests from this base address (e.g. 127.0.0.1:7400); the daemon then runs until interrupted")
 		perGuestPort = flag.Bool("per-guest-port", false, "with -tcp-listen: guest i listens on the base port plus i (required for more than one guest unless the base port is 0)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for profiling the live daemon")
 	)
 	flag.Parse()
 	if *guests < 1 {
@@ -126,6 +128,16 @@ func main() {
 		// Untrusting by default across daemon boundaries: a listen-only
 		// daemon still accepts pushes from arbitrary peers.
 		verify = true
+	}
+
+	if *pprofAddr != "" {
+		lis, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("sweeperd: -pprof %s: %v", *pprofAddr, err)
+		}
+		// net/http/pprof registered its handlers on the default mux.
+		go http.Serve(lis, nil)
+		fmt.Printf("sweeperd: pprof on http://%s/debug/pprof/\n", lis.Addr())
 	}
 
 	fleet := core.NewFleet()
@@ -262,29 +274,55 @@ func main() {
 	fmt.Println()
 	fleet.Start()
 
-	if *rate > 0 {
-		// Periodic generator stats while the workload drains.
-		stopStats := make(chan struct{})
-		if *statsEvery > 0 {
-			go func() {
-				ticker := time.NewTicker(*statsEvery)
-				defer ticker.Stop()
-				for {
-					select {
-					case <-stopStats:
-						return
-					case <-ticker.C:
+	// Periodic stats: with -rate, the per-guest generator counters; and for
+	// any guest with a TCP front end, the client-observed latency percentiles
+	// of each attack window — the delta between recorder snapshots taken at
+	// the stats ticks bracketing the tick(s) in which attacks were handled.
+	stopStats := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*statsEvery)
+			defer ticker.Stop()
+			type statsMark struct {
+				snap    *metrics.LatencySnapshot
+				attacks int
+			}
+			prev := make(map[string]statsMark)
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-ticker.C:
+					if *rate > 0 {
 						for _, st := range fleet.Metrics().All() {
 							fmt.Printf("loadgen: %-12s offered=%-4d (%.1f req/s) completed=%.1f req/s attacks-injected=%d handled=%d adopted=%d filtered=%d\n",
 								st.Guest, st.WorkloadOffered, st.OfferedReqPerSec, st.CompletedReqPerSec,
 								st.WorkloadAttacks, st.AttacksHandled, st.AntibodiesAdopted, st.FilteredInputs)
 						}
 					}
+					for _, g := range fleet.Guests() {
+						lat := g.FrontLatency()
+						if lat == nil {
+							continue
+						}
+						cur := statsMark{snap: lat.Snapshot(), attacks: len(g.Sweeper().Attacks())}
+						if p, ok := prev[g.Name()]; ok && cur.attacks > p.attacks {
+							if win := cur.snap.Delta(p.snap); win.Count() > 0 {
+								p50, p95, p99 := win.Percentiles()
+								fmt.Printf("attack-window: %-12s %d attack(s) handled, %d responses in window, client-observed p50=%v p95=%v p99=%v\n",
+									g.Name(), cur.attacks-p.attacks, win.Count(),
+									p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
+							}
+						}
+						prev[g.Name()] = cur
+					}
 				}
-			}()
-		}
+			}
+		}()
+	}
+
+	if *rate > 0 {
 		fleet.Drain()
-		close(stopStats)
 	} else {
 		// Benign traffic to every guest, the worm's exploit variants at guest
 		// 0 of each application, then more benign traffic.
@@ -359,6 +397,7 @@ func main() {
 				guestName, accepted, !accepted)
 		}
 	}
+	close(stopStats)
 	fleet.Stop()
 
 	fmt.Printf("\n=== fleet metrics ===\n")

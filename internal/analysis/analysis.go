@@ -17,6 +17,7 @@ package analysis
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -82,8 +83,9 @@ type Sandbox struct {
 	// the instance-wide replay budget.
 	Budget uint64
 
-	exhausted bool
-	release   func()
+	exhausted  bool
+	release    func()
+	yieldEvery uint64
 }
 
 // NewSandbox wraps a replay clone. release, if non-nil, is invoked exactly
@@ -95,13 +97,43 @@ func NewSandbox(p *proc.Process, budget uint64, release func()) *Sandbox {
 // Machine returns the sandbox's machine, for attaching tools.
 func (sb *Sandbox) Machine() *vm.Machine { return sb.Proc.Machine }
 
-// Run replays the sandboxed execution until it stops or exhausts the budget.
+// SetYieldEvery makes Run execute the replay in chunks of n instructions,
+// yielding the processor between chunks (0 restores the single-call replay).
+// The pipeline sets it on deferred-tier sandboxes: their replays run behind
+// the already-recovered service, and an uninterrupted CPU-bound replay would
+// otherwise hold a processor for the Go runtime's full preemption quantum at
+// a time — tens of milliseconds of client-visible stall on small hosts.
+func (sb *Sandbox) SetYieldEvery(n uint64) { sb.yieldEvery = n }
+
+// Run replays the sandboxed execution until it stops or exhausts the budget,
+// yielding between chunks when SetYieldEvery configured a chunk size.
 func (sb *Sandbox) Run() *vm.StopInfo {
-	stop := sb.Proc.Run(sb.Budget)
-	if stop.Reason == vm.StopInstrBudget {
-		sb.exhausted = true
+	if sb.yieldEvery == 0 || (sb.Budget != 0 && sb.Budget <= sb.yieldEvery) {
+		stop := sb.Proc.Run(sb.Budget)
+		if stop.Reason == vm.StopInstrBudget {
+			sb.exhausted = true
+		}
+		return stop
 	}
-	return stop
+	remaining := sb.Budget // 0 = unlimited, like vm.Machine.Run
+	for {
+		chunk := sb.yieldEvery
+		if remaining != 0 && chunk > remaining {
+			chunk = remaining
+		}
+		stop := sb.Proc.Run(chunk)
+		if stop.Reason != vm.StopInstrBudget {
+			return stop
+		}
+		if remaining != 0 {
+			remaining -= chunk
+			if remaining == 0 {
+				sb.exhausted = true
+				return stop
+			}
+		}
+		runtime.Gosched()
+	}
 }
 
 // Exhausted reports whether any replay on this sandbox ran out of its

@@ -37,15 +37,27 @@ const DefaultMaxNodes = 2_000_000
 
 // Slicer is the dynamic-slicing tool; attach it with vm.Machine.AttachTool
 // before replaying from a checkpoint.
+//
+// The dependence graph is stored in flat CSR form — node seq i covers static
+// instruction instrIdx[i] and depends on deps[depStart[i]:depStart[i+1]] —
+// instead of one Node struct with its own Deps slice per dynamic instruction.
+// A recorded replay produces millions of nodes, and per-node slice headers
+// mean millions of tiny pointer-bearing allocations: the garbage collector
+// then competes with the recovered service for CPU (this tool runs in the
+// deferred tier, behind live traffic). Three pointer-free int32 slabs record
+// the same graph with amortised-constant appends and nothing for the GC to
+// scan.
 type Slicer struct {
 	opts Options
 
-	nodes []Node
+	instrIdx []int32 // static instruction per node, indexed by seq
+	depStart []int32 // CSR row offsets into deps; len == len(instrIdx)+1
+	deps     []int32 // flattened dependence lists (sequence numbers)
 
-	lastRegWriter   [vm.NumRegs]int
-	lastMemWriter   map[uint32]int
-	lastFlagsWriter int
-	lastBranch      int
+	lastRegWriter   [vm.NumRegs]int32
+	lastMemWriter   map[uint32]int32
+	lastFlagsWriter int32
+	lastBranch      int32
 
 	truncated bool
 }
@@ -57,7 +69,8 @@ func New(opts Options) *Slicer {
 	}
 	s := &Slicer{
 		opts:            opts,
-		lastMemWriter:   make(map[uint32]int),
+		depStart:        []int32{0},
+		lastMemWriter:   make(map[uint32]int32),
 		lastFlagsWriter: -1,
 		lastBranch:      -1,
 	}
@@ -71,151 +84,179 @@ func New(opts Options) *Slicer {
 func (s *Slicer) Name() string { return "analysis.slicing" }
 
 // NodeCount returns the number of dynamic instructions recorded.
-func (s *Slicer) NodeCount() int { return len(s.nodes) }
+func (s *Slicer) NodeCount() int { return len(s.instrIdx) }
 
 // Truncated reports whether recording stopped because MaxNodes was reached.
 func (s *Slicer) Truncated() bool { return s.truncated }
 
-// Nodes returns the recorded dynamic instructions (for tests and reports).
-func (s *Slicer) Nodes() []Node { return s.nodes }
+// Nodes materialises the recorded dynamic instructions (for tests and
+// reports; traversals use the CSR arrays directly).
+func (s *Slicer) Nodes() []Node {
+	out := make([]Node, len(s.instrIdx))
+	for i := range out {
+		out[i] = Node{Seq: i, InstrIdx: int(s.instrIdx[i]), Deps: s.nodeDepsInt(i)}
+	}
+	return out
+}
+
+// nodeDeps returns node i's dependence row in the CSR arena.
+func (s *Slicer) nodeDeps(i int32) []int32 {
+	return s.deps[s.depStart[i]:s.depStart[i+1]]
+}
+
+func (s *Slicer) nodeDepsInt(i int) []int {
+	row := s.nodeDeps(int32(i))
+	if len(row) == 0 {
+		return nil
+	}
+	out := make([]int, len(row))
+	for j, d := range row {
+		out[j] = int(d)
+	}
+	return out
+}
+
+func (s *Slicer) addDep(d int32) {
+	if d >= 0 {
+		s.deps = append(s.deps, d)
+	}
+}
+
+func (s *Slicer) depReg(r vm.Reg) {
+	if r < vm.NumRegs {
+		s.addDep(s.lastRegWriter[r])
+	}
+}
+
+func (s *Slicer) depMem(addr uint32, size int) {
+	for i := 0; i < size; i++ {
+		if w, ok := s.lastMemWriter[addr+uint32(i)]; ok {
+			s.addDep(w)
+		}
+	}
+}
+
+func (s *Slicer) writeReg(r vm.Reg, seq int32) {
+	if r < vm.NumRegs {
+		s.lastRegWriter[r] = seq
+	}
+}
+
+func (s *Slicer) writeMem(addr uint32, size int, seq int32) {
+	for i := 0; i < size; i++ {
+		s.lastMemWriter[addr+uint32(i)] = seq
+	}
+}
 
 // BeforeInstr implements vm.InstrHook: it records the dynamic instruction and
 // its dependences. Effective addresses are computed from the pre-execution
 // register state.
-func (s *Slicer) BeforeInstr(m *vm.Machine, idx int, in vm.Instr) {
-	if len(s.nodes) >= s.opts.MaxNodes {
+func (s *Slicer) BeforeInstr(m *vm.Machine, idx int, in *vm.Instr) {
+	if len(s.instrIdx) >= s.opts.MaxNodes {
 		s.truncated = true
 		return
 	}
-	seq := len(s.nodes)
-	node := Node{Seq: seq, InstrIdx: idx}
-
-	addDep := func(d int) {
-		if d >= 0 {
-			node.Deps = append(node.Deps, d)
-		}
-	}
-	depReg := func(r vm.Reg) {
-		if r < vm.NumRegs {
-			addDep(s.lastRegWriter[r])
-		}
-	}
-	depMem := func(addr uint32, size int) {
-		for i := 0; i < size; i++ {
-			if w, ok := s.lastMemWriter[addr+uint32(i)]; ok {
-				addDep(w)
-			}
-		}
-	}
-	writeReg := func(r vm.Reg) {
-		if r < vm.NumRegs {
-			s.lastRegWriter[r] = seq
-		}
-	}
-	writeMem := func(addr uint32, size int) {
-		for i := 0; i < size; i++ {
-			s.lastMemWriter[addr+uint32(i)] = seq
-		}
-	}
+	seq := int32(len(s.instrIdx))
 
 	if s.opts.IncludeControlDeps {
-		addDep(s.lastBranch)
+		s.addDep(s.lastBranch)
 	}
 
 	switch in.Op {
 	case vm.OpNop, vm.OpHalt:
 
 	case vm.OpMovI:
-		writeReg(in.Rd)
+		s.writeReg(in.Rd, seq)
 	case vm.OpMov, vm.OpLea:
-		depReg(in.Rs)
-		writeReg(in.Rd)
+		s.depReg(in.Rs)
+		s.writeReg(in.Rd, seq)
 
 	case vm.OpLoadB, vm.OpLoadW:
 		size := 4
 		if in.Op == vm.OpLoadB {
 			size = 1
 		}
-		depReg(in.Rs)
-		depMem(m.Regs[in.Rs]+uint32(in.Imm), size)
-		writeReg(in.Rd)
+		s.depReg(in.Rs)
+		s.depMem(m.Regs[in.Rs]+uint32(in.Imm), size)
+		s.writeReg(in.Rd, seq)
 
 	case vm.OpStoreB, vm.OpStoreW:
 		size := 4
 		if in.Op == vm.OpStoreB {
 			size = 1
 		}
-		depReg(in.Rd)
-		depReg(in.Rs)
-		writeMem(m.Regs[in.Rd]+uint32(in.Imm), size)
+		s.depReg(in.Rd)
+		s.depReg(in.Rs)
+		s.writeMem(m.Regs[in.Rd]+uint32(in.Imm), size, seq)
 
 	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMod, vm.OpAnd, vm.OpOr, vm.OpXor, vm.OpShl, vm.OpShr:
-		depReg(in.Rd)
-		depReg(in.Rs)
-		writeReg(in.Rd)
+		s.depReg(in.Rd)
+		s.depReg(in.Rs)
+		s.writeReg(in.Rd, seq)
 	case vm.OpAddI, vm.OpSubI, vm.OpMulI, vm.OpDivI, vm.OpModI, vm.OpAndI, vm.OpOrI, vm.OpXorI, vm.OpShlI, vm.OpShrI:
-		depReg(in.Rd)
-		writeReg(in.Rd)
+		s.depReg(in.Rd)
+		s.writeReg(in.Rd, seq)
 
 	case vm.OpCmp:
-		depReg(in.Rd)
-		depReg(in.Rs)
+		s.depReg(in.Rd)
+		s.depReg(in.Rs)
 		s.lastFlagsWriter = seq
 	case vm.OpCmpI:
-		depReg(in.Rd)
+		s.depReg(in.Rd)
 		s.lastFlagsWriter = seq
 
 	case vm.OpJmp:
 		s.lastBranch = seq
 	case vm.OpJz, vm.OpJnz, vm.OpJlt, vm.OpJle, vm.OpJgt, vm.OpJge:
-		addDep(s.lastFlagsWriter)
+		s.addDep(s.lastFlagsWriter)
 		s.lastBranch = seq
 	case vm.OpJmpReg:
-		depReg(in.Rd)
+		s.depReg(in.Rd)
 		s.lastBranch = seq
 
 	case vm.OpCall:
-		writeMem(m.Regs[vm.SP]-4, 4)
-		writeReg(vm.SP)
+		s.writeMem(m.Regs[vm.SP]-4, 4, seq)
+		s.writeReg(vm.SP, seq)
 		s.lastBranch = seq
 	case vm.OpCallReg:
-		depReg(in.Rd)
-		writeMem(m.Regs[vm.SP]-4, 4)
-		writeReg(vm.SP)
+		s.depReg(in.Rd)
+		s.writeMem(m.Regs[vm.SP]-4, 4, seq)
+		s.writeReg(vm.SP, seq)
 		s.lastBranch = seq
 	case vm.OpRet:
-		depReg(vm.SP)
-		depMem(m.Regs[vm.SP], 4)
-		writeReg(vm.SP)
+		s.depReg(vm.SP)
+		s.depMem(m.Regs[vm.SP], 4)
+		s.writeReg(vm.SP, seq)
 		s.lastBranch = seq
 
 	case vm.OpPush:
-		depReg(in.Rd)
-		depReg(vm.SP)
-		writeMem(m.Regs[vm.SP]-4, 4)
-		writeReg(vm.SP)
+		s.depReg(in.Rd)
+		s.depReg(vm.SP)
+		s.writeMem(m.Regs[vm.SP]-4, 4, seq)
+		s.writeReg(vm.SP, seq)
 	case vm.OpPushI:
-		depReg(vm.SP)
-		writeMem(m.Regs[vm.SP]-4, 4)
-		writeReg(vm.SP)
+		s.depReg(vm.SP)
+		s.writeMem(m.Regs[vm.SP]-4, 4, seq)
+		s.writeReg(vm.SP, seq)
 	case vm.OpPop:
-		depReg(vm.SP)
-		depMem(m.Regs[vm.SP], 4)
-		writeReg(in.Rd)
-		writeReg(vm.SP)
+		s.depReg(vm.SP)
+		s.depMem(m.Regs[vm.SP], 4)
+		s.writeReg(in.Rd, seq)
+		s.writeReg(vm.SP, seq)
 
 	case vm.OpSyscall:
 		// Syscalls read the argument registers and write R0; their memory
 		// effects (recv buffers) are treated as fresh definitions by the
 		// InputHook path of other tools, so here only register flow is kept.
-		depReg(vm.R0)
-		depReg(vm.R1)
-		depReg(vm.R2)
-		depReg(vm.R3)
-		writeReg(vm.R0)
+		s.depReg(vm.R0)
+		s.depReg(vm.R1)
+		s.depReg(vm.R2)
+		s.depReg(vm.R3)
+		s.writeReg(vm.R0, seq)
 	}
 
-	s.nodes = append(s.nodes, node)
+	s.instrIdx = append(s.instrIdx, int32(idx))
+	s.depStart = append(s.depStart, int32(len(s.deps)))
 }
 
 // Slice is the result of a backward (or forward) slice computation.
@@ -247,16 +288,16 @@ func (sl *Slice) Size() int { return len(sl.NodeSeqs) }
 // BackwardSlice computes the backward slice from the dynamic instruction with
 // the given sequence number.
 func (s *Slicer) BackwardSlice(fromSeq int) (*Slice, error) {
-	if fromSeq < 0 || fromSeq >= len(s.nodes) {
-		return nil, fmt.Errorf("slicing: sequence %d out of range (have %d nodes)", fromSeq, len(s.nodes))
+	if fromSeq < 0 || fromSeq >= len(s.instrIdx) {
+		return nil, fmt.Errorf("slicing: sequence %d out of range (have %d nodes)", fromSeq, len(s.instrIdx))
 	}
-	visited := make(map[int]bool)
-	queue := []int{fromSeq}
+	visited := make([]bool, len(s.instrIdx))
+	queue := []int32{int32(fromSeq)}
 	visited[fromSeq] = true
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, d := range s.nodes[cur].Deps {
+		for _, d := range s.nodeDeps(cur) {
 			if !visited[d] {
 				visited[d] = true
 				queue = append(queue, d)
@@ -269,14 +310,14 @@ func (s *Slicer) BackwardSlice(fromSeq int) (*Slice, error) {
 // BackwardSliceFromLast computes the backward slice from the most recently
 // recorded dynamic instruction (normally the faulting one).
 func (s *Slicer) BackwardSliceFromLast() (*Slice, error) {
-	return s.BackwardSlice(len(s.nodes) - 1)
+	return s.BackwardSlice(len(s.instrIdx) - 1)
 }
 
 // LastSeqOf returns the sequence number of the most recent dynamic instance
 // of the given static instruction, or -1.
 func (s *Slicer) LastSeqOf(instrIdx int) int {
-	for i := len(s.nodes) - 1; i >= 0; i-- {
-		if s.nodes[i].InstrIdx == instrIdx {
+	for i := len(s.instrIdx) - 1; i >= 0; i-- {
+		if int(s.instrIdx[i]) == instrIdx {
 			return i
 		}
 	}
@@ -287,18 +328,19 @@ func (s *Slicer) LastSeqOf(instrIdx int) int {
 // given dynamic instruction (the paper mentions this as a possible use of the
 // same dependence tree).
 func (s *Slicer) ForwardSlice(fromSeq int) (*Slice, error) {
-	if fromSeq < 0 || fromSeq >= len(s.nodes) {
-		return nil, fmt.Errorf("slicing: sequence %d out of range (have %d nodes)", fromSeq, len(s.nodes))
+	if fromSeq < 0 || fromSeq >= len(s.instrIdx) {
+		return nil, fmt.Errorf("slicing: sequence %d out of range (have %d nodes)", fromSeq, len(s.instrIdx))
 	}
 	// Build forward adjacency.
-	succ := make(map[int][]int)
-	for _, n := range s.nodes {
-		for _, d := range n.Deps {
-			succ[d] = append(succ[d], n.Seq)
+	succ := make(map[int32][]int32)
+	for seq := range s.instrIdx {
+		for _, d := range s.nodeDeps(int32(seq)) {
+			succ[d] = append(succ[d], int32(seq))
 		}
 	}
-	visited := map[int]bool{fromSeq: true}
-	queue := []int{fromSeq}
+	visited := make([]bool, len(s.instrIdx))
+	visited[fromSeq] = true
+	queue := []int32{int32(fromSeq)}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -312,13 +354,16 @@ func (s *Slicer) ForwardSlice(fromSeq int) (*Slice, error) {
 	return s.buildSlice(fromSeq, visited), nil
 }
 
-func (s *Slicer) buildSlice(fromSeq int, visited map[int]bool) *Slice {
+// buildSlice materialises the slice from a visited bitmap; ascending seq
+// iteration keeps NodeSeqs sorted without a separate sort pass.
+func (s *Slicer) buildSlice(fromSeq int, visited []bool) *Slice {
 	sl := &Slice{FromSeq: fromSeq, InstrSet: make(map[int]bool)}
-	for seq := range visited {
-		sl.NodeSeqs = append(sl.NodeSeqs, seq)
-		sl.InstrSet[s.nodes[seq].InstrIdx] = true
+	for seq, in := range visited {
+		if in {
+			sl.NodeSeqs = append(sl.NodeSeqs, seq)
+			sl.InstrSet[int(s.instrIdx[seq])] = true
+		}
 	}
-	sort.Ints(sl.NodeSeqs)
 	return sl
 }
 
@@ -353,7 +398,7 @@ func (s *Slicer) VerifyBackward(instrs []int) (missing []int, nodesExplored, ins
 		}
 	}
 	remaining := len(want)
-	if len(s.nodes) == 0 {
+	if len(s.instrIdx) == 0 {
 		for idx := range want {
 			missing = append(missing, idx)
 		}
@@ -361,16 +406,16 @@ func (s *Slicer) VerifyBackward(instrs []int) (missing []int, nodesExplored, ins
 		return missing, 0, 0
 	}
 
-	visited := make([]bool, len(s.nodes))
+	visited := make([]bool, len(s.instrIdx))
 	instrSeen := make(map[int]bool)
-	start := len(s.nodes) - 1
+	start := int32(len(s.instrIdx) - 1)
 	visited[start] = true
-	queue := []int{start}
+	queue := []int32{start}
 	nodesExplored = 1
 	for len(queue) > 0 && remaining > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		idx := s.nodes[cur].InstrIdx
+		idx := int(s.instrIdx[cur])
 		if !instrSeen[idx] {
 			instrSeen[idx] = true
 			if want[idx] {
@@ -380,7 +425,7 @@ func (s *Slicer) VerifyBackward(instrs []int) (missing []int, nodesExplored, ins
 				}
 			}
 		}
-		for _, d := range s.nodes[cur].Deps {
+		for _, d := range s.nodeDeps(cur) {
 			if !visited[d] {
 				visited[d] = true
 				nodesExplored++

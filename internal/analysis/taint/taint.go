@@ -252,7 +252,7 @@ func (t *Tracker) OnInput(m *vm.Machine, addr uint32, data []byte, requestID int
 
 // BeforeInstr implements vm.InstrHook: it propagates taint for the
 // instruction about to execute and checks taint sinks.
-func (t *Tracker) BeforeInstr(m *vm.Machine, idx int, in vm.Instr) {
+func (t *Tracker) BeforeInstr(m *vm.Machine, idx int, in *vm.Instr) {
 	if t.restrict != nil && !t.restrict[idx] {
 		return
 	}
@@ -262,7 +262,7 @@ func (t *Tracker) BeforeInstr(m *vm.Machine, idx int, in vm.Instr) {
 // Propagate performs taint propagation and sink checking for one instruction.
 // It is exported so that taint-VSEF probes can reuse the exact semantics of
 // the full tool at selected instructions.
-func (t *Tracker) Propagate(m *vm.Machine, idx int, in vm.Instr) {
+func (t *Tracker) Propagate(m *vm.Machine, idx int, in *vm.Instr) {
 	switch in.Op {
 	case vm.OpMovI, vm.OpPushI:
 		if in.Op == vm.OpMovI {

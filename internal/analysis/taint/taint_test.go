@@ -147,8 +147,8 @@ func TestTaintClearedByUntaintedOverwrite(t *testing.T) {
 	// movi r1, 0 ; storeb [r2+0], r1  with r2 = addr: clears the taint.
 	m.Regs[vm.R1] = 0
 	m.Regs[vm.R2] = addr
-	tr.Propagate(m, 0, vm.Instr{Op: vm.OpMovI, Rd: vm.R1})
-	tr.Propagate(m, 1, vm.Instr{Op: vm.OpStoreB, Rd: vm.R2, Rs: vm.R1})
+	tr.Propagate(m, 0, &vm.Instr{Op: vm.OpMovI, Rd: vm.R1})
+	tr.Propagate(m, 1, &vm.Instr{Op: vm.OpStoreB, Rd: vm.R2, Rs: vm.R1})
 	if tr.TaintedBytes() != 1 {
 		t.Errorf("overwrite should clear one byte of taint, have %d", tr.TaintedBytes())
 	}
@@ -165,9 +165,9 @@ func TestRestrictedTrackerOnlyActsOnListedInstructions(t *testing.T) {
 	tr.OnInput(m, addr, []byte{1}, 1)
 	m.Regs[vm.R2] = addr
 	// A load at a non-listed instruction must not propagate.
-	tr.BeforeInstr(m, 3, vm.Instr{Op: vm.OpLoadB, Rd: vm.R1, Rs: vm.R2})
+	tr.BeforeInstr(m, 3, &vm.Instr{Op: vm.OpLoadB, Rd: vm.R1, Rs: vm.R2})
 	// The same load at the listed instruction does.
-	tr.BeforeInstr(m, 5, vm.Instr{Op: vm.OpLoadB, Rd: vm.R1, Rs: vm.R2})
+	tr.BeforeInstr(m, 5, &vm.Instr{Op: vm.OpLoadB, Rd: vm.R1, Rs: vm.R2})
 	props := tr.Propagators()
 	if len(props) != 1 || props[0] != 5 {
 		t.Errorf("propagators = %v, want [5]", props)

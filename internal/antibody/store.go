@@ -12,12 +12,16 @@ type Store struct {
 	mu    sync.Mutex
 	byID  map[string]*Antibody
 	order []*Antibody
-	subs  []func(*Antibody)
+	// byProgram indexes the antibodies by target program, in publication
+	// order, so the per-program lookup every joining guest performs stays
+	// O(matches) instead of rescanning a fleet-sized store.
+	byProgram map[string][]*Antibody
+	subs      []func(*Antibody)
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{byID: make(map[string]*Antibody)}
+	return &Store{byID: make(map[string]*Antibody), byProgram: make(map[string][]*Antibody)}
 }
 
 // Publish adds the antibody to the store and notifies subscribers. It
@@ -31,6 +35,7 @@ func (st *Store) Publish(a *Antibody) bool {
 	}
 	st.byID[a.ID] = a
 	st.order = append(st.order, a)
+	st.byProgram[a.Program] = append(st.byProgram[a.Program], a)
 	var subs []func(*Antibody)
 	subs = append(subs, st.subs...)
 	st.mu.Unlock()
@@ -87,17 +92,12 @@ func (st *Store) Since(cursor int) ([]*Antibody, int) {
 }
 
 // ForProgram returns every stored antibody generated for the given program,
-// in publication order.
+// in publication order. The per-program index maintained by Publish makes
+// this O(matches) regardless of how many programs share the store.
 func (st *Store) ForProgram(program string) []*Antibody {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	var out []*Antibody
-	for _, a := range st.order {
-		if a.Program == program {
-			out = append(out, a)
-		}
-	}
-	return out
+	return append([]*Antibody(nil), st.byProgram[program]...)
 }
 
 // Len returns the number of stored antibodies.

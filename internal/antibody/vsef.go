@@ -312,7 +312,7 @@ func (p *returnGuardProbe) Name() string { return p.name }
 // the same stack slot and mis-fire.
 func (p *returnGuardProbe) OnRollback(m *vm.Machine) { p.saved = p.saved[:0] }
 
-func (p *returnGuardProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {
+func (p *returnGuardProbe) OnProbe(m *vm.Machine, idx int, in *vm.Instr) {
 	if in.Op != vm.OpRet {
 		// Function entry: the caller's return address sits at [SP].
 		slot := m.Regs[vm.SP]
@@ -350,7 +350,7 @@ type heapBoundsProbe struct {
 
 func (p *heapBoundsProbe) Name() string { return p.name }
 
-func (p *heapBoundsProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {
+func (p *heapBoundsProbe) OnProbe(m *vm.Machine, idx int, in *vm.Instr) {
 	if !in.Op.IsStore() && !in.Op.IsLoad() {
 		return
 	}
@@ -388,7 +388,7 @@ type stackStoreProbe struct {
 
 func (p *stackStoreProbe) Name() string { return p.name }
 
-func (p *stackStoreProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {
+func (p *stackStoreProbe) OnProbe(m *vm.Machine, idx int, in *vm.Instr) {
 	if !in.Op.IsStore() {
 		return
 	}
@@ -421,7 +421,7 @@ type doubleFreeProbe struct {
 
 func (p *doubleFreeProbe) Name() string { return p.name }
 
-func (p *doubleFreeProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {
+func (p *doubleFreeProbe) OnProbe(m *vm.Machine, idx int, in *vm.Instr) {
 	ptr := m.Regs[vm.R1]
 	if ptr == 0 || !p.alloc.InHeap(ptr) {
 		return
@@ -444,7 +444,7 @@ type freeGuardProbe struct {
 
 func (p *freeGuardProbe) Name() string { return p.name }
 
-func (p *freeGuardProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {
+func (p *freeGuardProbe) OnProbe(m *vm.Machine, idx int, in *vm.Instr) {
 	if ok, detail, chunk := p.alloc.CheckConsistency(); !ok {
 		m.RaiseViolation(&vm.Violation{
 			Kind:   vm.ViolationHeapOverflow,
@@ -462,7 +462,7 @@ type nullCheckProbe struct {
 
 func (p *nullCheckProbe) Name() string { return p.name }
 
-func (p *nullCheckProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {
+func (p *nullCheckProbe) OnProbe(m *vm.Machine, idx int, in *vm.Instr) {
 	addr, _, _, ok := m.EffectiveAddr(in)
 	if !ok {
 		return
@@ -484,7 +484,7 @@ type taintProbe struct {
 
 func (p *taintProbe) Name() string { return p.name }
 
-func (p *taintProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {
+func (p *taintProbe) OnProbe(m *vm.Machine, idx int, in *vm.Instr) {
 	p.tracker.Propagate(m, idx, in)
 }
 

@@ -86,7 +86,12 @@ type AttackReport struct {
 	Steps             []StepTiming
 
 	// Recovery.
-	Recovered          bool
+	Recovered bool
+	// RecoveryPipelined reports that the live process adopted the state of a
+	// prefix replay that ran concurrently with the analyses (the pipelined
+	// recovery path) instead of re-executing the benign history serially
+	// after them.
+	RecoveryPipelined  bool
 	RecoveryTime       time.Duration
 	RecoveryVirtualMs  uint64
 	RecoveryDiverged   bool
@@ -248,6 +253,47 @@ func (s *Sweeper) publish(a *antibody.Antibody) {
 	}
 }
 
+// prefixReplay is a recovery clone replaying the benign history prefix —
+// everything logged before the suspect request — concurrently with the
+// analysis tier. join delivers the finished clone exactly once.
+type prefixReplay struct {
+	suspect int
+	ch      chan prefixResult
+}
+
+type prefixResult struct {
+	clone *proc.Process
+	stop  *vm.StopInfo
+}
+
+// startPrefixReplay forks a recovery clone from the checkpoint and sets it
+// replaying the history up to (but not including) the request being served at
+// detection time. The fork happens synchronously — the clone must capture the
+// skip/excise state of the moment of detection, before recovery mutates it —
+// but the replay itself runs on its own goroutine, overlapped with the
+// analyses. Returns nil when no request was in flight (nothing to pin the
+// prefix against).
+func (s *Sweeper) startPrefixReplay(snap *proc.Snapshot) *prefixReplay {
+	suspect := s.proc.CurrentRequestID()
+	if suspect == 0 {
+		return nil
+	}
+	clone, err := s.proc.Clone(snap)
+	if err != nil {
+		return nil
+	}
+	// The serial recovery path replays with the temporary drops cleared
+	// (ClearDropped below); the prefix must see the same history.
+	clone.ClearDropped()
+	clone.SetReplayStopBefore(suspect)
+	pr := &prefixReplay{suspect: suspect, ch: make(chan prefixResult, 1)}
+	go func() {
+		stop := clone.Run(s.cfg.ReplayBudget)
+		pr.ch <- prefixResult{clone: clone, stop: stop}
+	}()
+	return pr
+}
+
 // snapshotForAnalysis picks the most recent checkpoint taken before the
 // current (suspected) attack request was read in.
 func (s *Sweeper) snapshotForAnalysis() *proc.Snapshot {
@@ -307,6 +353,19 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 		report.TotalAnalysisTime = time.Since(t0)
 		report.finishPart()
 		return report
+	}
+
+	// Pipelined recovery: the replay of the history prefix strictly before
+	// the suspect request is the same whatever the analyses conclude, so it
+	// starts now, on a recovery clone, and proceeds concurrently with the
+	// whole analysis tier below. Only a tool- and probe-free live machine can
+	// adopt the result: stateful monitors and previously installed VSEF
+	// probes rebuild their shadow state during a serial replay, which the
+	// clone (which carries neither) cannot stand in for.
+	var prefix *prefixReplay
+	if s.cfg.PipelinedRecovery && s.proc.Machine.ProbeCount() == 0 &&
+		len(s.proc.Machine.Tools()) == 0 {
+		prefix = s.startPrefixReplay(snap)
 	}
 
 	// --- Steps 2-4: the heavyweight rollback-and-replay analyses, scheduled
@@ -441,15 +500,53 @@ func (s *Sweeper) HandleAttack(stop *vm.StopInfo, det monitor.Detection) *Attack
 	// it completed service before — so a probe that raises a violation during
 	// this replay is itself faulty: it is uninstalled and the replay retried
 	// (bounded), instead of a bad filter taking the service down.
-	const maxBadProbeRemovals = 3
-	for {
-		s.proc.Rollback(snap, proc.ModeReplay, false)
-		if len(report.BadProbesRemoved) == 0 {
-			// Probes survive rollbacks; the antibody is installed once.
-			if applied, err := final.Apply(s.proc, s.proxy); err == nil {
-				s.applied = append(s.applied, applied)
-			}
+	appliedFinal := false
+	applyFinal := func() {
+		// Probes survive rollbacks; the antibody is installed once, whichever
+		// path (and however many serial retries) recovery takes.
+		if appliedFinal {
+			return
 		}
+		appliedFinal = true
+		if applied, err := final.Apply(s.proc, s.proxy); err == nil {
+			s.applied = append(s.applied, applied)
+		}
+	}
+	pipelined := false
+	if prefix != nil {
+		// Join the concurrent prefix replay. Its state is adoptable only when
+		// it suspended cleanly at the suspect's boundary AND the excision
+		// decision removed exactly the suspect — if the culprit were an
+		// earlier request, excision would reach into the already-replayed
+		// prefix and the clone's state would include the attack's effects.
+		res := <-prefix.ch
+		if res.stop != nil && res.stop.Reason == vm.StopWaitInput &&
+			report.CulpritRequestID == prefix.suspect {
+			s.proc.AdoptReplayState(res.clone, proc.ModeReplay, false)
+			applyFinal()
+			// Finish the (usually empty) tail: replay consumes the excised
+			// suspect's log entries and reaches the wait-input boundary.
+			tail := s.proc.Run(s.cfg.ReplayBudget)
+			if tail.Reason == vm.StopWaitInput {
+				pipelined = true
+				report.RecoveryPipelined = true
+				report.Recovered = true
+				s.proc.SetMode(proc.ModeLive, false)
+				// Start the post-recovery epoch from a fresh checkpoint so
+				// later analyses never need to replay across the excised
+				// attack.
+				s.ckpt.Checkpoint(s.proc)
+			}
+			// Any other tail stop (e.g. a freshly installed probe raising a
+			// violation) falls back to the full serial replay below, which
+			// re-rolls back from the checkpoint and keeps the bad-probe
+			// removal semantics intact.
+		}
+	}
+	const maxBadProbeRemovals = 3
+	for !pipelined {
+		s.proc.Rollback(snap, proc.ModeReplay, false)
+		applyFinal()
 		replayStop := s.proc.Run(s.cfg.ReplayBudget)
 		if replayStop.Reason == vm.StopViolation && replayStop.Violation != nil &&
 			len(report.BadProbesRemoved) < maxBadProbeRemovals {

@@ -90,6 +90,12 @@ func buildAnalyzers(cfg Config) ([]analysis.Analyzer, *analysis.Registry, error)
 	return out, reg, nil
 }
 
+// deferredYieldInstrs is the replay chunk size for deferred-tier sandboxes:
+// small enough that a deferred replay yields to the serving goroutine every
+// few hundred microseconds even under expensive instrumentation, large enough
+// that the re-entry cost of vm.Machine.Run is noise.
+const deferredYieldInstrs = 50_000
+
 // analyzerRun is one analyzer's execution within a pipeline run. exec runs at
 // most once (goroutine in the parallel engine, lazily on join in the
 // sequential one) and closes done when the finding is in place.
@@ -167,6 +173,11 @@ func (s *Sweeper) startAnalyses(snap *proc.Snapshot) *pipelineRun {
 		ar.sb, ar.sbErr = s.sandbox(snap, s.budgetFor(a.Name()))
 		run.byName[a.Name()] = ar
 		if a.Cost() == analysis.TierDeferred {
+			if ar.sb != nil {
+				// Deferred replays run behind the recovered service; chunk them
+				// so they cannot monopolize a processor against live requests.
+				ar.sb.SetYieldEvery(deferredYieldInstrs)
+			}
 			run.deferred = append(run.deferred, ar)
 		} else {
 			run.fast = append(run.fast, ar)

@@ -97,6 +97,21 @@ type Config struct {
 	// inside one daemon share a trust domain.
 	VerifyAdoption bool
 
+	// PipelinedRecovery overlaps recovery with analysis: the benign history
+	// prefix (everything before the suspect request) starts replaying on a
+	// copy-on-write recovery clone at the moment of detection, concurrently
+	// with the fast analysis tier, and when the analyses confirm the suspect
+	// as the culprit the live process adopts the clone's finished state
+	// instead of re-executing the prefix serially after them. The
+	// client-visible recovery gap then costs the rollback constant plus the
+	// (usually empty) post-suspect tail. Recovery automatically falls back to
+	// the serial replay when the culprit turns out not to be the suspect
+	// request, when the prefix replay did not end cleanly, or when the live
+	// machine carries tools or probes whose shadow state only a serial replay
+	// can rebuild (always-on monitors, previously adopted antibodies).
+	// Default true (DefaultConfig).
+	PipelinedRecovery bool
+
 	// ReplayBudget bounds each analysis replay, in instructions. A registry
 	// entry registered with its own budget (analysis.Registry.
 	// RegisterBudgeted) overrides it for that analyzer only.
@@ -147,6 +162,7 @@ func DefaultConfig() Config {
 		ParallelAnalysis:     true,
 		PoolClones:           true,
 		RegenerateOnVerify:   true,
+		PipelinedRecovery:    true,
 		ProduceAntibodies:    true,
 		ReplayBudget:         200_000_000,
 		ServeBudget:          0,

@@ -122,14 +122,17 @@ func RunClientLatency(appName string) (*ClientLatency, error) {
 	}
 
 	res := &ClientLatency{Requests: clients * perClient, Clients: clients}
-	before := metrics.NewLatencyRecorder()
-	during := metrics.NewLatencyRecorder()
-	after := metrics.NewLatencyRecorder()
+	// One recorder spans the whole run; phase percentiles are deltas between
+	// snapshots taken at the phase boundaries, so the three phases are views
+	// of a single uninterrupted measurement rather than three recorders
+	// stitched together.
+	rec := metrics.NewLatencyRecorder()
 
 	// Phase 1 — before: steady benign traffic, no attack.
-	if err := runLatencyPhase(addr, appName, clients, perClient, 0, before); err != nil {
+	if err := runLatencyPhase(addr, appName, clients, perClient, 0, rec); err != nil {
 		return nil, fmt.Errorf("experiments: client latency before-phase: %w", err)
 	}
+	beforeMark := rec.Snapshot()
 
 	// Phase 2 — during: the same benign load with the worm firing mid-storm.
 	// The attacker's connection blocks until recovery excises its request,
@@ -164,22 +167,24 @@ func RunClientLatency(appName string) (*ClientLatency, error) {
 		}
 		attackErr <- nil
 	}()
-	if err := runLatencyPhase(addr, appName, clients, perClient, clients*perClient, during); err != nil {
+	if err := runLatencyPhase(addr, appName, clients, perClient, clients*perClient, rec); err != nil {
 		return nil, fmt.Errorf("experiments: client latency during-phase: %w", err)
 	}
 	attackWg.Wait()
 	if err := <-attackErr; err != nil {
 		return nil, fmt.Errorf("experiments: client latency attack: %w", err)
 	}
+	duringMark := rec.Snapshot()
 
 	// Phase 3 — after: recovered service, antibody installed.
-	if err := runLatencyPhase(addr, appName, clients, perClient, 2*clients*perClient, after); err != nil {
+	if err := runLatencyPhase(addr, appName, clients, perClient, 2*clients*perClient, rec); err != nil {
 		return nil, fmt.Errorf("experiments: client latency after-phase: %w", err)
 	}
+	afterMark := rec.Snapshot()
 
-	res.BeforeP50Ms, res.BeforeP95Ms, res.BeforeP99Ms = pctMs(before)
-	res.DuringP50Ms, res.DuringP95Ms, res.DuringP99Ms = pctMs(during)
-	res.AfterP50Ms, res.AfterP95Ms, res.AfterP99Ms = pctMs(after)
+	res.BeforeP50Ms, res.BeforeP95Ms, res.BeforeP99Ms = pctMs(beforeMark.Delta(nil))
+	res.DuringP50Ms, res.DuringP95Ms, res.DuringP99Ms = pctMs(duringMark.Delta(beforeMark))
+	res.AfterP50Ms, res.AfterP95Ms, res.AfterP99Ms = pctMs(afterMark.Delta(duringMark))
 	if res.BeforeP99Ms > 0 {
 		res.RecoveryDegradationX = res.AfterP99Ms / res.BeforeP99Ms
 	}
@@ -190,7 +195,7 @@ func RunClientLatency(appName string) (*ClientLatency, error) {
 	return res, nil
 }
 
-func pctMs(rec *metrics.LatencyRecorder) (p50, p95, p99 float64) {
-	a, b, c := rec.Percentiles()
+func pctMs(s *metrics.LatencySnapshot) (p50, p95, p99 float64) {
+	a, b, c := s.Percentiles()
 	return ms(a), ms(b), ms(c)
 }

@@ -25,16 +25,21 @@ type DispatchMicro struct {
 	DispatchSpeedup float64
 
 	// TooledStepNs is ns per instruction with one no-op instruction hook
-	// attached, which disables block dispatch entirely.
-	TooledStepNs float64
+	// attached — the monitored-guest/VSEF-replay configuration. Since the
+	// hook-calling block engines landed this runs block-dispatched;
+	// TooledSlowPathNs is the same tooled machine forced onto the per-Step
+	// path, and TooledSpeedup their ratio.
+	TooledStepNs     float64
+	TooledSlowPathNs float64
+	TooledSpeedup    float64
 }
 
 // nopInstrTool is the cheapest possible InstrHook, so TooledStepNs measures
 // dispatch overhead rather than tool work.
 type nopInstrTool struct{}
 
-func (nopInstrTool) Name() string                                    { return "experiments.nop" }
-func (nopInstrTool) BeforeInstr(m *vm.Machine, idx int, in vm.Instr) {}
+func (nopInstrTool) Name() string                                     { return "experiments.nop" }
+func (nopInstrTool) BeforeInstr(m *vm.Machine, idx int, in *vm.Instr) {}
 
 // RunDispatchMicro measures per-instruction interpreter cost on the spin
 // loop. It is shared by the benchmark suite and by benchtables -json.
@@ -87,8 +92,17 @@ func RunDispatchMicro() (*DispatchMicro, error) {
 	if res.TooledStepNs, err = perInstr(func(m *vm.Machine) { m.AttachTool(nopInstrTool{}) }); err != nil {
 		return nil, err
 	}
+	if res.TooledSlowPathNs, err = perInstr(func(m *vm.Machine) {
+		m.AttachTool(nopInstrTool{})
+		m.SetBlockDispatch(false)
+	}); err != nil {
+		return nil, err
+	}
 	if res.UntooledStepNs > 0 {
 		res.DispatchSpeedup = res.UntooledSlowPathNs / res.UntooledStepNs
+	}
+	if res.TooledStepNs > 0 {
+		res.TooledSpeedup = res.TooledSlowPathNs / res.TooledStepNs
 	}
 	return res, nil
 }

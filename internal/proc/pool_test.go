@@ -11,8 +11,8 @@ import (
 // probeStub is a dummy probe/tool a previous sandbox user might leave behind.
 type probeStub struct{ name string }
 
-func (p probeStub) Name() string                                { return p.name }
-func (p probeStub) OnProbe(m *vm.Machine, idx int, in vm.Instr) {}
+func (p probeStub) Name() string                                 { return p.name }
+func (p probeStub) OnProbe(m *vm.Machine, idx int, in *vm.Instr) {}
 
 // poolTestProcess builds a served-up process with a snapshot covering a
 // replay window of n requests.

@@ -89,6 +89,13 @@ type Process struct {
 	replayThenLive bool
 	skip           map[int]bool // request IDs temporarily dropped during one replay
 	excised        map[int]bool // request IDs permanently removed from history (attack inputs)
+	// stopBeforeReq, when non-zero, suspends a replay at the recv boundary
+	// immediately before this request would be delivered: the recv returns
+	// SysWaitInput without consuming the request, leaving the log cursor
+	// positioned so a later run (or an adopting process) can continue from
+	// exactly that boundary. Pipelined recovery uses it to replay the benign
+	// history prefix while the analyses still deliberate over the suspect.
+	stopBeforeReq int
 
 	outputs     []OutputRecord
 	logMessages []LogMessage
@@ -163,6 +170,11 @@ func (p *Process) SetMode(mode Mode, replayThenLive bool) {
 	p.mode = mode
 	p.replayThenLive = replayThenLive
 }
+
+// SetReplayStopBefore arranges for replay to suspend (recv returns wait-input
+// without consuming anything) at the boundary immediately before the given
+// request ID. Zero clears the stop point.
+func (p *Process) SetReplayStopBefore(id int) { p.stopBeforeReq = id }
 
 // DropRequests marks request IDs to be skipped when the event log is replayed.
 // The analysis module uses it to replay selected subsets of the logged
@@ -286,6 +298,12 @@ func (p *Process) sysRecv(m *vm.Machine) (vm.SyscallResult, *vm.Fault) {
 	var reqID int
 
 	if p.mode == ModeReplay {
+		if p.stopBeforeReq != 0 {
+			next, ok := p.Log.PeekRequest(func(id int) bool { return p.skip[id] || p.excised[id] })
+			if ok && next.RequestID == p.stopBeforeReq {
+				return vm.SysWaitInput, nil
+			}
+		}
 		if e, ok := p.nextReplayRequest(); ok {
 			payload = e.Data
 			reqID = e.RequestID
@@ -567,5 +585,42 @@ func (p *Process) Rollback(s *Snapshot, mode Mode, replayThenLive bool) {
 	p.mode = mode
 	p.replayThenLive = replayThenLive
 	// Rollback is nearly a context switch; charge a small fixed cost.
+	p.Machine.AddCycles(2000)
+}
+
+// AdoptReplayState reinstates this process's state from a clone (derived via
+// Clone from a checkpoint of this process) that has replayed a prefix of the
+// shared history. It is a rollback whose destination is the clone's current
+// state rather than a checkpoint: pipelined recovery replays the benign
+// prefix on a clone concurrently with the analyses, then the live process
+// adopts the finished state instead of re-executing the prefix serially. The
+// clone must be quiescent (its Run returned) and is dead to further use once
+// adopted. Like Rollback, the virtual clock never rewinds: the adopted cycle
+// count is raised to the live clock when the clone's is behind, so clients
+// still observe the elapsed detection-to-recovery gap.
+func (p *Process) AdoptReplayState(c *Process, mode Mode, replayThenLive bool) {
+	elapsed := p.Machine.Cycles()
+	p.Machine.Mem.Restore(c.Machine.Mem.Snapshot())
+	p.Machine.RestoreRegs(c.Machine.SaveRegs())
+	if elapsed > p.Machine.Cycles() {
+		p.Machine.AddCycles(elapsed - p.Machine.Cycles())
+	}
+	p.Alloc.Restore(c.Alloc.Save())
+	p.rng = c.rng
+	// The clone consumed a private cursor over the shared event backing;
+	// continuing from its position resumes replay at the exact boundary where
+	// the clone suspended. skip/excised stay the live process's own: the
+	// excision decision was taken after the clone forked and must win.
+	p.Log.SetCursor(c.Log.Cursor())
+	// Monitors and probes attached here shadow the abandoned execution; their
+	// state must not leak into the adopted one (same as Rollback).
+	p.Machine.NotifyRollback()
+	p.servedCount = c.servedCount
+	p.currentReqID = c.currentReqID
+	p.diverged = c.diverged
+	p.divergence = c.divergence
+	p.mode = mode
+	p.replayThenLive = replayThenLive
+	// Adoption costs the same context-switch constant as a rollback.
 	p.Machine.AddCycles(2000)
 }

@@ -120,6 +120,24 @@ func (l *Log) Peek(kind EventKind) (Event, bool) {
 	return Event{}, false
 }
 
+// PeekRequest returns the next request event that the drop predicate does not
+// exclude, without consuming anything — the cursor does not move even past the
+// dropped requests scanned over. Recovery uses it to suspend a replay exactly
+// at the boundary before a chosen request.
+func (l *Log) PeekRequest(drop func(id int) bool) (Event, bool) {
+	for i := l.cursor; i < len(l.events); i++ {
+		e := l.events[i]
+		if e.Kind != EventRequest {
+			continue
+		}
+		if drop != nil && drop(e.RequestID) {
+			continue
+		}
+		return e, true
+	}
+	return Event{}, false
+}
+
 // Events returns a copy of all logged events (for inspection and tests).
 func (l *Log) Events() []Event {
 	out := make([]Event, len(l.events))

@@ -301,8 +301,15 @@ func (m *Machine) runFused(limit uint64) (stop *StopInfo, executed uint64) {
 	}
 	// Probes and tools can only change between runFused calls (hooks and
 	// syscalls run under Step), so the probe state is loop-invariant here.
+	// The gap table is rebuilt lazily: probe mutations just mark it dirty,
+	// so installing or removing a whole antibody's probe set costs one
+	// O(code) rebuild on next entry instead of one per mutation.
 	var probeGap []int32
 	if m.probeCount > 0 {
+		if m.probeGapDirty {
+			m.rebuildProbeGap()
+			m.probeGapDirty = false
+		}
 		probeGap = m.probeGap
 	}
 	rp, rpn, wp, wpn := tlbLocals(mem)

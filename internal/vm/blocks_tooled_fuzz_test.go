@@ -1,0 +1,161 @@
+package vm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sweeper/internal/analysis/taint"
+	"sweeper/internal/vm"
+)
+
+// seqInstrTool records the exact firing sequence of an instruction hook.
+type seqInstrTool struct {
+	name string
+	seq  *[]int
+}
+
+func (t seqInstrTool) Name() string { return t.name }
+func (t seqInstrTool) BeforeInstr(m *vm.Machine, idx int, in *vm.Instr) {
+	*t.seq = append(*t.seq, idx)
+}
+
+// memEvent is one memory-hook callback with everything it observed.
+type memEvent struct {
+	idx   int
+	addr  uint32
+	size  int
+	val   uint32
+	write bool
+}
+
+// seqMemTool records the exact firing sequence of a memory hook.
+type seqMemTool struct {
+	name string
+	seq  *[]memEvent
+}
+
+func (t seqMemTool) Name() string { return t.name }
+func (t seqMemTool) OnMemRead(m *vm.Machine, idx int, addr uint32, size int, val uint32) {
+	*t.seq = append(*t.seq, memEvent{idx, addr, size, val, false})
+}
+func (t seqMemTool) OnMemWrite(m *vm.Machine, idx int, addr uint32, size int, val uint32) {
+	*t.seq = append(*t.seq, memEvent{idx, addr, size, val, true})
+}
+
+func diffIntSeq(t *testing.T, label string, fast, slow []int) {
+	t.Helper()
+	if len(fast) != len(slow) {
+		t.Errorf("%s: fired fast=%d slow=%d times", label, len(fast), len(slow))
+		return
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Errorf("%s: firing %d at idx fast=%d slow=%d", label, i, fast[i], slow[i])
+			return
+		}
+	}
+}
+
+func diffMemSeq(t *testing.T, label string, fast, slow []memEvent) {
+	t.Helper()
+	if len(fast) != len(slow) {
+		t.Errorf("%s: fired fast=%d slow=%d times", label, len(fast), len(slow))
+		return
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Errorf("%s: firing %d fast=%+v slow=%+v", label, i, fast[i], slow[i])
+			return
+		}
+	}
+}
+
+func diffGuestMemory(t *testing.T, label string, fast, slow *vm.Machine) {
+	t.Helper()
+	layout := vm.DefaultLayout()
+	fd, fok := fast.Mem.ReadBytes(layout.DataBase, 256)
+	sd, sok := slow.Mem.ReadBytes(layout.DataBase, 256)
+	if fok != sok || (fok && string(fd) != string(sd)) {
+		t.Errorf("%s: data segment diverged", label)
+	}
+	top := layout.StackTop()
+	fsk, fok := fast.Mem.ReadBytes(top-256, 256)
+	ssk, sok := slow.Mem.ReadBytes(top-256, 256)
+	if fok != sok || (fok && string(fsk) != string(ssk)) {
+		t.Errorf("%s: stack memory diverged", label)
+	}
+}
+
+// TestTooledDispatchDifferential runs the random-guest fuzzer with
+// instrumentation attached: every tool mix the dispatcher specializes on —
+// the single-instruction-hook light engine, multi-hook, memory hooks with and
+// without instruction hooks, random VSEF-style probes, and the real taint
+// tracker — must leave the block-dispatched and per-Step engines bit-identical
+// in architectural state AND in what the hooks observed: firing order, counts
+// and callback arguments, not just the final state they left behind.
+func TestTooledDispatchDifferential(t *testing.T) {
+	configs := []string{"light", "two-instr", "instr+mem", "mem-only", "probed", "taint"}
+	rng := rand.New(rand.NewSource(0x7001ed))
+	const perConfig = 12 // 6 configs x 12 = 72 tooled programs
+	for _, cfg := range configs {
+		cfg := cfg
+		for k := 0; k < perConfig; k++ {
+			seed := rng.Int63()
+			t.Run(fmt.Sprintf("%s/trial=%d", cfg, k), func(t *testing.T) {
+				r := rand.New(rand.NewSource(seed))
+				fast, slow := buildMachinePair(t, randomGuest(r, 80))
+
+				var fastInstr, slowInstr, fastInstr2, slowInstr2 []int
+				var fastMem, slowMem []memEvent
+				var fastProbe, slowProbe []int
+				switch cfg {
+				case "light":
+					// Exactly one instruction hook: the specialized light loop.
+					fast.AttachTool(seqInstrTool{"t.instr", &fastInstr})
+					slow.AttachTool(seqInstrTool{"t.instr", &slowInstr})
+				case "two-instr":
+					fast.AttachTool(seqInstrTool{"t.instr", &fastInstr})
+					fast.AttachTool(seqInstrTool{"t.instr2", &fastInstr2})
+					slow.AttachTool(seqInstrTool{"t.instr", &slowInstr})
+					slow.AttachTool(seqInstrTool{"t.instr2", &slowInstr2})
+				case "instr+mem":
+					fast.AttachTool(seqInstrTool{"t.instr", &fastInstr})
+					fast.AttachTool(seqMemTool{"t.mem", &fastMem})
+					slow.AttachTool(seqInstrTool{"t.instr", &slowInstr})
+					slow.AttachTool(seqMemTool{"t.mem", &slowMem})
+				case "mem-only":
+					fast.AttachTool(seqMemTool{"t.mem", &fastMem})
+					slow.AttachTool(seqMemTool{"t.mem", &slowMem})
+				case "probed":
+					// VSEF-style probes at random PCs, including duplicates.
+					for p := 0; p < 3; p++ {
+						idx := 1 + r.Intn(40)
+						if err := fast.AddProbe(idx, recordingProbe{hits: &fastProbe}); err != nil {
+							t.Fatal(err)
+						}
+						if err := slow.AddProbe(idx, recordingProbe{hits: &slowProbe}); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case "taint":
+					// The real always-on taint tracker (one instr hook: rides
+					// the light engine) — no input ever arrives, so it must
+					// observe identical no-taint propagation on both engines.
+					fast.AttachTool(taint.New(true))
+					slow.AttachTool(taint.New(true))
+				}
+
+				budget := uint64(200 + r.Intn(5000))
+				fs, ss := fast.Run(budget), slow.Run(budget)
+				label := fmt.Sprintf("%s seed=%#x budget=%d", cfg, seed, budget)
+				diffStop(t, label, fast, slow, fs, ss)
+				diffGuestMemory(t, label, fast, slow)
+				diffIntSeq(t, label+" instr-hook", fastInstr, slowInstr)
+				diffIntSeq(t, label+" instr-hook2", fastInstr2, slowInstr2)
+				diffMemSeq(t, label+" mem-hook", fastMem, slowMem)
+				diffIntSeq(t, label+" probe", fastProbe, slowProbe)
+			})
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package vm
+
+// runTooledLight is runTooled specialized for the single configuration that
+// dominates tooled execution in practice: exactly one instruction hook and
+// nothing else — no memory hooks, no call hooks, no probes (refreshDispatch
+// gates it behind lightTooled). That covers a production guest under one
+// monitor and an analysis replay under one tracker.
+//
+// The specialization exists because of the Go ABI: every register is
+// caller-saved, so each BeforeInstr call spills the loop's entire live set to
+// the stack and reloads it. runTooled must keep its mem/call-hook dispatch
+// state and the probe overlay alive across that call; this loop carries only
+// the micro-op stream, the hook itself and the batched accounting, which
+// makes the per-instruction spill/reload several words narrower. The bodies
+// are otherwise identical (see blocks_tooled.go for the semantics contract:
+// Step-exact ordering, cycle charges, violation handling and fault
+// attribution; syscalls/halts/illegal opcodes hand back to Run's Step
+// fall-back before any hook fires here).
+func (m *Machine) runTooledLight(limit uint64) (stop *StopInfo, executed uint64) {
+	if m.uopsPlain == nil {
+		m.uopsPlain = m.img.plainUops()
+	}
+	// Unlike runTooled there is no local mem: memory ops reload m.Mem at the
+	// point of use, keeping it out of the register set spilled around every
+	// BeforeInstr call (the Go ABI is fully caller-saved).
+	var (
+		uops = m.uopsPlain
+		code = m.code
+		h0   = m.tools.instr[0]
+		pc   = m.PC
+		done uint64
+		cyc  uint64
+	)
+	// Length equality the prove pass uses to elide bounds checks: plain uops
+	// mirror code one-to-one.
+	if len(code) != len(uops) {
+		return nil, 0 // unreachable: both are sized from the code array
+	}
+
+	for done < limit {
+		if uint(pc) >= uint(len(uops)) {
+			m.commitTooled(pc, done, cyc)
+			return m.badPCFault(), done
+		}
+		u := uops[pc]
+		op := Op(u & uopOpMask)
+		if op >= OpSyscall {
+			// Syscall, halt or illegal opcode: Step owns their hook dispatch
+			// and execution, so return before any hook fires here.
+			m.commitTooled(pc, done, cyc)
+			return nil, done
+		}
+		// The hook observes the architectural PC (RaiseViolation attributes
+		// to it), so it is stored before dispatch.
+		m.PC = pc
+		cyc += CyclesPerHook
+		h0.BeforeInstr(m, pc, &code[pc])
+		if m.pendingViolation != nil {
+			// Raised before execution: the instruction neither runs nor
+			// counts, exactly as in Step.
+			m.commitTooled(pc, done, cyc)
+			return m.violationStop(), done
+		}
+		done++
+		// Dispatch specialization mirroring runFused: resolve the most
+		// frequent ALU op and the unconditional block terminator through
+		// predictable direct compares before paying the switch's indirect
+		// jump.
+		if op == OpAddI {
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] += uint32(u >> 32)
+			pc++
+			continue
+		}
+		if op == OpJmp {
+			cyc += cyclesBranch
+			pc = int(int32(uint32(u >> 32)))
+			continue
+		}
+		nextPC := pc + 1
+
+		switch op {
+		case OpNop:
+			cyc += cyclesALU
+
+		case OpMovI:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] = uint32(u >> 32)
+		case OpMov:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] = m.Regs[uint8(u>>uopRsShift)]
+		case OpLea:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] = m.Regs[uint8(u>>uopRsShift)] + uint32(u>>32)
+
+		case OpLoadB, OpLoadW:
+			cyc += cyclesMem
+			addr := m.Regs[uint8(u>>uopRsShift)] + uint32(u>>32)
+			if op == OpLoadW {
+				v, hit := tlbTryReadWord(m.Mem, addr)
+				if !hit {
+					var ok bool
+					if v, ok = m.Mem.ReadWord(addr); !ok {
+						m.commitTooled(pc, done, cyc)
+						return m.fault(FaultPage, addr, false, "read from unmapped memory"), done
+					}
+				}
+				m.Regs[uint8(u>>uopRdShift)] = v
+			} else {
+				b, ok := m.Mem.ReadU8(addr)
+				if !ok {
+					m.commitTooled(pc, done, cyc)
+					return m.fault(FaultPage, addr, false, "read from unmapped memory"), done
+				}
+				m.Regs[uint8(u>>uopRdShift)] = uint32(b)
+			}
+
+		case OpStoreB, OpStoreW:
+			cyc += cyclesMem
+			addr := m.Regs[uint8(u>>uopRdShift)] + uint32(u>>32)
+			val := m.Regs[uint8(u>>uopRsShift)]
+			if op == OpStoreW {
+				if !tlbTryWriteWord(m.Mem, addr, val) && !m.Mem.WriteWord(addr, val) {
+					m.commitTooled(pc, done, cyc)
+					return m.fault(FaultPage, addr, true, "write to unmapped memory"), done
+				}
+			} else {
+				if !m.Mem.WriteU8(addr, byte(val)) {
+					m.commitTooled(pc, done, cyc)
+					return m.fault(FaultPage, addr, true, "write to unmapped memory"), done
+				}
+			}
+
+		case OpAdd:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] += m.Regs[uint8(u>>uopRsShift)]
+		case OpSub:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] -= m.Regs[uint8(u>>uopRsShift)]
+		case OpMul:
+			cyc += cyclesMulDiv
+			m.Regs[uint8(u>>uopRdShift)] *= m.Regs[uint8(u>>uopRsShift)]
+		case OpDiv:
+			cyc += cyclesMulDiv
+			if m.Regs[uint8(u>>uopRsShift)] == 0 {
+				m.commitTooled(pc, done, cyc)
+				return m.fault(FaultDivZero, 0, false, "division by zero"), done
+			}
+			m.Regs[uint8(u>>uopRdShift)] /= m.Regs[uint8(u>>uopRsShift)]
+		case OpMod:
+			cyc += cyclesMulDiv
+			if m.Regs[uint8(u>>uopRsShift)] == 0 {
+				m.commitTooled(pc, done, cyc)
+				return m.fault(FaultDivZero, 0, false, "modulo by zero"), done
+			}
+			m.Regs[uint8(u>>uopRdShift)] %= m.Regs[uint8(u>>uopRsShift)]
+		case OpAnd:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] &= m.Regs[uint8(u>>uopRsShift)]
+		case OpOr:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] |= m.Regs[uint8(u>>uopRsShift)]
+		case OpXor:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] ^= m.Regs[uint8(u>>uopRsShift)]
+		case OpShl:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] <<= m.Regs[uint8(u>>uopRsShift)] & 31
+		case OpShr:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] >>= m.Regs[uint8(u>>uopRsShift)] & 31
+
+		case OpSubI:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] -= uint32(u >> 32)
+		case OpMulI:
+			cyc += cyclesMulDiv
+			m.Regs[uint8(u>>uopRdShift)] *= uint32(u >> 32)
+		case OpDivI:
+			cyc += cyclesMulDiv
+			if uint32(u>>32) == 0 {
+				m.commitTooled(pc, done, cyc)
+				return m.fault(FaultDivZero, 0, false, "division by zero immediate"), done
+			}
+			m.Regs[uint8(u>>uopRdShift)] /= uint32(u >> 32)
+		case OpModI:
+			cyc += cyclesMulDiv
+			if uint32(u>>32) == 0 {
+				m.commitTooled(pc, done, cyc)
+				return m.fault(FaultDivZero, 0, false, "modulo by zero immediate"), done
+			}
+			m.Regs[uint8(u>>uopRdShift)] %= uint32(u >> 32)
+		case OpAndI:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] &= uint32(u >> 32)
+		case OpOrI:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] |= uint32(u >> 32)
+		case OpXorI:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] ^= uint32(u >> 32)
+		case OpShlI:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] <<= uint32(u>>32) & 31
+		case OpShrI:
+			cyc += cyclesALU
+			m.Regs[uint8(u>>uopRdShift)] >>= uint32(u>>32) & 31
+
+		case OpCmp:
+			cyc += cyclesALU
+			m.Flags = cmp32(int32(m.Regs[uint8(u>>uopRdShift)]), int32(m.Regs[uint8(u>>uopRsShift)]))
+		case OpCmpI:
+			cyc += cyclesALU
+			m.Flags = cmp32(int32(m.Regs[uint8(u>>uopRdShift)]), int32(uint32(u>>32)))
+
+		case OpJz:
+			cyc += cyclesBranch
+			if m.Flags == 0 {
+				nextPC = int(int32(uint32(u >> 32)))
+			}
+		case OpJnz:
+			cyc += cyclesBranch
+			if m.Flags != 0 {
+				nextPC = int(int32(uint32(u >> 32)))
+			}
+		case OpJlt:
+			cyc += cyclesBranch
+			if m.Flags < 0 {
+				nextPC = int(int32(uint32(u >> 32)))
+			}
+		case OpJle:
+			cyc += cyclesBranch
+			if m.Flags <= 0 {
+				nextPC = int(int32(uint32(u >> 32)))
+			}
+		case OpJgt:
+			cyc += cyclesBranch
+			if m.Flags > 0 {
+				nextPC = int(int32(uint32(u >> 32)))
+			}
+		case OpJge:
+			cyc += cyclesBranch
+			if m.Flags >= 0 {
+				nextPC = int(int32(uint32(u >> 32)))
+			}
+
+		case OpJmpReg:
+			cyc += cyclesBranch
+			target := m.Regs[uint8(u>>uopRdShift)]
+			tIdx, ok := m.IndexOfAddr(target)
+			if !ok {
+				m.commitTooled(pc, done, cyc)
+				return m.fault(FaultBadPC, target, false, "indirect jump outside code segment"), done
+			}
+			nextPC = tIdx
+
+		case OpCall, OpCallReg:
+			cyc += cyclesBranch + cyclesMem
+			var targetIdx int
+			if op == OpCall {
+				targetIdx = int(int32(uint32(u >> 32)))
+			} else {
+				target := m.Regs[uint8(u>>uopRdShift)]
+				tIdx, ok := m.IndexOfAddr(target)
+				if !ok {
+					m.commitTooled(pc, done, cyc)
+					return m.fault(FaultBadPC, target, false, "indirect call outside code segment"), done
+				}
+				targetIdx = tIdx
+			}
+			retAddr := m.AddrOfIndex(pc + 1)
+			sp := m.Regs[SP] - 4
+			if !tlbTryWriteWord(m.Mem, sp, retAddr) && !m.Mem.WriteWord(sp, retAddr) {
+				m.commitTooled(pc, done, cyc)
+				return m.fault(FaultPage, sp, true, "stack push failed during call"), done
+			}
+			m.Regs[SP] = sp
+			nextPC = targetIdx
+
+		case OpRet:
+			cyc += cyclesBranch + cyclesMem
+			retSlot := m.Regs[SP]
+			retAddr, hit := tlbTryReadWord(m.Mem, retSlot)
+			if !hit {
+				var ok bool
+				if retAddr, ok = m.Mem.ReadWord(retSlot); !ok {
+					m.commitTooled(pc, done, cyc)
+					return m.fault(FaultPage, retSlot, false, "stack read failed during return"), done
+				}
+			}
+			m.Regs[SP] = retSlot + 4
+			tIdx, ok := m.IndexOfAddr(retAddr)
+			if !ok {
+				m.commitTooled(pc, done, cyc)
+				return m.fault(FaultBadPC, retAddr, false, "return to address outside code segment"), done
+			}
+			nextPC = tIdx
+
+		case OpPush, OpPushI:
+			cyc += cyclesMem
+			val := m.Regs[uint8(u>>uopRdShift)]
+			if op == OpPushI {
+				val = uint32(u >> 32)
+			}
+			sp := m.Regs[SP] - 4
+			if !tlbTryWriteWord(m.Mem, sp, val) && !m.Mem.WriteWord(sp, val) {
+				m.commitTooled(pc, done, cyc)
+				return m.fault(FaultPage, sp, true, "stack push to unmapped memory"), done
+			}
+			m.Regs[SP] = sp
+
+		case OpPop:
+			cyc += cyclesMem
+			slot := m.Regs[SP]
+			val, hit := tlbTryReadWord(m.Mem, slot)
+			if !hit {
+				var ok bool
+				if val, ok = m.Mem.ReadWord(slot); !ok {
+					m.commitTooled(pc, done, cyc)
+					return m.fault(FaultPage, slot, false, "stack pop from unmapped memory"), done
+				}
+			}
+			m.Regs[uint8(u>>uopRdShift)] = val
+			m.Regs[SP] = slot + 4
+		}
+		// No trailing pendingViolation check: the only violation source in
+		// this configuration is the instruction hook, which already returned
+		// above, matching Step's end-of-instruction check by construction.
+		pc = nextPC
+	}
+	m.commitTooled(pc, done, cyc)
+	return nil, done
+}

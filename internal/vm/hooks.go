@@ -10,9 +10,13 @@ type Tool interface {
 	Name() string
 }
 
-// InstrHook receives a callback before every executed instruction.
+// InstrHook receives a callback before every executed instruction. in points
+// into the machine's loaded code image (shared across every machine at the
+// same layout): it is valid only for the duration of the call and must be
+// treated as read-only. Passing a pointer keeps the per-instruction dispatch
+// in the block engines from copying the three-word Instr on every call.
 type InstrHook interface {
-	BeforeInstr(m *Machine, idx int, in Instr)
+	BeforeInstr(m *Machine, idx int, in *Instr)
 }
 
 // MemHook receives callbacks for every data memory access (loads, stores,

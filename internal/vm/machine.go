@@ -56,9 +56,11 @@ type SyscallHandler interface {
 // fires only when its instruction executes, so it imposes no cost on the rest
 // of the execution. VSEFs are implemented as probes, which is what makes them
 // "lightweight" in the paper's sense.
+// As with InstrHook, in points into the shared loaded code image: valid only
+// during the call, read-only.
 type Probe interface {
 	Name() string
-	OnProbe(m *Machine, idx int, in Instr)
+	OnProbe(m *Machine, idx int, in *Instr)
 }
 
 // Approximate virtual cycle costs. The virtual clock lets experiments measure
@@ -92,7 +94,8 @@ type Machine struct {
 	Flags int
 
 	prog   *Program
-	code   []Instr // relocated copy of prog.Code
+	code   []Instr // relocated code, shared read-only via prog's relocImage
+	img    *relocImage
 	layout Layout
 
 	tools  toolSet
@@ -106,15 +109,24 @@ type Machine struct {
 	callDispatch  bool // a CallHook is attached
 	probeCount    int
 
-	// Block dispatch state (see blocks.go). blocks is the Program's shared
-	// decoded-block map; probeGap clamps fused runs short of probed indexes;
-	// fastDispatch caches "Run may use the fused loop": block dispatch is
-	// enabled and no instr/mem tool is attached.
-	blocks        *blockInfo
-	uops          []uint64 // packed relocated instructions for the fused loop
-	probeGap      []int32
-	blockDispatch bool
-	fastDispatch  bool
+	// Block dispatch state (see blocks.go and blocks_tooled.go). blocks is
+	// the Program's shared decoded-block map; probeGap clamps fused runs
+	// short of probed indexes and is rebuilt lazily (probeGapDirty) so that
+	// installing a fleet-wide antibody's probes costs O(probes), not
+	// O(code) per machine. fastDispatch caches "Run may use the fused loop":
+	// block dispatch is enabled and no instr/mem tool is attached.
+	// tooledDispatch caches the complementary case: block dispatch is
+	// enabled and an instr or mem tool is attached, so Run uses the
+	// hook-calling block engine (runTooled) instead of per-Step execution.
+	blocks         *blockInfo
+	uops           []uint64 // packed fused micro-ops, shared via relocImage
+	uopsPlain      []uint64 // packed unfused micro-ops for runTooled, lazy
+	probeGap       []int32
+	blockDispatch  bool
+	fastDispatch   bool
+	tooledDispatch bool
+	lightTooled    bool // tooledDispatch may use the single-instr-hook engine
+	probeGapDirty  bool
 
 	sys SyscallHandler
 
@@ -140,25 +152,19 @@ func NewMachine(prog *Program, layout Layout, sys SyscallHandler) (*Machine, err
 		layout: layout,
 		sys:    sys,
 	}
-	// Relocate a private copy of the code.
-	m.code = make([]Instr, len(prog.Code))
-	copy(m.code, prog.Code)
-	for _, r := range prog.Relocs {
-		if r.InstrIndex < 0 || r.InstrIndex >= len(m.code) {
-			return nil, fmt.Errorf("vm: relocation for out-of-range instruction %d", r.InstrIndex)
-		}
-		switch r.Kind {
-		case RelocCode:
-			m.code[r.InstrIndex].Imm = int32(layout.CodeBase + r.Target*InstrSize)
-		case RelocData:
-			m.code[r.InstrIndex].Imm = int32(layout.DataBase + r.Target)
-		default:
-			return nil, fmt.Errorf("vm: unknown relocation kind %d", r.Kind)
-		}
+	// Attach the program's shared relocated image for this layout: code and
+	// packed micro-ops are immutable and content-addressed by (code base,
+	// data base), so clones and pooled shells load in O(1) instead of
+	// re-relocating. Per-machine instrumentation lives in the probe overlay.
+	img, err := prog.relocImage(layout)
+	if err != nil {
+		return nil, err
 	}
+	m.img = img
+	m.code = img.code
 	m.probes = make([][]Probe, len(m.code))
 	m.blocks = prog.blockMap()
-	m.uops = packUops(m.code, m.blocks.runLen)
+	m.uops = img.uops
 	m.blockDispatch = true
 	m.refreshDispatch()
 
@@ -273,17 +279,22 @@ func (m *Machine) InstrCount() uint64 { return m.instrCount }
 // refreshDispatch recomputes the cached hot-path dispatch flags. Everything
 // that changes instrumentation (AttachTool, DetachTool, AddProbe,
 // RemoveProbes, ClearProbes, SetBlockDispatch) funnels through here, which is
-// what keeps the fused fast path honest: attaching an instr or mem tool
-// drops fastDispatch so every instruction goes through Step's hook dispatch,
-// and probe changes rebuild the probe-gap table the fused loop clamps on.
+// what keeps block dispatch honest: attaching an instr or mem tool drops
+// fastDispatch and raises tooledDispatch, moving Run from the fused loop to
+// the hook-calling block engine (runTooled) — never to silent hook skipping.
+// Probe changes mark the probe-gap table dirty; the fused loop rebuilds it
+// on next entry (see rebuildProbeGap).
 func (m *Machine) refreshDispatch() {
 	m.instrDispatch = len(m.tools.instr) > 0 || m.probeCount > 0
 	m.memDispatch = len(m.tools.mem) > 0
 	m.callDispatch = len(m.tools.call) > 0
 	m.fastDispatch = m.blockDispatch && len(m.tools.instr) == 0 && len(m.tools.mem) == 0
-	if m.fastDispatch && m.probeCount > 0 {
-		m.rebuildProbeGap()
-	}
+	m.tooledDispatch = m.blockDispatch && !m.fastDispatch
+	// The dominant tooled configuration — one instruction hook, nothing else —
+	// gets a specialized loop with a much smaller live set across the hook
+	// call (see runTooledLight).
+	m.lightTooled = m.tooledDispatch && len(m.tools.instr) == 1 &&
+		len(m.tools.mem) == 0 && len(m.tools.call) == 0 && m.probeCount == 0
 }
 
 // SetBlockDispatch enables or disables basic-block dispatch in Run (enabled
@@ -334,6 +345,7 @@ func (m *Machine) AddProbe(idx int, p Probe) error {
 	}
 	m.probes[idx] = append(m.probes[idx], p)
 	m.probeCount++
+	m.probeGapDirty = true
 	m.refreshDispatch()
 	return nil
 }
@@ -357,6 +369,7 @@ func (m *Machine) RemoveProbes(name string) int {
 		m.probes[i] = kept
 	}
 	m.probeCount -= removed
+	m.probeGapDirty = true
 	m.refreshDispatch()
 	return removed
 }
@@ -368,6 +381,7 @@ func (m *Machine) ClearProbes() {
 		m.probes[i] = nil
 	}
 	m.probeCount = 0
+	m.probeGapDirty = true
 	m.refreshDispatch()
 }
 
@@ -512,12 +526,12 @@ func (m *Machine) Step() *StopInfo {
 	if m.instrDispatch {
 		for _, h := range m.tools.instr {
 			m.cycles += CyclesPerHook
-			h.BeforeInstr(m, idx, in)
+			h.BeforeInstr(m, idx, &m.code[idx])
 		}
 		if probes := m.probes[idx]; len(probes) > 0 {
 			for _, p := range probes {
 				m.cycles += CyclesPerProbe
-				p.OnProbe(m, idx, in)
+				p.OnProbe(m, idx, &m.code[idx])
 			}
 		}
 		if m.pendingViolation != nil {
@@ -848,11 +862,12 @@ func (m *Machine) Step() *StopInfo {
 // hot path: a StopInfo is built only when execution actually stops.
 //
 // Untooled machines execute through the fused basic-block dispatcher
-// (runFused, see blocks.go); instructions the fused loop cannot express —
-// probed indexes, syscalls, halts, call/ret under call hooks — fall back to
-// Step one instruction at a time, as does the whole run when an instr or mem
-// tool is attached. Both engines retire the same instructions with the same
-// accounting, so StopInstrBudget fires at exactly the same instruction
+// (runFused, see blocks.go); machines with instr or mem tools attached
+// execute through the hook-calling block dispatcher (runTooled, see
+// blocks_tooled.go). Instructions neither block loop can express — probed
+// indexes in the fused loop, syscalls, halts — fall back to Step one
+// instruction at a time. All engines retire the same instructions with the
+// same accounting, so StopInstrBudget fires at exactly the same instruction
 // either way.
 func (m *Machine) Run(budget uint64) *StopInfo {
 	remaining := ^uint64(0) // unlimited
@@ -862,6 +877,18 @@ func (m *Machine) Run(budget uint64) *StopInfo {
 	for {
 		if m.fastDispatch && !m.stopped && m.pendingViolation == nil {
 			stop, executed := m.runFused(remaining)
+			remaining -= executed
+			if stop != nil {
+				return stop
+			}
+		} else if m.tooledDispatch && !m.stopped && m.pendingViolation == nil {
+			var stop *StopInfo
+			var executed uint64
+			if m.lightTooled {
+				stop, executed = m.runTooledLight(remaining)
+			} else {
+				stop, executed = m.runTooled(remaining)
+			}
 			remaining -= executed
 			if stop != nil {
 				return stop
@@ -912,7 +939,7 @@ func (m *Machine) RestoreRegs(s RegSnapshot) {
 // EffectiveAddr computes the data address accessed by a load/store/push/pop
 // instruction given the current register state, for analysis tools that need
 // it before execution.
-func (m *Machine) EffectiveAddr(in Instr) (addr uint32, size int, isWrite bool, ok bool) {
+func (m *Machine) EffectiveAddr(in *Instr) (addr uint32, size int, isWrite bool, ok bool) {
 	switch in.Op {
 	case OpLoadB:
 		return m.Regs[in.Rs] + uint32(in.Imm), 1, false, true

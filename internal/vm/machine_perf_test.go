@@ -52,13 +52,13 @@ func TestRunSteadyStateAllocations(t *testing.T) {
 // countingInstrTool counts BeforeInstr dispatches.
 type countingInstrTool struct{ calls int }
 
-func (c *countingInstrTool) Name() string                                    { return "test.counter" }
-func (c *countingInstrTool) BeforeInstr(m *vm.Machine, idx int, in vm.Instr) { c.calls++ }
+func (c *countingInstrTool) Name() string                                     { return "test.counter" }
+func (c *countingInstrTool) BeforeInstr(m *vm.Machine, idx int, in *vm.Instr) { c.calls++ }
 
 type nopProbe struct{}
 
-func (nopProbe) Name() string                                { return "test.probe" }
-func (nopProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) {}
+func (nopProbe) Name() string                                 { return "test.probe" }
+func (nopProbe) OnProbe(m *vm.Machine, idx int, in *vm.Instr) {}
 
 // TestDispatchFastPathFlags checks the cached dispatch flags: an untooled
 // machine charges no hook cycles, attaching a tool or probe re-enables
@@ -163,10 +163,24 @@ func BenchmarkUntooledALU(b *testing.B) {
 }
 
 // BenchmarkTooledStep is the same loop with one no-op instrumentation tool
-// attached, for comparison with BenchmarkUntooledStep.
+// attached, for comparison with BenchmarkUntooledStep. Since the hook-calling
+// block engines landed this runs block-dispatched, not per-Step.
 func BenchmarkTooledStep(b *testing.B) {
 	m := spinMachine(b)
 	m.AttachTool(&countingInstrTool{})
+	m.Run(10_000)
+	b.ResetTimer()
+	m.Run(uint64(b.N))
+}
+
+// BenchmarkTooledStepSlowPath is the same tooled loop forced onto the
+// per-Step path — the configuration every monitored guest ran in before the
+// hook-calling block engines, kept as the ratio baseline for
+// BenchmarkTooledStep.
+func BenchmarkTooledStepSlowPath(b *testing.B) {
+	m := spinMachine(b)
+	m.AttachTool(&countingInstrTool{})
+	m.SetBlockDispatch(false)
 	m.Run(10_000)
 	b.ResetTimer()
 	m.Run(uint64(b.N))

@@ -309,7 +309,7 @@ type recordingTool struct {
 }
 
 func (r *recordingTool) Name() string { return r.name }
-func (r *recordingTool) BeforeInstr(m *vm.Machine, idx int, in vm.Instr) {
+func (r *recordingTool) BeforeInstr(m *vm.Machine, idx int, in *vm.Instr) {
 	r.instrs++
 	if r.raiseAtPC >= 0 && idx == r.raiseAtPC {
 		m.RaiseViolation(&vm.Violation{Kind: r.raisedKind, Tool: r.name, Detail: "test"})
@@ -386,8 +386,8 @@ type countingProbe struct {
 	fired int
 }
 
-func (p *countingProbe) Name() string                                { return p.name }
-func (p *countingProbe) OnProbe(m *vm.Machine, idx int, in vm.Instr) { p.fired++ }
+func (p *countingProbe) Name() string                                 { return p.name }
+func (p *countingProbe) OnProbe(m *vm.Machine, idx int, in *vm.Instr) { p.fired++ }
 
 func TestProbesFireOnlyAtTheirInstruction(t *testing.T) {
 	b := asm.New("probe")
@@ -480,16 +480,16 @@ func TestEffectiveAddr(t *testing.T) {
 	m.Regs[vm.R2] = 0x1000
 	m.Regs[vm.R3] = 0x2000
 
-	if addr, size, isWrite, ok := m.EffectiveAddr(prog.Code[load]); !ok || addr != 0x1008 || size != 4 || isWrite {
+	if addr, size, isWrite, ok := m.EffectiveAddr(&prog.Code[load]); !ok || addr != 0x1008 || size != 4 || isWrite {
 		t.Errorf("load EA = %#x size=%d write=%v ok=%v", addr, size, isWrite, ok)
 	}
-	if addr, size, isWrite, ok := m.EffectiveAddr(prog.Code[store]); !ok || addr != 0x1FFC || size != 1 || !isWrite {
+	if addr, size, isWrite, ok := m.EffectiveAddr(&prog.Code[store]); !ok || addr != 0x1FFC || size != 1 || !isWrite {
 		t.Errorf("store EA = %#x size=%d write=%v ok=%v", addr, size, isWrite, ok)
 	}
-	if addr, _, isWrite, ok := m.EffectiveAddr(prog.Code[push]); !ok || addr != m.Regs[vm.SP]-4 || !isWrite {
+	if addr, _, isWrite, ok := m.EffectiveAddr(&prog.Code[push]); !ok || addr != m.Regs[vm.SP]-4 || !isWrite {
 		t.Errorf("push EA = %#x write=%v ok=%v", addr, isWrite, ok)
 	}
-	if _, _, _, ok := m.EffectiveAddr(vm.Instr{Op: vm.OpNop}); ok {
+	if _, _, _, ok := m.EffectiveAddr(&vm.Instr{Op: vm.OpNop}); ok {
 		t.Error("nop has no effective address")
 	}
 }

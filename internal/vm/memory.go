@@ -224,20 +224,30 @@ type Memory struct {
 	wtlbPN uint32
 }
 
+// tlbMissPN is the page-number value carried by an empty TLB entry. No guest
+// address can reach it (addr>>PageShift is at most 1<<(32-PageShift) - 1), so
+// a PN compare alone decides a hit and the dispatch-loop fast paths
+// (blocks_tooled.go) need no nil check. Invariant: whenever rtlb/wtlb is nil
+// the matching PN is tlbMissPN.
+const tlbMissPN = ^uint32(0)
+
 // invalidateTLB drops the one-entry translation caches. Any operation that
 // freezes pages, resets dirty-run watermarks, or replaces page-table entries
 // wholesale must call it: a stale wtlb entry would let writes bypass
 // copy-on-write and dirty tracking.
 func (m *Memory) invalidateTLB() {
 	m.rtlb, m.wtlb = nil, nil
+	m.rtlbPN, m.wtlbPN = tlbMissPN, tlbMissPN
 }
 
 // NewMemory returns an empty address space with no pages mapped.
 func NewMemory() *Memory {
 	return &Memory{
-		pages: make(map[uint32]*page),
-		dirty: make(map[uint32]struct{}),
-		dels:  make(map[uint32]struct{}),
+		pages:  make(map[uint32]*page),
+		dirty:  make(map[uint32]struct{}),
+		dels:   make(map[uint32]struct{}),
+		rtlbPN: tlbMissPN,
+		wtlbPN: tlbMissPN,
 	}
 }
 

@@ -3,6 +3,7 @@ package vm
 import (
 	"crypto/sha256"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -50,6 +51,83 @@ type Program struct {
 	// image in the BaseStore (see basestore.go). Data is immutable once the
 	// program is loadable, so a racing double computation is benign.
 	dataDigest atomic.Pointer[[sha256.Size]byte]
+
+	// relocMu guards relocImages, the per-layout cache of relocated code and
+	// packed micro-ops. Relocation depends only on the layout's code and data
+	// bases, so every Machine loaded at the same bases — a guest, its pooled
+	// sandbox shells, its analysis and recovery clones — shares one immutable
+	// image instead of re-relocating and re-fusing per load (see relocImage).
+	relocMu     sync.Mutex
+	relocImages map[relocKey]*relocImage
+}
+
+// relocKey identifies a relocated image: the only layout inputs relocation
+// consumes.
+type relocKey struct {
+	codeBase, dataBase uint32
+}
+
+// relocImage is a relocated view of the program for one pair of code/data
+// bases: the patched instruction stream plus the packed, macro-op-fused
+// micro-ops the fused dispatcher executes. All fields are immutable once
+// published; plain is the unfused micro-op encoding, built lazily on first
+// tooled-dispatch use (hook-calling execution must observe every
+// architectural instruction, so it cannot dispatch fused pairs — see
+// blocks_tooled.go).
+type relocImage struct {
+	code []Instr
+	uops []uint64
+
+	plainOnce sync.Once
+	plain     []uint64
+}
+
+// plainUops returns the image's unfused packed micro-ops, building them on
+// first use.
+func (img *relocImage) plainUops() []uint64 {
+	img.plainOnce.Do(func() {
+		u := make([]uint64, len(img.code))
+		for i, in := range img.code {
+			u[i] = packUop(in)
+		}
+		img.plain = u
+	})
+	return img.plain
+}
+
+// relocImage returns the program's shared relocated image for the given
+// layout, building and caching it on first use. Installing an antibody's
+// probes, cloning a guest for analysis, or spinning up a pooled shell
+// therefore never re-pays the O(code) relocation + fusion cost — the machines
+// differ only in their probe overlays and machine state.
+func (p *Program) relocImage(layout Layout) (*relocImage, error) {
+	key := relocKey{codeBase: layout.CodeBase, dataBase: layout.DataBase}
+	p.relocMu.Lock()
+	defer p.relocMu.Unlock()
+	if img, ok := p.relocImages[key]; ok {
+		return img, nil
+	}
+	code := make([]Instr, len(p.Code))
+	copy(code, p.Code)
+	for _, r := range p.Relocs {
+		if r.InstrIndex < 0 || r.InstrIndex >= len(code) {
+			return nil, fmt.Errorf("vm: relocation for out-of-range instruction %d", r.InstrIndex)
+		}
+		switch r.Kind {
+		case RelocCode:
+			code[r.InstrIndex].Imm = int32(layout.CodeBase + r.Target*InstrSize)
+		case RelocData:
+			code[r.InstrIndex].Imm = int32(layout.DataBase + r.Target)
+		default:
+			return nil, fmt.Errorf("vm: unknown relocation kind %d", r.Kind)
+		}
+	}
+	img := &relocImage{code: code, uops: packUops(code, p.blockMap().runLen)}
+	if p.relocImages == nil {
+		p.relocImages = make(map[relocKey]*relocImage)
+	}
+	p.relocImages[key] = img
+	return img, nil
 }
 
 // dataHash returns (and caches) the sha256 digest of the initial data

@@ -48,6 +48,10 @@ func classify(name string) (class metricClass, higherBetter bool, floor float64)
 		return classRatio, true, 0.5
 	case strings.Contains(name, "overhead_pct"):
 		return classDeterministic, false, 0.5 // percentage points
+	case strings.Contains(name, "retained_pct"):
+		// Antibody retention across a crash is a durability guarantee: a
+		// drop of more than a point means the WAL or replay regressed.
+		return classDeterministic, true, 1 // percentage points
 	case strings.Contains(name, "infected_pct"):
 		// Live epidemic outcomes are seeded-PRNG deterministic, but any code
 		// change to the defence pipeline legitimately moves them; gate only

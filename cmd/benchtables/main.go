@@ -187,6 +187,29 @@ func writeBenchJSON(path string, sizes experiments.Sizes, paperScale bool) error
 	metrics["epidemic_adoptions_count"] = float64(base.Adopted)
 	metrics["epidemic_shared_page_fraction"] = base.SharedPageFraction
 
+	// Crash-recovery fault injection: a 100-daemon durable community, a
+	// seeded 20% hard-stopped mid-epidemic and restarted from disk. Retention
+	// and warm-restart counts are deterministic; the converge timings are
+	// wall-clock.
+	crashRoot, err := os.MkdirTemp("", "sweeper-crash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(crashRoot)
+	cr, err := experiments.RunCrashRecovery(experiments.CrashRecoveryConfig{Root: crashRoot, Seed: 7})
+	if err != nil {
+		return err
+	}
+	metrics["crash_baseline_converge_ms"] = cr.BaselineConvergeMs
+	metrics["crash_reconverge_ms"] = cr.CrashReconvergeMs
+	metrics["crash_warm_restart_ms"] = cr.WarmRestartMsMean
+	metrics["crash_warm_restart_max_ms"] = cr.WarmRestartMsMax
+	metrics["crash_antibodies_retained_pct"] = cr.AntibodiesRetainedPct
+	metrics["crash_crashed_count"] = float64(cr.Crashed)
+	metrics["crash_restarted_immune_count"] = float64(cr.RestartedImmune)
+	metrics["crash_warm_restart_count"] = float64(cr.WarmRestarts)
+	metrics["crash_cold_fallback_count"] = float64(cr.ColdFallbacks)
+
 	bs := vm.DefaultBaseStore().Stats()
 	metrics["base_store_distinct_pages"] = float64(bs.DistinctPages)
 	metrics["base_store_installed_pages"] = float64(bs.InstalledPages)

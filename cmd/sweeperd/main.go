@@ -108,6 +108,8 @@ func main() {
 		tcpListen    = flag.String("tcp-listen", "", "serve framed TCP requests to the guests from this base address (e.g. 127.0.0.1:7400); the daemon then runs until interrupted")
 		perGuestPort = flag.Bool("per-guest-port", false, "with -tcp-listen: guest i listens on the base port plus i (required for more than one guest unless the base port is 0)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for profiling the live daemon")
+		dataDir      = flag.String("data-dir", "", "persist the antibody store (write-ahead log + snapshot) and guest checkpoints under this directory; a restarted daemon replays the WAL and warm-restores its guests from it")
+		shards       = flag.Int("shards", 0, "antibody store shard count (0 = default)")
 	)
 	flag.Parse()
 	if *guests < 1 {
@@ -140,7 +142,14 @@ func main() {
 		fmt.Printf("sweeperd: pprof on http://%s/debug/pprof/\n", lis.Addr())
 	}
 
-	fleet := core.NewFleet()
+	fleet := core.NewFleetWithOptions(core.FleetOptions{DataDir: *dataDir, Shards: *shards})
+	if *dataDir != "" {
+		if d := fleet.Durability(); d.Warnings > 0 {
+			fmt.Printf("sweeperd: WARNING: data directory %s unusable (%d warnings); running in-memory\n", *dataDir, d.Warnings)
+		} else {
+			fmt.Printf("sweeperd: durable state in %s (%d antibodies replayed from disk)\n", *dataDir, fleet.Store().Len())
+		}
+	}
 	var specs []*apps.Spec
 	for _, name := range strings.Split(*appNames, ",") {
 		if strings.TrimSpace(name) == "" {
@@ -418,6 +427,11 @@ func main() {
 		totals.AntibodiesGenerated, totals.AntibodiesAdopted, totals.AntibodiesVerified,
 		totals.AntibodiesRejected, totals.FilteredInputs)
 	fmt.Printf("shared store: %d antibodies\n", fleet.Store().Len())
+	if *dataDir != "" {
+		d := fleet.Durability()
+		fmt.Printf("durability  : warm-restarts=%d cold-fallbacks=%d warnings=%d; store flushed and fsynced to %s\n",
+			d.WarmRestarts, d.ColdFallbacks, d.Warnings, *dataDir)
+	}
 	for _, g := range fleet.Guests() {
 		lat := g.FrontLatency()
 		if lat == nil || lat.Count() == 0 {

@@ -1,0 +1,254 @@
+package antibody
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func mkAb(id, program string) *Antibody {
+	return &Antibody{
+		ID:      id,
+		Program: program,
+		Stage:   StageInitial,
+		Sigs:    []*Signature{ExactSignature("sig-"+id, []byte(id))},
+	}
+}
+
+func walFrame(t *testing.T, seq uint64, a *Antibody) []byte {
+	t.Helper()
+	payload, err := json.Marshal(walRecord{Seq: seq, Antibody: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame
+}
+
+func TestDurableStoreSurvivesCloseAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("ab-%02d", i)
+		st.Publish(mkAb(id, fmt.Sprintf("prog-%d", i%3)))
+		want = append(want, id)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	all := st2.All()
+	if len(all) != len(want) {
+		t.Fatalf("reopened store has %d antibodies, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.ID != want[i] {
+			t.Fatalf("publication order changed at %d: got %s want %s", i, a.ID, want[i])
+		}
+	}
+	if got := st2.ForProgram("prog-0"); len(got) != 7 {
+		t.Fatalf("per-program index not rebuilt: got %d for prog-0, want 7", len(got))
+	}
+}
+
+func TestWALTornFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDurable(dir, DurableOptions{CompactEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		st.Publish(mkAb(fmt.Sprintf("ab-%d", i), "prog"))
+	}
+	st.DetachWAL() // crash-style: no compaction, records live only in wal.log
+
+	// Simulate a crash mid-append: a good frame's header plus half its payload.
+	walPath := filepath.Join(dir, walFileName)
+	frame := walFrame(t, 99, mkAb("ab-torn", "prog"))
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)-7]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("open with torn tail should succeed: %v", err)
+	}
+	defer st2.Close()
+	if st2.Len() != 5 {
+		t.Fatalf("got %d antibodies after torn-tail recovery, want 5", st2.Len())
+	}
+	if _, ok := st2.Get("ab-torn"); ok {
+		t.Fatal("torn record must not be replayed")
+	}
+}
+
+func TestWALCorruptCRCTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDurable(dir, DurableOptions{CompactEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Publish(mkAb("ab-good", "prog"))
+	st.DetachWAL()
+
+	walPath := filepath.Join(dir, walFileName)
+	frame := walFrame(t, 7, mkAb("ab-bad", "prog"))
+	frame[4] ^= 0xff // break the CRC
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(frame)
+	f.Close()
+
+	st2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 1 {
+		t.Fatalf("got %d antibodies, want 1 (CRC-mismatched record dropped)", st2.Len())
+	}
+}
+
+func TestWALDuplicateIDsAcrossSnapshotAndLog(t *testing.T) {
+	// A crash between compaction's snapshot rename and its log truncation
+	// leaves the same antibody in both files; the reload must dedup.
+	dir := t.TempDir()
+	snap := walSnapshot{Antibodies: []*Antibody{mkAb("ab-0", "prog"), mkAb("ab-1", "prog")}}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotFileName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var log []byte
+	log = append(log, walFrame(t, 1, mkAb("ab-1", "prog"))...) // dup of snapshot
+	log = append(log, walFrame(t, 2, mkAb("ab-2", "prog"))...) // fresh
+	if err := os.WriteFile(filepath.Join(dir, walFileName), log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 3 {
+		t.Fatalf("got %d antibodies, want 3 (snapshot∪log with dedup)", st.Len())
+	}
+	all := st.All()
+	for i, want := range []string{"ab-0", "ab-1", "ab-2"} {
+		if all[i].ID != want {
+			t.Fatalf("order[%d] = %s, want %s", i, all[i].ID, want)
+		}
+	}
+}
+
+func TestSinceCursorStableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		st.Publish(mkAb(fmt.Sprintf("ab-%d", i), fmt.Sprintf("prog-%d", i%4)))
+	}
+	// A federation peer that pulled up to cursor 6 before the restart…
+	before, cursor := st.Since(6)
+	st.Close()
+
+	st2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	// …must see exactly the same suffix from the reopened store.
+	after, cursor2 := st2.Since(6)
+	if len(after) != len(before) || cursor2 != cursor {
+		t.Fatalf("Since(6) changed across restart: %d/%d vs %d/%d", len(after), cursor2, len(before), cursor)
+	}
+	for i := range after {
+		if after[i].ID != before[i].ID {
+			t.Fatalf("Since(6)[%d] = %s, want %s", i, after[i].ID, before[i].ID)
+		}
+	}
+	// New publishes continue the cursor sequence.
+	st2.Publish(mkAb("ab-new", "prog-0"))
+	fresh, _ := st2.Since(cursor2)
+	if len(fresh) != 1 || fresh[0].ID != "ab-new" {
+		t.Fatalf("cursor did not resume cleanly: got %d records", len(fresh))
+	}
+}
+
+func TestConcurrentPublishDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDurable(dir, DurableOptions{CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		each    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				st.Publish(mkAb(fmt.Sprintf("ab-%d-%d", w, i), fmt.Sprintf("prog-%d", w%5)))
+			}
+		}(w)
+	}
+	// Extra compactions racing the publish storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := st.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if st.Len() != workers*each {
+		t.Fatalf("in-memory store has %d, want %d", st.Len(), workers*each)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != workers*each {
+		t.Fatalf("reloaded store has %d, want %d (lost or duplicated publishes)", st2.Len(), workers*each)
+	}
+}

@@ -97,6 +97,16 @@ func (m *Manager) MaybeCheckpoint(p *proc.Process) *proc.Snapshot {
 	return m.Checkpoint(p)
 }
 
+// Reset drops every retained snapshot and the interval clock, keeping the
+// policy and cumulative counters. A warm-restarted guest calls it after
+// adopting a persisted checkpoint: the cold-image snapshot taken at
+// construction must not remain a rollback target once the restored state
+// supersedes it.
+func (m *Manager) Reset() {
+	m.snaps = nil
+	m.lastMs = 0
+}
+
 // Latest returns the most recent snapshot, or nil if none exist.
 func (m *Manager) Latest() *proc.Snapshot {
 	if len(m.snaps) == 0 {

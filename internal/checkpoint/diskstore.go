@@ -1,0 +1,427 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"sweeper/internal/heap"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+// DiskStore persists guest checkpoints as content-addressed pages plus
+// small per-guest manifest records, so a restarted daemon can hand each
+// guest its last consistent checkpoint instead of a cold image.
+//
+// Layout under the store directory:
+//
+//	pages/<hex sha256>          — one immutable 4 KiB page content; written
+//	                              once, referenced by every manifest (and
+//	                              every guest) whose checkpoint contains a
+//	                              page with that content.
+//	guests/<guest>/full.json    — full manifest: register/allocator/RNG
+//	                              state, layout, and the page-number → hash
+//	                              table of the whole address space.
+//	guests/<guest>/delta.N.json — incremental record N (1-based): only the
+//	                              pages changed or unmapped since record
+//	                              N-1, chained onto full.json. The chain is
+//	                              folded back into a new full.json every
+//	                              maxDeltaChain records.
+//
+// Page files are the CXL-style shape the ISSUE calls for: many consumers
+// referencing one content-addressed immutable page image. Within a daemon
+// the same sharing happens in memory through vm.BaseStore — Load interns
+// every page it reads, so N restored guests (or N restarted daemons in one
+// process) pay for one copy of each distinct page.
+//
+// Save diffs by frozen-page identity (vm.PageRef.Same), so a steady-state
+// persist hashes and writes only the pages dirtied since the previous one.
+type DiskStore struct {
+	dir      string
+	pagesDir string
+
+	mu     sync.Mutex
+	guests map[string]*guestPersist
+	// dirty lists files written since the last Sync; Sync fsyncs them so a
+	// clean shutdown puts every persisted checkpoint on stable storage.
+	dirty map[string]struct{}
+
+	pagesWritten int // page files created (not deduplicated away)
+	pagesShared  int // page references that hit an existing file
+}
+
+type guestPersist struct {
+	refs   map[uint32]vm.PageRef // page table at last persist, by identity
+	hashes map[uint32]string     // hex hashes matching refs
+	chain  int                   // delta records since last full manifest
+}
+
+// maxDeltaChain bounds how many delta records a loader must fold before it
+// has a full manifest; past it, Save rewrites full.json and restarts.
+const maxDeltaChain = 16
+
+type persistMeta struct {
+	Seq       int            `json:"seq"`
+	TakenAtMs uint64         `json:"taken_at_ms"`
+	Regs      vm.RegSnapshot `json:"regs"`
+	Alloc     heap.State     `json:"alloc"`
+	Rng       uint32         `json:"rng"`
+	Layout    vm.Layout      `json:"layout"`
+}
+
+type persistFull struct {
+	Meta  persistMeta       `json:"meta"`
+	Pages map[string]string `json:"pages"` // decimal page number -> hex hash
+}
+
+type persistDelta struct {
+	Meta    persistMeta       `json:"meta"`
+	Changed map[string]string `json:"changed,omitempty"`
+	Deleted []string          `json:"deleted,omitempty"`
+}
+
+// PersistedCheckpoint is a checkpoint loaded back from disk, with the
+// memory image already interned through the process-wide vm.BaseStore.
+type PersistedCheckpoint struct {
+	Seq       int
+	TakenAtMs uint64
+	Regs      vm.RegSnapshot
+	Alloc     heap.State
+	Rng       uint32
+	Layout    vm.Layout
+	Mem       *vm.MemSnapshot
+	Pages     int
+}
+
+// OpenDiskStore opens (creating if necessary) a checkpoint store rooted at
+// dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	ds := &DiskStore{
+		dir:      dir,
+		pagesDir: filepath.Join(dir, "pages"),
+		guests:   make(map[string]*guestPersist),
+		dirty:    make(map[string]struct{}),
+	}
+	if err := os.MkdirAll(ds.pagesDir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: disk store: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "guests"), 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: disk store: %w", err)
+	}
+	return ds, nil
+}
+
+// Dir returns the store's root directory.
+func (ds *DiskStore) Dir() string { return ds.dir }
+
+// PageStats returns how many page files Save created versus how many page
+// references deduplicated onto an existing file.
+func (ds *DiskStore) PageStats() (written, shared int) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.pagesWritten, ds.pagesShared
+}
+
+func guestDir(root, guest string) string {
+	// Hex-encode the guest name so arbitrary names cannot escape the tree.
+	return filepath.Join(root, "guests", hex.EncodeToString([]byte(guest)))
+}
+
+// Save persists the snapshot as guest's latest checkpoint. Only pages
+// changed since the guest's previous Save are hashed and written; the
+// manifest record is installed atomically (tmp + rename), so a crash
+// mid-save leaves the previous checkpoint loadable.
+func (ds *DiskStore) Save(guest string, s *proc.Snapshot, layout vm.Layout) error {
+	cur := make(map[uint32]vm.PageRef)
+	s.Mem.VisitPages(func(pn uint32, ref vm.PageRef) { cur[pn] = ref })
+
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	gp := ds.guests[guest]
+	meta := persistMeta{
+		Seq:       s.SeqNo,
+		TakenAtMs: s.TakenAtMs,
+		Regs:      s.Regs,
+		Alloc:     s.Alloc,
+		Rng:       s.Rng,
+		Layout:    layout,
+	}
+
+	gdir := guestDir(ds.dir, guest)
+	writeFull := gp == nil || gp.chain >= maxDeltaChain
+	if gp == nil {
+		gp = &guestPersist{}
+		ds.guests[guest] = gp
+	}
+
+	// Hash and write the pages not present (by identity) last time.
+	newHashes := make(map[uint32]string, len(cur))
+	var changed map[string]string
+	if !writeFull {
+		changed = make(map[string]string)
+	}
+	for pn, ref := range cur {
+		if old, ok := gp.refs[pn]; ok && ref.Same(old) {
+			newHashes[pn] = gp.hashes[pn]
+			continue
+		}
+		h := ref.Hash()
+		hexh := hex.EncodeToString(h[:])
+		newHashes[pn] = hexh
+		if hexh == gp.hashes[pn] {
+			// New page identity, same content (e.g. a rollback rebuilt the
+			// snapshot chain): the file exists and the manifest entry stands.
+			continue
+		}
+		if err := ds.ensurePageFile(hexh, ref.Data()[:]); err != nil {
+			return err
+		}
+		if changed != nil {
+			changed[strconv.FormatUint(uint64(pn), 10)] = hexh
+		}
+	}
+
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: disk store: %w", err)
+	}
+	if writeFull {
+		full := persistFull{Meta: meta, Pages: make(map[string]string, len(newHashes))}
+		for pn, h := range newHashes {
+			full.Pages[strconv.FormatUint(uint64(pn), 10)] = h
+		}
+		if err := ds.writeJSON(filepath.Join(gdir, "full.json"), &full); err != nil {
+			return err
+		}
+		// Stale delta records from the previous chain must not be folded on
+		// top of the new full manifest.
+		for i := 1; ; i++ {
+			p := filepath.Join(gdir, deltaName(i))
+			if err := os.Remove(p); err != nil {
+				break
+			}
+			delete(ds.dirty, p)
+		}
+		gp.chain = 0
+	} else {
+		var deleted []string
+		for pn := range gp.refs {
+			if _, ok := cur[pn]; !ok {
+				deleted = append(deleted, strconv.FormatUint(uint64(pn), 10))
+			}
+		}
+		if len(changed) == 0 && len(deleted) == 0 {
+			// The memory image is exactly what the last record already
+			// describes. Persisting a meta-only delta would grow the chain on
+			// every idle stop/start cycle; the slightly stale Seq/clock in the
+			// existing record restores the same state.
+			gp.refs = cur
+			gp.hashes = newHashes
+			return nil
+		}
+		sort.Strings(deleted)
+		d := persistDelta{Meta: meta, Changed: changed, Deleted: deleted}
+		gp.chain++
+		if err := ds.writeJSON(filepath.Join(gdir, deltaName(gp.chain)), &d); err != nil {
+			gp.chain--
+			return err
+		}
+	}
+	gp.refs = cur
+	gp.hashes = newHashes
+	return nil
+}
+
+func deltaName(i int) string { return fmt.Sprintf("delta.%d.json", i) }
+
+// ensurePageFile writes the content-addressed page file if it does not
+// already exist. Caller holds ds.mu.
+func (ds *DiskStore) ensurePageFile(hexh string, data []byte) error {
+	path := filepath.Join(ds.pagesDir, hexh)
+	if _, err := os.Stat(path); err == nil {
+		ds.pagesShared++
+		return nil
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: disk store: writing page: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: disk store: installing page: %w", err)
+	}
+	ds.pagesWritten++
+	ds.dirty[path] = struct{}{}
+	return nil
+}
+
+// writeJSON atomically installs a manifest record. Caller holds ds.mu.
+func (ds *DiskStore) writeJSON(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: disk store: encoding %s: %w", filepath.Base(path), err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: disk store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: disk store: %w", err)
+	}
+	ds.dirty[path] = struct{}{}
+	return nil
+}
+
+// Load reads guest's latest persisted checkpoint: the full manifest plus
+// every intact delta record folded on top (a torn or missing record ends
+// the chain at the last consistent state). Every page is verified against
+// its content hash and interned through the process-wide vm.BaseStore.
+// Any error means the caller should fall back to a cold start.
+func (ds *DiskStore) Load(guest string) (*PersistedCheckpoint, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	gdir := guestDir(ds.dir, guest)
+	data, err := os.ReadFile(filepath.Join(gdir, "full.json"))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: disk store: %w", err)
+	}
+	var full persistFull
+	if err := json.Unmarshal(data, &full); err != nil {
+		return nil, fmt.Errorf("checkpoint: disk store: corrupt full.json for %s: %w", guest, err)
+	}
+	meta := full.Meta
+	table := make(map[uint32]string, len(full.Pages))
+	for k, h := range full.Pages {
+		pn, err := strconv.ParseUint(k, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: disk store: bad page number %q: %w", k, err)
+		}
+		table[uint32(pn)] = h
+	}
+	chain := 0
+	for i := 1; ; i++ {
+		data, err := os.ReadFile(filepath.Join(gdir, deltaName(i)))
+		if err != nil {
+			break
+		}
+		var d persistDelta
+		if err := json.Unmarshal(data, &d); err != nil {
+			break // torn record: the chain ends at the last consistent state
+		}
+		for k, h := range d.Changed {
+			pn, err := strconv.ParseUint(k, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: disk store: bad page number %q: %w", k, err)
+			}
+			table[uint32(pn)] = h
+		}
+		for _, k := range d.Deleted {
+			pn, err := strconv.ParseUint(k, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: disk store: bad page number %q: %w", k, err)
+			}
+			delete(table, uint32(pn))
+		}
+		meta = d.Meta
+		chain = i
+	}
+
+	pages := make(map[uint32][]byte, len(table))
+	for pn, hexh := range table {
+		data, err := os.ReadFile(filepath.Join(ds.pagesDir, hexh))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: disk store: missing page %s: %w", hexh, err)
+		}
+		if len(data) != vm.PageSize {
+			return nil, fmt.Errorf("checkpoint: disk store: page %s has %d bytes", hexh, len(data))
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != hexh {
+			return nil, fmt.Errorf("checkpoint: disk store: page %s content does not match its hash", hexh)
+		}
+		pages[pn] = data
+	}
+	mem := vm.DefaultBaseStore().InternSnapshot(pages)
+
+	// Seed the save-side diff cache from what is now on disk, so the first
+	// post-restore Save persists only what the guest dirties afterwards.
+	gp := &guestPersist{
+		refs:   make(map[uint32]vm.PageRef, len(pages)),
+		hashes: make(map[uint32]string, len(pages)),
+		chain:  chain,
+	}
+	mem.VisitPages(func(pn uint32, ref vm.PageRef) {
+		gp.refs[pn] = ref
+		gp.hashes[pn] = table[pn]
+	})
+	ds.guests[guest] = gp
+
+	return &PersistedCheckpoint{
+		Seq:       meta.Seq,
+		TakenAtMs: meta.TakenAtMs,
+		Regs:      meta.Regs,
+		Alloc:     meta.Alloc,
+		Rng:       meta.Rng,
+		Layout:    meta.Layout,
+		Mem:       mem,
+		Pages:     len(pages),
+	}, nil
+}
+
+// Guests lists the guests with a persisted checkpoint on disk.
+func (ds *DiskStore) Guests() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(ds.dir, "guests"))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := hex.DecodeString(e.Name())
+		if err != nil {
+			continue
+		}
+		out = append(out, string(name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Sync fsyncs every file written since the last Sync, so a clean shutdown
+// puts all persisted checkpoints on stable storage.
+func (ds *DiskStore) Sync() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	var firstErr error
+	for path := range ds.dirty {
+		f, err := os.Open(path)
+		if err != nil {
+			if firstErr == nil && !errors.Is(err, os.ErrNotExist) {
+				firstErr = err
+			}
+			continue
+		}
+		if err := f.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		f.Close()
+	}
+	ds.dirty = make(map[string]struct{})
+	if firstErr != nil {
+		return fmt.Errorf("checkpoint: disk store: sync: %w", firstErr)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"sweeper/internal/checkpoint"
+	"sweeper/internal/exploit"
+	"sweeper/internal/proc"
+	"sweeper/internal/vm"
+)
+
+func TestDiskStoreSaveLoadRoundTrip(t *testing.T) {
+	p := newCVSProcess(t, 6)
+	if stop := p.Run(0); stop.Reason != vm.StopWaitInput {
+		t.Fatalf("serving failed: %v", stop.Reason)
+	}
+	m := checkpoint.NewManager(checkpoint.Policy{IntervalMs: 1, MaxKept: 5})
+	snap := m.Checkpoint(p)
+
+	ds, err := checkpoint.OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := p.Machine.Layout()
+	if err := ds.Save("guest-0", snap, layout); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := ds.Load("guest-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Pages != snap.Mem.Pages() {
+		t.Fatalf("loaded %d pages, snapshot had %d", loaded.Pages, snap.Mem.Pages())
+	}
+	if loaded.Regs != snap.Regs || loaded.Rng != snap.Rng || loaded.Alloc != snap.Alloc {
+		t.Fatal("register/allocator/rng state did not round-trip")
+	}
+	if loaded.Layout != layout {
+		t.Fatalf("layout did not round-trip: %+v vs %+v", loaded.Layout, layout)
+	}
+
+	// Restoring the loaded image into a fresh process must reproduce the
+	// machine state: same served count observable via continued serving.
+	fresh := newCVSProcess(t, 0)
+	fresh.RestorePersisted(loaded.Mem, loaded.Regs, loaded.Alloc, loaded.Rng)
+	if fresh.Machine.Mem.MappedPages() != loaded.Pages {
+		t.Fatalf("restored process maps %d pages, want %d", fresh.Machine.Mem.MappedPages(), loaded.Pages)
+	}
+	if fresh.Machine.Cycles() != snap.Regs.Cycles {
+		t.Fatalf("virtual clock not restored: %d vs %d", fresh.Machine.Cycles(), snap.Regs.Cycles)
+	}
+	// The restored guest serves new traffic from where the checkpoint left off.
+	fresh.Proxy().Submit([]byte("Directory anon /repo/anon\n"), "client", false)
+	if stop := fresh.Run(0); stop.Reason != vm.StopWaitInput {
+		t.Fatalf("restored process cannot serve: %v", stop.Reason)
+	}
+	if fresh.ServedRequests() != 1 {
+		t.Fatalf("restored process served %d, want 1", fresh.ServedRequests())
+	}
+}
+
+func TestDiskStoreDeltaChainAndSharing(t *testing.T) {
+	p := newCVSProcess(t, 12)
+	m := checkpoint.NewManager(checkpoint.Policy{IntervalMs: 1, MaxKept: 50})
+	ds, err := checkpoint.OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := p.Machine.Layout()
+
+	// First save is a full manifest; subsequent saves should write only the
+	// pages each serving interval dirtied.
+	if err := ds.Save("g", m.Checkpoint(p), layout); err != nil {
+		t.Fatal(err)
+	}
+	firstWritten, _ := ds.PageStats()
+	var lastSnap *proc.Snapshot
+	for i := 0; i < 4; i++ {
+		// Fresh traffic each interval, so every save has real dirtied pages
+		// (Save skips writing a record when nothing changed).
+		p.Proxy().Submit(exploit.CVSBenign(100+i), "client", false)
+		if stop := p.Run(0); stop.Reason != vm.StopWaitInput && stop.Reason != vm.StopInstrBudget {
+			t.Fatalf("run stopped: %v", stop.Reason)
+		}
+		lastSnap = m.Checkpoint(p)
+		if err := ds.Save("g", lastSnap, layout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	written, _ := ds.PageStats()
+	// Four incremental saves must not have rewritten the whole address
+	// space each time — only the handful of pages each interval dirtied.
+	if delta := written - firstWritten; delta >= lastSnap.Mem.Pages() {
+		t.Errorf("incremental saves wrote %d page files for a %d-page image; expected only dirtied pages", delta, lastSnap.Mem.Pages())
+	}
+
+	// Load folds the delta chain to the latest state.
+	loaded, err := ds.Load("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seq != lastSnap.SeqNo {
+		t.Fatalf("loaded seq %d, want latest %d", loaded.Seq, lastSnap.SeqNo)
+	}
+	if loaded.Pages != lastSnap.Mem.Pages() {
+		t.Fatalf("loaded %d pages, want %d", loaded.Pages, lastSnap.Mem.Pages())
+	}
+
+	// A second guest with identical content shares page files: saving the
+	// same snapshot under another name writes zero new pages.
+	before, _ := ds.PageStats()
+	if err := ds.Save("g2", lastSnap, layout); err != nil {
+		t.Fatal(err)
+	}
+	after, shared := ds.PageStats()
+	if after != before {
+		t.Errorf("identical snapshot for a second guest wrote %d new page files, want 0", after-before)
+	}
+	if shared == 0 {
+		t.Error("no page references were deduplicated onto existing files")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sweeper/internal/antibody"
+	"sweeper/internal/checkpoint"
 	"sweeper/internal/metrics"
 	"sweeper/internal/netproxy"
 	"sweeper/internal/proc"
@@ -21,11 +22,17 @@ type Fleet struct {
 	store *antibody.Store
 	rec   *metrics.FleetRecorder
 
-	mu      sync.Mutex
-	guests  map[string]*Guest
-	order   []*Guest
-	started bool
-	wg      sync.WaitGroup
+	// dataDir and ckptStore are the durability layer (see durable.go); both
+	// are set once at construction. ckptStore is nil for in-memory fleets.
+	dataDir   string
+	ckptStore *checkpoint.DiskStore
+
+	mu         sync.Mutex
+	guests     map[string]*Guest
+	order      []*Guest
+	started    bool
+	durability DurabilityStats
+	wg         sync.WaitGroup
 }
 
 // Guest is one protected process inside a Fleet. Its Sweeper is owned by the
@@ -43,6 +50,10 @@ type Guest struct {
 	pending bool
 	busy    bool
 	stopped bool
+	// halted mirrors s.Halted() under mu: the Sweeper field belongs to the
+	// serving goroutine, but the TCP front end's submit path (connection
+	// goroutines) must see the halt to answer StatusUnavailable.
+	halted bool
 
 	// gen is the guest's optional open-loop workload generator (see
 	// workload.go). genDone mirrors its completion under mu so Drain and the
@@ -70,6 +81,11 @@ type Guest struct {
 	// goroutine once the fleet has started.
 	listener  *netproxy.Listener
 	outCursor int
+
+	// lastPersistSeq is the SeqNo of the newest checkpoint written to the
+	// fleet's disk store (see maybePersist in durable.go). Touched only on
+	// the serving goroutine, and by Stop after the goroutines exit.
+	lastPersistSeq int
 
 	serveErr error
 }
@@ -131,12 +147,30 @@ func (f *Fleet) AddGuest(guestName, program string, image *vm.Program, opts proc
 	f.mu.Unlock()
 
 	f.rec.Register(guestName, program)
+	// Warm restart: hand the guest its persisted checkpoint before any
+	// serving goroutine can exist. The store replay below then queues every
+	// known antibody for the program, and the serving loop applies its inbox
+	// before serving — so a restarted guest has its filters and probes
+	// reinstalled before it takes traffic.
+	f.tryWarmRestore(g)
 	for _, a := range f.store.ForProgram(program) {
 		g.enqueueAntibody(a)
 	}
 	if started {
 		f.wg.Add(1)
 		go g.loop()
+	} else {
+		// No serving goroutine exists yet, so apply the queued (replayed)
+		// antibodies synchronously: input-signature filters act at Submit
+		// time, and a warm-restarted guest must reject the old exploit at
+		// the proxy even when a Submit races Start().
+		g.mu.Lock()
+		inbox := g.inbox
+		g.inbox = nil
+		g.mu.Unlock()
+		for _, a := range inbox {
+			g.adopt(a)
+		}
 	}
 	return g, nil
 }
@@ -223,7 +257,11 @@ func (g *Guest) workloadRunnable() bool {
 
 // Stop drains outstanding work, terminates every guest goroutine, waits for
 // them to exit and closes any attached TCP front ends (failing their
-// still-open connections with StatusError).
+// still-open connections with StatusError). A durable fleet then persists
+// each guest's final checkpoint, flushes and fsyncs the antibody WAL
+// (detaching it) and fsyncs the checkpoint store: a clean shutdown never
+// loses the last published antibody, and the next daemon on the same data
+// directory restarts warm.
 func (f *Fleet) Stop() {
 	f.Drain()
 	for _, g := range f.Guests() {
@@ -236,6 +274,25 @@ func (f *Fleet) Stop() {
 	for _, g := range f.Guests() {
 		if g.listener != nil {
 			g.listener.Close()
+		}
+	}
+	if f.ckptStore != nil {
+		for _, g := range f.Guests() {
+			// The goroutines have exited; we own every Sweeper. Capture the
+			// quiescent state (a halted guest keeps its last pre-halt
+			// persisted checkpoint instead).
+			if !g.s.Halted() {
+				g.s.ckpt.Checkpoint(g.s.proc)
+			}
+			g.maybePersist()
+		}
+	}
+	if err := f.store.Close(); err != nil {
+		f.durabilityWarning()
+	}
+	if f.ckptStore != nil {
+		if err := f.ckptStore.Sync(); err != nil {
+			f.durabilityWarning()
 		}
 	}
 }
@@ -466,14 +523,19 @@ func (g *Guest) loop() {
 				g.mu.Unlock()
 			}
 		}
-		if g.listener != nil && g.s.Halted() {
+		halted := g.s.Halted()
+		if g.listener != nil && halted {
 			// The guest is gone; connections waiting on queued requests would
-			// otherwise block forever.
-			g.listener.ResolveAll(netproxy.StatusError)
+			// otherwise block forever. StatusUnavailable tells the client the
+			// guest is down (the daemon may restart it warm), as opposed to
+			// the StatusError a daemon shutdown sends.
+			g.listener.ResolveAll(netproxy.StatusUnavailable)
 		}
+		g.maybePersist()
 		g.updateMetrics()
 
 		g.mu.Lock()
+		g.halted = halted
 		g.busy = false
 		g.cond.Broadcast()
 		g.mu.Unlock()

@@ -13,7 +13,8 @@ import (
 // guest sends) back on the submitting connection when the request completes.
 // A request excised as an attack input during recovery is answered with
 // StatusAbsorbed; if the guest halts, outstanding and future requests are
-// answered with StatusError.
+// answered with StatusUnavailable (daemon shutdown answers with
+// StatusError).
 //
 // Attach before Fleet.Start (or any Submit traffic): the completion hooks it
 // installs run on the serving goroutine and must not race its launch. The
@@ -30,18 +31,28 @@ func (g *Guest) AttachListener(addr string) error {
 	if started {
 		return fmt.Errorf("core: guest %s: attach the TCP front end before the fleet starts", g.name)
 	}
-	submit := func(payload []byte, src string) (int, bool) {
+	submit := func(payload []byte, src string) (int, byte) {
+		// A halted guest answers immediately instead of queueing a request
+		// no serving loop will ever complete. halted is mirrored under g.mu
+		// by the serving loop, so this connection-goroutine read is safe.
+		g.mu.Lock()
+		halted := g.halted
+		g.mu.Unlock()
+		if halted {
+			return 0, netproxy.StatusUnavailable
+		}
 		id, accepted := g.s.SubmitTracked(payload, src, false)
 		g.fleet.rec.Update(g.name, func(st *metrics.GuestStats) {
 			st.FilteredInputs = g.s.Proxy().Stats().Filtered
 		})
-		if accepted {
-			g.mu.Lock()
-			g.pending = true
-			g.cond.Broadcast()
-			g.mu.Unlock()
+		if !accepted {
+			return id, netproxy.StatusFiltered
 		}
-		return id, accepted
+		g.mu.Lock()
+		g.pending = true
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		return id, netproxy.StatusOK
 	}
 	ln, err := netproxy.NewListener(addr, submit)
 	if err != nil {
@@ -94,12 +105,15 @@ func (g *Guest) respondServed(reqID int) {
 // respondAttack answers the excised culprit request's connection: the
 // defence absorbed the attack, the attacker gets StatusAbsorbed instead of a
 // hung connection. Runs on the serving goroutine as soon as the report is
-// recorded, before queued benign requests resume service.
+// recorded, before queued benign requests resume service. A failed recovery
+// means the guest is going down: every in-flight waiter is failed with
+// StatusUnavailable here, at the point the halt is discovered, not left for
+// the serve-loop sweep.
 func (g *Guest) respondAttack(report *AttackReport) {
 	if report.CulpritRequestID >= 0 {
 		g.listener.Resolve(report.CulpritRequestID, netproxy.StatusAbsorbed, nil)
 	}
 	if !report.Recovered {
-		g.listener.ResolveAll(netproxy.StatusError)
+		g.listener.ResolveAll(netproxy.StatusUnavailable)
 	}
 }

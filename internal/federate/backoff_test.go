@@ -1,0 +1,102 @@
+package federate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sweeper/internal/antibody"
+	"sweeper/internal/metrics"
+)
+
+// TestLatePeerBackoffAndRecovery: a peer added lazily before it exists is
+// counted down and polled with backoff, not error-spammed at the base poll
+// cadence; when the peer finally registers, the node recovers it, replays
+// its full store through the cursor-0 poll, and counts the recovery.
+func TestLatePeerBackoffAndRecovery(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+
+	joiner := newInprocDaemon(t, hub, "joiner", "")
+	// "late" does not exist yet; AddTransport would refuse, the lazy path
+	// must not.
+	joiner.node.AddTransportLazy(hub.Transport("late", ""))
+
+	st := joiner.rec.Snapshot()
+	if st.PeerDown != 1 {
+		t.Fatalf("PeerDown = %d after lazy-adding an absent peer, want 1", st.PeerDown)
+	}
+	if st.PeerRecovered != 0 {
+		t.Fatalf("PeerRecovered = %d before the peer exists, want 0", st.PeerRecovered)
+	}
+	if got := joiner.node.Peers(); len(got) != 1 || got[0] != "inproc://late" {
+		t.Fatalf("peer list = %v", got)
+	}
+
+	// Let the poll loop fail a few rounds so the backoff grows.
+	time.Sleep(30 * time.Millisecond)
+
+	// The peer comes up late, already holding antibodies.
+	late := newInprocDaemon(t, hub, "late", "")
+	for i := 0; i < 4; i++ {
+		late.store.Publish(ab(fmt.Sprintf("late-%d", i), "squid"))
+	}
+
+	waitFor(t, 5*time.Second, "late peer replay", func() bool {
+		return joiner.store.Len() == 4
+	})
+	st = joiner.rec.Snapshot()
+	if st.PeerRecovered != 1 {
+		t.Fatalf("PeerRecovered = %d after the peer appeared, want 1", st.PeerRecovered)
+	}
+	if st.PeerDown != 1 {
+		t.Fatalf("PeerDown = %d, want exactly the initial transition", st.PeerDown)
+	}
+}
+
+// TestPeerCrashCountsDownOnce: a peer that answers, then disappears, is
+// counted down exactly once across many failed polls, and its backoff means
+// the failure count stays far below what fixed-cadence polling would rack
+// up. When it re-registers, gossip resumes over the same transport.
+func TestPeerCrashCountsDownOnce(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+
+	flaky := newInprocDaemon(t, hub, "flaky", "")
+	flaky.store.Publish(ab("pre-crash", "squid"))
+
+	watcher := newInprocDaemon(t, hub, "watcher", "")
+	if err := watcher.node.AddTransport(dialInproc(t, hub, "flaky", "")); err != nil {
+		t.Fatal(err)
+	}
+	if watcher.store.Len() != 1 {
+		t.Fatal("join replay missed the pre-crash antibody")
+	}
+
+	// Crash: tear the endpoint out of the hub, as a dying daemon would.
+	hub.Unregister("flaky")
+	waitFor(t, 5*time.Second, "down transition", func() bool {
+		return watcher.rec.Snapshot().PeerDown == 1
+	})
+	time.Sleep(40 * time.Millisecond)
+	if st := watcher.rec.Snapshot(); st.PeerDown != 1 {
+		t.Fatalf("PeerDown = %d after a single crash, want 1", st.PeerDown)
+	}
+
+	// Restart under the same name. A real restart replays the WAL first, so
+	// the store the new endpoint serves is a superset of the pre-crash one —
+	// that is what keeps peers' Since cursors valid. Model that here by
+	// republishing the pre-crash contents before anything new.
+	restarted := antibody.NewStore()
+	restarted.Publish(ab("pre-crash", "squid"))
+	if _, err := hub.Register("flaky", restarted, metrics.NewFederationRecorder(), ""); err != nil {
+		t.Fatal(err)
+	}
+	restarted.Publish(ab("post-restart", "squid"))
+	waitFor(t, 5*time.Second, "post-restart gossip", func() bool {
+		return watcher.store.Len() == 2
+	})
+	if st := watcher.rec.Snapshot(); st.PeerRecovered != 1 {
+		t.Fatalf("PeerRecovered = %d, want 1", st.PeerRecovered)
+	}
+}

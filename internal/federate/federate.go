@@ -14,6 +14,7 @@ package federate
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -39,6 +40,13 @@ type Config struct {
 	// peers, and the remaining peers' poll loops recover the antibodies.
 	// Zero pushes to every peer (the small-community default).
 	MaxPushFanout int
+	// MaxPollBackoff caps the exponential backoff a poll loop applies to an
+	// unreachable peer. Each consecutive failure doubles the poll delay from
+	// PollInterval up to this cap (with ±25% jitter so a community of
+	// daemons does not hammer a recovering peer in lockstep); the first
+	// successful poll snaps back to PollInterval. Default: the smaller of
+	// 64×PollInterval and 2s.
+	MaxPollBackoff time.Duration
 }
 
 func (c *Config) defaults() {
@@ -47,6 +55,12 @@ func (c *Config) defaults() {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxPollBackoff <= 0 {
+		c.MaxPollBackoff = 64 * c.PollInterval
+		if c.MaxPollBackoff > 2*time.Second {
+			c.MaxPollBackoff = 2 * time.Second
+		}
 	}
 }
 
@@ -116,8 +130,37 @@ func (n *Node) AddTransport(t Transport) error {
 	n.mu.Unlock()
 	n.rec.Update(func(s *metrics.FederationStats) { s.Peers = peerCount })
 	n.wg.Add(1)
-	go n.pollLoop(t, page.Next)
+	go n.pollLoop(t, page.Next, false)
 	return nil
+}
+
+// AddTransportLazy connects to a peer that may not be reachable yet: a
+// daemon that crashed and has not restarted, or one that simply boots later.
+// Unlike AddTransport it never fails — an unreachable peer is recorded as
+// down (FederationStats.PeerDown) and its poll loop keeps retrying with
+// capped exponential backoff from cursor 0, so the full-store replay happens
+// at the first successful poll after the peer appears.
+func (n *Node) AddTransportLazy(t Transport) {
+	cursor := 0
+	down := false
+	if page, err := t.Pull(0); err == nil {
+		n.importFrom(t, page.Antibodies)
+		cursor = page.Next
+	} else {
+		down = true
+	}
+	n.mu.Lock()
+	n.peers = append(n.peers, t)
+	peerCount := len(n.peers)
+	n.mu.Unlock()
+	n.rec.Update(func(s *metrics.FederationStats) {
+		s.Peers = peerCount
+		if down {
+			s.PeerDown++
+		}
+	})
+	n.wg.Add(1)
+	go n.pollLoop(t, cursor, down)
 }
 
 // Peers returns the URLs of the connected peers.
@@ -247,22 +290,45 @@ func (n *Node) fanoutWindow() []Transport {
 }
 
 // pollLoop periodically pulls the peer's store from the given cursor onward.
-func (n *Node) pollLoop(p Transport, cursor int) {
+// A healthy peer is polled every PollInterval; consecutive failures double
+// the delay up to MaxPollBackoff with ±25% jitter (so a whole community does
+// not retry a recovering peer in lockstep), and the up/down transitions are
+// counted as PeerDown/PeerRecovered. down says whether the peer was already
+// unreachable when the loop started (the AddTransportLazy path).
+func (n *Node) pollLoop(p Transport, cursor int, down bool) {
 	defer n.wg.Done()
-	ticker := time.NewTicker(n.cfg.PollInterval)
-	defer ticker.Stop()
+	delay := n.cfg.PollInterval
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
 	for {
 		select {
 		case <-n.done:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
 		page, err := p.Pull(cursor)
 		if err != nil {
-			continue
+			if !down {
+				down = true
+				n.rec.Update(func(s *metrics.FederationStats) { s.PeerDown++ })
+			}
+			delay *= 2
+			if delay > n.cfg.MaxPollBackoff {
+				delay = n.cfg.MaxPollBackoff
+			}
+		} else {
+			if down {
+				down = false
+				n.rec.Update(func(s *metrics.FederationStats) { s.PeerRecovered++ })
+			}
+			delay = n.cfg.PollInterval
+			cursor = page.Next
+			n.importFrom(p, page.Antibodies)
+			n.rec.Update(func(s *metrics.FederationStats) { s.Polls++ })
 		}
-		cursor = page.Next
-		n.importFrom(p, page.Antibodies)
-		n.rec.Update(func(s *metrics.FederationStats) { s.Polls++ })
+		// ±25% jitter around the chosen delay (the global rand source is
+		// concurrency-safe and randomly seeded).
+		d := delay + time.Duration(rand.Int63n(int64(delay)/2+1)) - delay/4
+		timer.Reset(d)
 	}
 }

@@ -50,17 +50,50 @@ func (h *Hub) Register(name string, store *antibody.Store, rec *metrics.Federati
 	return ep, nil
 }
 
+// Unregister removes and closes the named endpoint, as a crashing daemon
+// would tear down its HTTP server. The name becomes free for a restarted
+// daemon to re-register; peers holding Transports to it fail their calls
+// (connection refused) until then, after which the same Transport reaches
+// the new endpoint — transports bind to the name, not the instance.
+func (h *Hub) Unregister(name string) {
+	h.mu.Lock()
+	ep := h.eps[name]
+	delete(h.eps, name)
+	h.mu.Unlock()
+	if ep != nil {
+		ep.Close()
+	}
+}
+
 // Dial returns a Transport to the named endpoint, presenting the given
-// token. Dialing is name resolution only; a bad token fails at the first
-// push or pull, like HTTP.
+// token. The name must currently be registered; a bad token fails at the
+// first push or pull, like HTTP. The returned transport resolves the name
+// on every call, so it survives the endpoint being unregistered and
+// re-registered (a daemon restart).
 func (h *Hub) Dial(name, token string) (Transport, error) {
 	h.mu.Lock()
-	ep, ok := h.eps[name]
+	_, ok := h.eps[name]
 	h.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("federate: inproc endpoint %q not registered", name)
 	}
-	return &inprocPeer{ep: ep, token: token}, nil
+	return &inprocPeer{hub: h, name: name, token: token}, nil
+}
+
+// Transport returns a Transport bound to the name whether or not the
+// endpoint is registered yet — the in-process analogue of an HTTP peer URL
+// whose server has not started. Calls fail until the name is registered;
+// pair it with Node.AddTransportLazy for peers that boot (or come back)
+// late.
+func (h *Hub) Transport(name, token string) Transport {
+	return &inprocPeer{hub: h, name: name, token: token}
+}
+
+// lookup resolves the current endpoint for a name, or nil.
+func (h *Hub) lookup(name string) *Endpoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eps[name]
 }
 
 // Close shuts down every endpoint.
@@ -173,20 +206,32 @@ func (ep *Endpoint) call(req inprocReq) (inprocResp, error) {
 	}
 }
 
-// inprocPeer is the dialer side: a Transport backed by an Endpoint's request
-// channel.
+// inprocPeer is the dialer side: a Transport that resolves its hub name to
+// the current Endpoint on every call, so a re-registered endpoint (daemon
+// restart) is reachable through transports dialed before the crash.
 type inprocPeer struct {
-	ep    *Endpoint
+	hub   *Hub
+	name  string
 	token string
 }
 
 // URL identifies the peer as inproc://name.
-func (p *inprocPeer) URL() string { return "inproc://" + p.ep.name }
+func (p *inprocPeer) URL() string { return "inproc://" + p.name }
+
+// call resolves the name and forwards the request; an unregistered name
+// fails like a refused connection.
+func (p *inprocPeer) call(req inprocReq) (inprocResp, error) {
+	ep := p.hub.lookup(p.name)
+	if ep == nil {
+		return inprocResp{}, fmt.Errorf("federate: inproc %s: endpoint not registered", p.name)
+	}
+	return ep.call(req)
+}
 
 // Push delivers antibodies to the endpoint's store and returns how many it
 // had not seen before.
 func (p *inprocPeer) Push(from string, abs []*antibody.Antibody) (int, error) {
-	resp, err := p.ep.call(inprocReq{
+	resp, err := p.call(inprocReq{
 		token: p.token,
 		env:   &antibody.PushEnvelope{From: from, Antibodies: abs},
 	})
@@ -199,7 +244,7 @@ func (p *inprocPeer) Push(from string, abs []*antibody.Antibody) (int, error) {
 // Pull fetches the endpoint's store from the cursor onward; Pull(0) replays
 // the full store.
 func (p *inprocPeer) Pull(cursor int) (*antibody.PullPage, error) {
-	resp, err := p.ep.call(inprocReq{token: p.token, pullSince: cursor})
+	resp, err := p.call(inprocReq{token: p.token, pullSince: cursor})
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,13 @@ type FederationStats struct {
 	// pushes and polls with a bad or missing auth token, and structurally
 	// invalid pushes (antibodies without an ID or program).
 	Rejected int
+	// PeerDown counts up-to-down transitions observed by the poll loops: a
+	// peer whose poll failed after succeeding (or that was unreachable when
+	// added lazily). While down, polls back off exponentially with jitter.
+	PeerDown int
+	// PeerRecovered counts down-to-up transitions: a previously down peer
+	// answered a poll again, and its poll cadence snapped back to normal.
+	PeerRecovered int
 }
 
 // FederationRecorder aggregates FederationStats. It is safe for concurrent

@@ -27,9 +27,14 @@ const (
 	// StatusAbsorbed: the request was identified as an attack input and
 	// excised during recovery; the service survived, the request got nothing.
 	StatusAbsorbed = 0x02
-	// StatusError: the service cannot answer (guest halted, daemon shutting
-	// down).
+	// StatusError: the service cannot answer (daemon shutting down,
+	// connection-level failure).
 	StatusError = 0x03
+	// StatusUnavailable: the guest cannot take the request right now — it
+	// halted, or the submission failed before reaching the queue. Distinct
+	// from StatusError so clients can tell "this daemon is going away" from
+	// "this guest is down, the daemon may restart it warm".
+	StatusUnavailable = 0x04
 
 	// MaxFrameBytes bounds a request or response frame; larger length
 	// prefixes poison the connection.
@@ -68,11 +73,14 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 }
 
 // SubmitFunc offers one framed request payload to a protected guest and
-// returns the proxy-assigned request ID (valid even for rejected requests)
-// and whether the request was accepted into the queue. The Listener calls it
-// with its own mutex held, atomically with waiter registration, so a
-// completion for the returned ID can never arrive before the waiter exists.
-type SubmitFunc func(payload []byte, src string) (reqID int, accepted bool)
+// returns the proxy-assigned request ID plus a status byte: StatusOK means
+// the request was accepted into the queue and will be resolved later;
+// anything else (StatusFiltered for a signature match, StatusUnavailable
+// for a halted guest or failed submission) is answered to the client
+// immediately. The Listener calls it with its own mutex held, atomically
+// with waiter registration, so a completion for the returned ID can never
+// arrive before the waiter exists.
+type SubmitFunc func(payload []byte, src string) (reqID int, status byte)
 
 type tcpOutcome struct {
 	status  byte
@@ -151,9 +159,9 @@ func (l *Listener) serveConn(conn net.Conn) {
 			l.respond(bw, start, StatusError, nil)
 			return
 		}
-		id, accepted := l.submit(payload, src)
+		id, st := l.submit(payload, src)
 		var ch chan tcpOutcome
-		if accepted {
+		if st == StatusOK {
 			// Registered under the same critical section as the submit: the
 			// guest cannot complete the request before the waiter exists.
 			ch = make(chan tcpOutcome, 1)
@@ -161,8 +169,10 @@ func (l *Listener) serveConn(conn net.Conn) {
 		}
 		l.mu.Unlock()
 
-		if !accepted {
-			if !l.respond(bw, start, StatusFiltered, nil) {
+		if st != StatusOK {
+			// Rejected before queueing (filtered, or the guest is down):
+			// answer immediately with the submit status.
+			if !l.respond(bw, start, st, nil) {
 				return
 			}
 			continue
@@ -240,10 +250,11 @@ func (l *Listener) Close() error {
 // serial request/response. wormsim and the client-latency experiments drive
 // guests through it.
 type Client struct {
-	addr string
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	addr    string
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
 }
 
 // Dial connects to a front-end listener. The error distinguishes an
@@ -265,10 +276,23 @@ func Dial(addr string) (*Client, error) {
 // Addr returns the address the client dialed.
 func (c *Client) Addr() string { return c.addr }
 
+// SetTimeout bounds every subsequent Do call: a daemon that accepts the
+// request but never answers (wedged, crashed mid-request) fails the call
+// with a deadline error after d instead of hanging the client forever. Zero
+// restores the unbounded default.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
 // Do sends one request payload and blocks for its response frame, returning
 // the status byte and response payload. A connection torn down mid-request
-// is reported as an explicit error rather than a bare EOF.
+// is reported as an explicit error rather than a bare EOF; with SetTimeout
+// configured, a response that does not arrive in time is an explicit
+// timeout error (and the connection is no longer usable — a late response
+// frame would desynchronise the stream).
 func (c *Client) Do(payload []byte) (status byte, resp []byte, err error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := WriteFrame(c.bw, payload); err != nil {
 		return 0, nil, fmt.Errorf("netproxy: sending request to %s: %w", c.addr, err)
 	}
@@ -279,6 +303,9 @@ func (c *Client) Do(payload []byte) (status byte, resp []byte, err error) {
 	if err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return 0, nil, fmt.Errorf("netproxy: daemon at %s closed the connection mid-request", c.addr)
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return 0, nil, fmt.Errorf("netproxy: daemon at %s did not answer within %v: %w", c.addr, c.timeout, err)
 		}
 		return 0, nil, fmt.Errorf("netproxy: reading response from %s: %w", c.addr, err)
 	}
@@ -302,6 +329,8 @@ func StatusName(status byte) string {
 		return "absorbed"
 	case StatusError:
 		return "error"
+	case StatusUnavailable:
+		return "unavailable"
 	default:
 		return fmt.Sprintf("status-%d", status)
 	}

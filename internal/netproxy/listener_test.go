@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -50,16 +51,19 @@ type echoBackend struct {
 	l      *Listener
 }
 
-func (b *echoBackend) submit(payload []byte, src string) (int, bool) {
+func (b *echoBackend) submit(payload []byte, src string) (int, byte) {
 	b.mu.Lock()
 	b.nextID++
 	id := b.nextID
 	b.mu.Unlock()
 	if bytes.Contains(payload, []byte("FILTERME")) {
-		return id, false
+		return id, StatusFiltered
+	}
+	if bytes.Contains(payload, []byte("HALTED")) {
+		return id, StatusUnavailable
 	}
 	go b.l.Resolve(id, StatusOK, append([]byte("echo:"), payload...))
-	return id, true
+	return id, StatusOK
 }
 
 func newEchoListener(t *testing.T) (*Listener, *echoBackend) {
@@ -173,11 +177,11 @@ func TestListenerCloseFailsWaiters(t *testing.T) {
 	// A backend that never resolves: Close must fail the hung waiter.
 	var nextID int
 	var mu sync.Mutex
-	l, err := NewListener("127.0.0.1:0", func(payload []byte, src string) (int, bool) {
+	l, err := NewListener("127.0.0.1:0", func(payload []byte, src string) (int, byte) {
 		mu.Lock()
 		defer mu.Unlock()
 		nextID++
-		return nextID, true
+		return nextID, StatusOK
 	})
 	if err != nil {
 		t.Fatalf("NewListener: %v", err)
@@ -202,6 +206,69 @@ func TestListenerCloseFailsWaiters(t *testing.T) {
 	l.Close()
 	if err := <-done; err != nil {
 		t.Error(err)
+	}
+}
+
+func TestListenerUnavailableSubmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket test: run without -short")
+	}
+	// A submission the guest cannot take (halted) is answered immediately
+	// with StatusUnavailable — no waiter, no hang — and the connection
+	// stays usable for when the guest comes back.
+	l, _ := newEchoListener(t)
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	status, resp, err := c.Do([]byte("HALTED guest"))
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if status != StatusUnavailable || len(resp) != 0 {
+		t.Errorf("unavailable submit got status %s payload %q, want unavailable", StatusName(status), resp)
+	}
+	if status, _, err := c.Do([]byte("clean")); err != nil || status != StatusOK {
+		t.Errorf("request after unavailable one: status %s, err %v", StatusName(status), err)
+	}
+}
+
+func TestClientDoTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket test: run without -short")
+	}
+	// A wedged daemon: accepts the request, registers the waiter, never
+	// resolves it. Without a timeout Do would hang forever; with one it
+	// must fail with an explicit deadline error.
+	var nextID int
+	var mu sync.Mutex
+	l, err := NewListener("127.0.0.1:0", func(payload []byte, src string) (int, byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		nextID++
+		return nextID, StatusOK
+	})
+	if err != nil {
+		t.Fatalf("NewListener: %v", err)
+	}
+	defer l.Close()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	c.SetTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, _, err = c.Do([]byte("never answered"))
+	if err == nil {
+		t.Fatal("Do returned without a response from a wedged daemon")
+	}
+	if !strings.Contains(err.Error(), "did not answer") {
+		t.Errorf("Do error %q does not name the timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Do took %v to time out; the 50ms deadline did not apply", elapsed)
 	}
 }
 

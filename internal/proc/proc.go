@@ -588,6 +588,32 @@ func (p *Process) Rollback(s *Snapshot, mode Mode, replayThenLive bool) {
 	p.Machine.AddCycles(2000)
 }
 
+// RestorePersisted reinstates process state loaded from a persisted
+// checkpoint: a memory snapshot rebuilt through the vm.BaseStore plus
+// register, allocator and RNG state. Unlike Rollback, the destination is a
+// freshly constructed process on a restarted daemon: the pre-crash event
+// log is gone (outputs already delivered to clients are history the restart
+// cannot replay), so the log cursor, served counters and request ID reset
+// and the process serves live from the restored memory image. The virtual
+// clock continues from the persisted cycle count — a warm restart does not
+// rewind time any more than a rollback does.
+func (p *Process) RestorePersisted(mem *vm.MemSnapshot, regs vm.RegSnapshot, alloc heap.State, rng uint32) {
+	p.Machine.Mem.Restore(mem)
+	p.Machine.RestoreRegs(regs)
+	p.Alloc.Restore(alloc)
+	p.rng = rng
+	p.Log.SetCursor(0)
+	// Probes attached before the restore shadowed the cold image; reset them
+	// so stale state cannot raise false violations (same as Rollback).
+	p.Machine.NotifyRollback()
+	p.servedCount = 0
+	p.currentReqID = 0
+	p.diverged = false
+	p.divergence = ""
+	p.mode = ModeLive
+	p.replayThenLive = false
+}
+
 // AdoptReplayState reinstates this process's state from a clone (derived via
 // Clone from a checkpoint of this process) that has replayed a prefix of the
 // shared history. It is a rollback whose destination is the clone's current

@@ -58,8 +58,12 @@ type page struct {
 	owner    *Memory
 	nruns    uint8
 	inParent bool
-	runs     [maxPageRuns]byteRun
-	data     [PageSize]byte
+	// hashed/hash cache the page's content hash once frozen (see
+	// PageRef.Hash; guarded by pageHashMu, never set on owned pages).
+	hashed bool
+	hash   [32]byte
+	runs   [maxPageRuns]byteRun
+	data   [PageSize]byte
 }
 
 func (p *page) clone(owner *Memory) *page {

@@ -1,0 +1,74 @@
+package vm
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// This file is the vm side of checkpoint persistence: walking a snapshot's
+// pages with content hashes (so the disk store can write content-addressed
+// page files, CXL-style — many consumers referencing one immutable page
+// image) and rebuilding a chain-root snapshot from persisted page contents
+// through the BaseStore, so warm-restarted guests share pages with every
+// live guest and daemon in the process.
+
+// PageRef is a read-only handle to one frozen page of a flattened snapshot.
+type PageRef struct{ p *page }
+
+// Data returns the page's content. The page is frozen and shared; callers
+// must treat the returned array as immutable.
+func (r PageRef) Data() *[PageSize]byte { return &r.p.data }
+
+// pageHashMu guards the lazily computed content-hash cache on frozen pages.
+// Frozen page data is immutable, so a cached hash never goes stale; the
+// mutex only orders the cache fill against concurrent readers.
+var pageHashMu sync.Mutex
+
+// Hash returns the sha256 of the page content, caching it on the page so
+// repeated persists of a shared page hash it once per process.
+func (r PageRef) Hash() [32]byte {
+	pageHashMu.Lock()
+	if !r.p.hashed {
+		r.p.hash = sha256.Sum256(r.p.data[:])
+		r.p.hashed = true
+	}
+	h := r.p.hash
+	pageHashMu.Unlock()
+	return h
+}
+
+// Same reports whether two refs point at the identical page object. Frozen
+// pages are immutable and shared, so pointer identity means content
+// identity — the disk store uses it to skip re-hashing unchanged pages
+// between consecutive persists.
+func (r PageRef) Same(o PageRef) bool { return r.p == o.p }
+
+// VisitPages flattens the snapshot (memoising the result, as Restore would)
+// and calls fn for every mapped page. All visited pages are frozen.
+func (s *MemSnapshot) VisitPages(fn func(pn uint32, ref PageRef)) {
+	for pn, p := range s.flatten() {
+		fn(pn, PageRef{p: p})
+	}
+}
+
+// InternSnapshot rebuilds a chain-root snapshot from persisted page
+// contents, interning every page in the store. Pages whose content already
+// exists in the store — a base-image page no guest dirtied, or a page
+// another restarted guest already loaded — are shared rather than
+// duplicated, so N daemons restoring same-program guests pay for one copy
+// of each distinct page, mirroring BaseImage's economics. The returned
+// snapshot has captured == 0: restoring it costs the guest's virtual clock
+// nothing.
+func (b *BaseStore) InternSnapshot(pages map[uint32][]byte) *MemSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	flat := make(map[uint32]*page, len(pages))
+	for pn, data := range pages {
+		p := &page{}
+		copy(p.data[:], data)
+		flat[pn] = b.intern(p)
+	}
+	s := &MemSnapshot{delta: flat, count: len(flat)}
+	s.flat = flat
+	return s
+}
